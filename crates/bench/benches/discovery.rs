@@ -1,0 +1,98 @@
+//! E16 — §III-B: runtime auto-configuration.
+//!
+//! Verifies that architecture identification, hyperthreading detection,
+//! and optional-hardware probing produce the right collector sets on
+//! every supported microarchitecture, and benchmarks the discovery path
+//! (it runs at every collector start-up on every node of the system).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tacc_bench::{report_header, report_row};
+use tacc_collect::discovery::{build_collectors, discover, BuildOptions};
+use tacc_simnode::pseudofs::NodeFs;
+use tacc_simnode::schema::DeviceType;
+use tacc_simnode::topology::{CpuArch, NodeTopology};
+use tacc_simnode::SimNode;
+
+fn topo_for(arch: CpuArch) -> NodeTopology {
+    NodeTopology {
+        arch,
+        sockets: 2,
+        cores_per_socket: 8,
+        threads_per_core: if matches!(arch, CpuArch::Nehalem | CpuArch::Haswell) {
+            2
+        } else {
+            1
+        },
+        memory_bytes: 32 << 30,
+        has_infiniband: true,
+        mic_cards: usize::from(arch == CpuArch::SandyBridge),
+        lustre_filesystems: vec!["scratch".to_string()],
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report_header("E16 / §III-B", "auto-configuration across architectures");
+    for arch in CpuArch::HOST_ARCHS {
+        let node = SimNode::new("probe", topo_for(arch));
+        let fs = NodeFs::new(&node);
+        let cfg = discover(&fs, BuildOptions::default()).unwrap();
+        let collectors = build_collectors(&cfg);
+        let dts = cfg.device_types();
+        report_row(
+            &format!("{:?} ({} cpus, HT {})", arch, cfg.n_cpus, cfg.hyperthreading),
+            "auto-detected",
+            &format!(
+                "{} collectors, RAPL {}",
+                collectors.len(),
+                dts.contains(&DeviceType::Rapl)
+            ),
+        );
+        assert_eq!(cfg.arch, arch);
+        assert_eq!(
+            dts.contains(&DeviceType::Rapl),
+            arch.has_rapl(),
+            "{arch:?} RAPL"
+        );
+        // Collectors run without error on their own node.
+        for col in &collectors {
+            let _ = col.collect(&fs);
+        }
+    }
+    // The three build options gate probing (§III-B).
+    let node = SimNode::new("probe", NodeTopology::stampede());
+    let fs = NodeFs::new(&node);
+    let stripped = discover(
+        &fs,
+        BuildOptions {
+            infiniband: false,
+            xeon_phi: false,
+            lustre: false,
+        },
+    )
+    .unwrap();
+    report_row(
+        "build options all disabled",
+        "IB/Phi/Lustre skipped",
+        &format!("{} device types", stripped.device_types().len()),
+    );
+    assert!(!stripped.device_types().contains(&DeviceType::Ib));
+    println!();
+
+    let node = SimNode::new("probe", NodeTopology::stampede());
+    let mut g = c.benchmark_group("discovery");
+    g.bench_function("discover_stampede_node", |b| {
+        b.iter(|| {
+            let fs = NodeFs::new(&node);
+            discover(&fs, BuildOptions::default()).unwrap()
+        })
+    });
+    g.bench_function("build_collector_set", |b| {
+        let fs = NodeFs::new(&node);
+        let cfg = discover(&fs, BuildOptions::default()).unwrap();
+        b.iter(|| build_collectors(&cfg).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! E4 — Fig. 4: the automatic four-panel histogram of the WRF query.
+//!
+//! Builds the two-week 558-job WRF population (with the pathological
+//! user's share), regenerates the four panels, verifies the
+//! metadata-request outliers sit orders of magnitude from the bulk, and
+//! benchmarks the search + histogram path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tacc_bench::{finished_job, report_header, report_row};
+use tacc_core::population::simulate_job;
+use tacc_jobdb::Database;
+use tacc_metrics::flags::FlagRules;
+use tacc_metrics::ingest::{ingest_job, JOBS_TABLE};
+use tacc_portal::search::SearchSpec;
+use tacc_simnode::apps::AppModel;
+use tacc_simnode::topology::NodeTopology;
+
+fn build_population() -> Database {
+    let topo = NodeTopology::stampede();
+    let rules = FlagRules::default();
+    let mut db = Database::new();
+    let mut rng = StdRng::seed_from_u64(558);
+    for i in 0..558u64 {
+        let bad = i >= 554;
+        let model = if bad {
+            AppModel::wrf_metadata_storm()
+        } else {
+            AppModel::wrf()
+        };
+        let n_nodes = if bad { 4 } else { 1 << rng.gen_range(0..5) };
+        let runtime = rng.gen_range(15..600);
+        let mut job = finished_job(i, model, n_nodes, runtime);
+        if bad {
+            job.user = "user9999".to_string();
+            job.uid = 9999;
+        }
+        let interior = (runtime / 10).clamp(3, 30) as usize;
+        let metrics = simulate_job(&job, &topo, interior);
+        ingest_job(&mut db, &job, &metrics, &rules, topo.memory_bytes as f64 / 1e9);
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    report_header("E4 / Fig. 4", "WRF query histograms (runtime, nodes, wait, metadata)");
+    let db = build_population();
+    let table = db.table(JOBS_TABLE).unwrap();
+    let wrf = SearchSpec {
+        exec: Some("wrf.exe".to_string()),
+        min_runtime_secs: Some(600),
+        ..SearchSpec::default()
+    }
+    .run(table)
+    .unwrap();
+    report_row("WRF jobs > 10 min", "558", &wrf.len().to_string());
+    let fig4 = wrf.fig4();
+    println!("{}", fig4.metadata_reqs.render());
+    // The outlier panel: the top decade holds only the bad user's jobs.
+    let md = wrf.column("MetaDataRate");
+    let outliers = md.iter().filter(|v| **v > 100_000.0).count();
+    let bulk_max = md.iter().cloned().filter(|v| *v < 100_000.0).fold(0.0, f64::max);
+    report_row(
+        "metadata outlier jobs (>1e5 req/s)",
+        "visible outliers",
+        &outliers.to_string(),
+    );
+    report_row(
+        "outlier / bulk-peak ratio",
+        "orders of magnitude",
+        &format!("{:.0}x", md.iter().cloned().fold(0.0, f64::max) / bulk_max.max(1.0)),
+    );
+    assert!(outliers >= 3);
+    assert!(md.iter().cloned().fold(0.0, f64::max) / bulk_max.max(1.0) > 10.0);
+    assert_eq!(fig4.runtime.total(), wrf.len());
+    println!();
+
+    let mut g = c.benchmark_group("fig4");
+    g.bench_function("search_and_histogram_558_jobs", |b| {
+        b.iter(|| {
+            let list = SearchSpec {
+                exec: Some("wrf.exe".to_string()),
+                min_runtime_secs: Some(600),
+                ..SearchSpec::default()
+            }
+            .run(table)
+            .unwrap();
+            list.fig4()
+        })
+    });
+    g.bench_function("flagged_sublist", |b| {
+        b.iter(|| {
+            SearchSpec::default()
+                .run(table)
+                .unwrap()
+                .flagged()
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

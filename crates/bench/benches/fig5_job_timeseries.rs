@@ -1,0 +1,65 @@
+//! E5 — Fig. 5: the per-job detail view (six per-node time-series
+//! panels).
+//!
+//! Runs the metadata-storm job through the daemon-mode pipeline,
+//! extracts the six panels from the archived raw data, checks the
+//! figure's signatures (low CPU-user fraction; small Lustre data
+//! bandwidth), and benchmarks the extraction path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tacc_bench::{report_header, report_row, request, t0};
+use tacc_core::config::{Mode, SystemConfig};
+use tacc_core::MonitoringSystem;
+use tacc_portal::detail::JobTimeSeries;
+use tacc_simnode::apps::AppModel;
+use tacc_simnode::SimDuration;
+
+fn bench(c: &mut Criterion) {
+    report_header("E5 / Fig. 5", "per-node time series of the metadata-storm WRF job");
+    let mut sys = MonitoringSystem::new(SystemConfig::small(4, Mode::daemon()));
+    let mut req = request(5, AppModel::wrf_metadata_storm(), 4, 180);
+    req.user = "user9999".to_string();
+    sys.enqueue_jobs(vec![(t0(), req)]);
+    sys.run_until(t0() + SimDuration::from_hours(4));
+    let raw = sys.archive().parse_all();
+    let ts = JobTimeSeries::extract(&raw, "3000");
+    assert_eq!(ts.hosts.len(), 4);
+    let cpu_vals: Vec<f64> = ts
+        .hosts
+        .iter()
+        .flat_map(|h| h.points.iter().map(|p| p.cpu_user))
+        .collect();
+    let cpu_max: f64 = cpu_vals.iter().cloned().fold(0.0, f64::max);
+    let cpu_mean: f64 = cpu_vals.iter().sum::<f64>() / cpu_vals.len() as f64;
+    let lustre_max: f64 = ts
+        .hosts
+        .iter()
+        .flat_map(|h| h.points.iter().map(|p| p.lustre_mbs))
+        .fold(0.0, f64::max);
+    report_row(
+        "CPU user fraction (storm job)",
+        "low (~0.67)",
+        &format!("mean {cpu_mean:.2}, max {cpu_max:.2}"),
+    );
+    report_row(
+        "Lustre data bandwidth",
+        "small (requests, not data)",
+        &format!("max {lustre_max:.2} MB/s"),
+    );
+    assert!(cpu_max < 0.85, "storm job CPU should be degraded");
+    assert!(lustre_max < 50.0, "storm moves metadata, not data");
+    println!("\n{}", ts.render());
+
+    let mut g = c.benchmark_group("fig5");
+    g.bench_function("extract_6panel_series_4nodes", |b| {
+        b.iter(|| JobTimeSeries::extract(&raw, "3000"))
+    });
+    g.bench_function("render_detail_page", |b| {
+        let ts = JobTimeSeries::extract(&raw, "3000");
+        b.iter(|| ts.render())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

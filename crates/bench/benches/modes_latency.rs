@@ -1,0 +1,90 @@
+//! E2 — Figs. 1 & 2: the two operation modes.
+//!
+//! Regenerates the trade-off the figures illustrate: cron mode's
+//! day-scale data-availability lag and crash data loss versus daemon
+//! mode's real-time path, and benchmarks the per-step cost of driving
+//! each mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tacc_bench::{report_header, report_row, request, t0};
+use tacc_core::config::{Mode, SystemConfig};
+use tacc_core::MonitoringSystem;
+use tacc_simnode::apps::AppModel;
+use tacc_simnode::SimDuration;
+
+fn run_mode(mode: Mode, hours: u64) -> MonitoringSystem {
+    let mut sys = MonitoringSystem::new(SystemConfig::small(4, mode));
+    sys.enqueue_jobs(vec![
+        (t0(), request(1, AppModel::namd(), 2, 90)),
+        (t0(), request(2, AppModel::python(), 1, 120)),
+    ]);
+    sys.run_until(t0() + SimDuration::from_hours(hours));
+    sys
+}
+
+fn bench(c: &mut Criterion) {
+    report_header("E2 / Figs. 1–2", "operation modes: latency and data loss");
+
+    let cron = run_mode(Mode::cron(), 30);
+    let daemon = run_mode(Mode::daemon(), 30);
+    let cl = cron.archive().latency_stats();
+    let dl = daemon.archive().latency_stats();
+    report_row(
+        "cron availability latency (mean)",
+        "hours (daily rsync)",
+        &format!("{:.1} h", cl.mean_secs / 3600.0),
+    );
+    report_row(
+        "cron availability latency (max)",
+        "~1 day",
+        &format!("{:.1} h", cl.max_secs / 3600.0),
+    );
+    report_row(
+        "daemon availability latency (mean)",
+        "real time",
+        &format!("{:.1} s", dl.mean_secs),
+    );
+    assert!(cl.mean_secs > 100.0 * dl.mean_secs.max(1.0));
+
+    // Crash data loss.
+    let mut cron2 = run_mode(Mode::cron(), 3);
+    let mut daemon2 = run_mode(Mode::daemon(), 3);
+    let lost_cron = cron2.crash_node(0);
+    let lost_daemon = daemon2.crash_node(0);
+    report_row(
+        "samples lost to node crash (cron)",
+        "possible data loss",
+        &format!("{lost_cron}"),
+    );
+    report_row(
+        "samples lost to node crash (daemon)",
+        "none (sent immediately)",
+        &format!("{lost_daemon}"),
+    );
+    assert!(lost_cron > 0);
+    assert_eq!(lost_daemon, 0);
+    println!();
+
+    let mut g = c.benchmark_group("modes");
+    g.sample_size(10);
+    g.bench_function("cron_mode_simulated_hour", |b| {
+        b.iter(|| {
+            let mut sys = MonitoringSystem::new(SystemConfig::small(4, Mode::cron()));
+            sys.enqueue_jobs(vec![(t0(), request(1, AppModel::namd(), 2, 50))]);
+            sys.run_until(t0() + SimDuration::from_hours(1));
+            sys.archive().total_samples()
+        })
+    });
+    g.bench_function("daemon_mode_simulated_hour", |b| {
+        b.iter(|| {
+            let mut sys = MonitoringSystem::new(SystemConfig::small(4, Mode::daemon()));
+            sys.enqueue_jobs(vec![(t0(), request(1, AppModel::namd(), 2, 50))]);
+            sys.run_until(t0() + SimDuration::from_hours(1));
+            sys.archive().total_samples()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! E12 — collection cost and overhead (§I and §VI-C headline numbers).
+//!
+//! The paper: "~0.09 s on a single core on a system such as Lonestar 5",
+//! "overhead estimated to be 0.02%" at 10-minute sampling, and
+//! "TACC Stats is capable of subsecond sampling depending on the level
+//! of overhead which is acceptable". This bench regenerates the
+//! overhead-vs-interval sweep (including subsecond intervals) and
+//! benchmarks a real collection (wall-clock measured).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tacc_bench::{report_header, report_row};
+use tacc_collect::discovery::{discover, BuildOptions};
+use tacc_collect::engine::Sampler;
+use tacc_simnode::pseudofs::NodeFs;
+use tacc_simnode::topology::NodeTopology;
+use tacc_simnode::workload::NodeDemand;
+use tacc_simnode::{SimDuration, SimNode, SimTime};
+
+fn sampler_for(node: &SimNode) -> Sampler {
+    let fs = NodeFs::new(node);
+    let cfg = discover(&fs, BuildOptions::default()).unwrap();
+    Sampler::new(&node.hostname, &cfg)
+}
+
+fn bench(c: &mut Criterion) {
+    report_header("E12", "collection cost and overhead vs sampling interval");
+
+    // Per-collection cost on both reference systems.
+    for (name, topo, paper) in [
+        ("Stampede (16 cpus)", NodeTopology::stampede(), "-"),
+        ("Lonestar 5 (48 cpus)", NodeTopology::lonestar5(), "~0.09 s"),
+    ] {
+        let mut node = SimNode::new("bench", topo);
+        node.spawn_process("app.x", 5000, 1, u64::MAX);
+        let mut s = sampler_for(&node);
+        let fs = NodeFs::new(&node);
+        s.sample(&fs, SimTime::from_secs(0), &[], &[]);
+        report_row(
+            &format!("collection cost, {name}"),
+            paper,
+            &format!("{:.3} s (modelled)", s.account().mean_cost().as_secs_f64()),
+        );
+    }
+
+    // Overhead vs interval sweep, one simulated hour each, on the
+    // Lonestar 5-class node the paper quotes 0.09 s / 0.02% for.
+    println!("\n  overhead vs sampling interval (one core, Lonestar 5 node):");
+    println!(
+        "  {:>12} {:>14} {:>12}",
+        "interval", "collections/h", "overhead"
+    );
+    let mut baseline_600 = 0.0;
+    for interval_ms in [600_000u64, 60_000, 10_000, 1_000, 500] {
+        let mut node = SimNode::new("bench", NodeTopology::lonestar5());
+        let mut s = sampler_for(&node);
+        let interval = SimDuration::from_millis(interval_ms);
+        let demand = NodeDemand {
+            active_cores: 24,
+            cpu_user_frac: 0.8,
+            ..NodeDemand::default()
+        };
+        let hour = SimDuration::from_hours(1);
+        let n = hour.as_nanos() / interval.as_nanos();
+        let mut t = SimTime::from_secs(0);
+        for _ in 0..n {
+            node.advance(interval, &demand);
+            t = t + interval;
+            let fs = NodeFs::new(&node);
+            s.sample(&fs, t, &[], &[]);
+        }
+        let ov = s.account().overhead_fraction(hour);
+        if interval_ms == 600_000 {
+            baseline_600 = ov;
+        }
+        println!(
+            "  {:>10}ms {:>14} {:>11.4}%",
+            interval_ms,
+            n,
+            ov * 100.0
+        );
+    }
+    report_row(
+        "\n  overhead at the paper's 10-min interval",
+        "0.02%",
+        &format!("{:.4}%", baseline_600 * 100.0),
+    );
+    // The paper's claim: ~0.02% at 10 min; subsecond sampling possible
+    // (at proportionally higher overhead).
+    assert!(
+        (0.8e-4..3.0e-4).contains(&baseline_600),
+        "baseline {baseline_600}"
+    );
+    println!();
+
+    // Real wall-clock cost of this implementation's collection path.
+    let mut node = SimNode::new("bench", NodeTopology::stampede());
+    for _ in 0..8 {
+        node.spawn_process("app.x", 5000, 1, u64::MAX);
+    }
+    node.advance(
+        SimDuration::from_secs(600),
+        &NodeDemand {
+            active_cores: 16,
+            cpu_user_frac: 0.8,
+            ..NodeDemand::default()
+        },
+    );
+    let mut g = c.benchmark_group("overhead");
+    g.bench_function("one_collection_stampede_node", |b| {
+        let mut s = sampler_for(&node);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let fs = NodeFs::new(&node);
+            s.sample(&fs, SimTime::from_secs(t), &[], &[])
+        })
+    });
+    let ls5 = SimNode::new("nid", NodeTopology::lonestar5());
+    g.bench_function("one_collection_lonestar5_node", |b| {
+        let mut s = sampler_for(&ls5);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let fs = NodeFs::new(&ls5);
+            s.sample(&fs, SimTime::from_secs(t), &[], &[])
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

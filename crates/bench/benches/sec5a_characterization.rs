@@ -1,0 +1,77 @@
+//! E6–E9 — §V-A workload characterization searches.
+//!
+//! Regenerates the paper's population numbers on a scaled Q4-2015
+//! population and benchmarks the portal threshold searches:
+//!
+//! * idle-node jobs (paper: >2%),
+//! * MIC usage >1% of CPU time (paper: 1.3% of 404,002 jobs),
+//! * vectorization >1% / >50% (paper: 52% / 25%),
+//! * memory >20 GB of 32 GB (paper: 3%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tacc_bench::{report_header, report_row};
+use tacc_core::population::PopulationRunner;
+use tacc_jobdb::Query;
+use tacc_metrics::ingest::JOBS_TABLE;
+
+const N_JOBS: usize = 3000;
+
+fn bench(c: &mut Criterion) {
+    report_header(
+        "E6–E9 / §V-A",
+        "population characterization searches",
+    );
+    println!(
+        "  population: {N_JOBS} jobs (scaled from the paper's 404,002; proportions preserved)\n"
+    );
+    let runner = PopulationRunner::q4_2015(51, N_JOBS);
+    let result = runner.run();
+    let t = result.db.table(JOBS_TABLE).unwrap();
+    let total = t.len() as f64;
+    let pct = |n: usize| format!("{:.1}%", 100.0 * n as f64 / total);
+
+    let mic = Query::new(t).filter_kw("MIC_Usage__gt", 0.01).count().unwrap();
+    report_row("jobs using MIC > 1% of CPU time", "1.3%", &pct(mic));
+    let v1 = Query::new(t).filter_kw("VecPercent__gt", 1.0).count().unwrap();
+    report_row("jobs > 1% vectorized", "52%", &pct(v1));
+    let v50 = Query::new(t).filter_kw("VecPercent__gt", 50.0).count().unwrap();
+    report_row("jobs > 50% vectorized", "25%", &pct(v50));
+    let mem = Query::new(t).filter_kw("MemUsage__gt", 20.0).count().unwrap();
+    report_row("jobs using > 20 GB of 32 GB", "3%", &pct(mem));
+    let idle = Query::new(t).filter_kw("idle__lt", 0.05).count().unwrap();
+    report_row("jobs with idle nodes", ">2%", &pct(idle));
+    println!();
+
+    // Shape assertions (bands, not absolute numbers).
+    let frac = |n: usize| n as f64 / total;
+    assert!((0.004..0.04).contains(&frac(mic)), "MIC {}", frac(mic));
+    assert!((0.35..0.68).contains(&frac(v1)), "vec1 {}", frac(v1));
+    assert!((0.15..0.40).contains(&frac(v50)), "vec50 {}", frac(v50));
+    assert!(frac(v1) > frac(v50));
+    assert!((0.01..0.07).contains(&frac(mem)), "mem {}", frac(mem));
+    assert!(frac(idle) > 0.012, "idle {}", frac(idle));
+
+    let mut g = c.benchmark_group("sec5a");
+    g.bench_function("threshold_search_3000_jobs", |b| {
+        b.iter(|| {
+            Query::new(t)
+                .filter_kw("VecPercent__gt", 50.0)
+                .count()
+                .unwrap()
+        })
+    });
+    g.bench_function("all_five_characterization_searches", |b| {
+        b.iter(|| {
+            let a = Query::new(t).filter_kw("MIC_Usage__gt", 0.01).count().unwrap();
+            let b_ = Query::new(t).filter_kw("VecPercent__gt", 1.0).count().unwrap();
+            let c_ = Query::new(t).filter_kw("VecPercent__gt", 50.0).count().unwrap();
+            let d = Query::new(t).filter_kw("MemUsage__gt", 20.0).count().unwrap();
+            let e = Query::new(t).filter_kw("idle__lt", 0.05).count().unwrap();
+            a + b_ + c_ + d + e
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! E10–E11 — §V-B: the Lustre I/O case study.
+//!
+//! Regenerates (a) the ORM aggregation comparing the pathological WRF
+//! user against the general WRF population (paper: 67% vs 80% CPU,
+//! 563,905 vs 3,870 MetaDataRate, 30,884 vs 2 LLiteOpenClose) and (b)
+//! the production-population correlations between CPU_Usage and the
+//! Lustre metrics (paper: −0.11, −0.20, −0.19), and benchmarks the
+//! aggregation/correlation queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tacc_bench::{finished_job, report_header, report_row};
+use tacc_core::population::{simulate_job, PopulationRunner};
+use tacc_jobdb::{Database, Query};
+use tacc_metrics::flags::FlagRules;
+use tacc_metrics::ingest::{ingest_job, JOBS_TABLE};
+use tacc_simnode::apps::AppModel;
+use tacc_simnode::topology::NodeTopology;
+use tacc_tsdb::stats::pearson;
+
+/// WRF population with the bad user at the paper's proportion
+/// (105 of 16,741 ≈ 0.63%), scaled down.
+fn wrf_population(n: u64) -> Database {
+    let topo = NodeTopology::stampede();
+    let rules = FlagRules::default();
+    let mut db = Database::new();
+    let mut rng = StdRng::seed_from_u64(1671);
+    let n_bad = ((n as f64) * 105.0 / 16_741.0).round().max(2.0) as u64;
+    for i in 0..n {
+        let bad = i >= n - n_bad;
+        let model = if bad {
+            AppModel::wrf_metadata_storm()
+        } else {
+            AppModel::wrf()
+        };
+        let n_nodes = if bad { 4 } else { 1 << rng.gen_range(0..5) };
+        let runtime = rng.gen_range(30..480);
+        let mut job = finished_job(i, model, n_nodes, runtime);
+        if bad {
+            job.user = "user9999".to_string();
+            job.uid = 9999;
+        }
+        let interior = (runtime / 10).clamp(3, 24) as usize;
+        let metrics = simulate_job(&job, &topo, interior);
+        ingest_job(&mut db, &job, &metrics, &rules, topo.memory_bytes as f64 / 1e9);
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    report_header("E10 / §V-B", "bad WRF user vs general WRF population");
+    let db = wrf_population(700);
+    let t = db.table(JOBS_TABLE).unwrap();
+    let bad = Query::new(t).filter_kw("user", "user9999");
+    let popn = Query::new(t)
+        .filter_kw("exec", "wrf.exe")
+        .filter_kw("user__ne", "user9999");
+    let b_cpu = bad.avg("CPU_Usage").unwrap().unwrap();
+    let p_cpu = popn.avg("CPU_Usage").unwrap().unwrap();
+    let b_md = bad.avg("MetaDataRate").unwrap().unwrap();
+    let p_md = popn.avg("MetaDataRate").unwrap().unwrap();
+    let b_oc = bad.avg("LLiteOpenClose").unwrap().unwrap();
+    let p_oc = popn.avg("LLiteOpenClose").unwrap().unwrap();
+    report_row("CPU_Usage (user / population)", "67% / 80%",
+        &format!("{:.0}% / {:.0}%", b_cpu * 100.0, p_cpu * 100.0));
+    report_row("MetaDataRate (user / population)", "563,905 / 3,870",
+        &format!("{b_md:.0} / {p_md:.0}"));
+    report_row("LLiteOpenClose (user / population)", "30,884 / 2",
+        &format!("{b_oc:.0} / {p_oc:.0}"));
+    // Shape assertions: degraded CPU, metadata rate ~2 orders above the
+    // population, open/close ~4 orders above.
+    assert!(b_cpu < p_cpu);
+    assert!(b_md / p_md > 50.0, "md ratio {}", b_md / p_md);
+    assert!(b_oc / p_oc.max(0.1) > 1_000.0, "oc ratio {}", b_oc / p_oc);
+
+    report_header("E11 / §V-B", "production-population correlations");
+    let runner = PopulationRunner::q4_2015(1104, 2500);
+    let prod_db = runner.run().db;
+    let pt = prod_db.table(JOBS_TABLE).unwrap();
+    let rows = Query::new(pt)
+        .filter_kw("status", "completed")
+        .filter_kw("queue__ne", "development")
+        .filter_kw("run_time__gte", 3600i64)
+        .rows()
+        .unwrap();
+    println!("  production jobs: {} (paper: 110,438)", rows.len());
+    let col = |name: &str| pt.schema().index_of(name).unwrap();
+    let pairs_of = |metric: &str| -> Vec<(f64, f64)> {
+        rows.iter()
+            .filter_map(|r| {
+                Some((
+                    r.get(col("CPU_Usage")).as_f64()?,
+                    r.get(col(metric)).as_f64()?,
+                ))
+            })
+            .collect()
+    };
+    let mut measured = Vec::new();
+    for (metric, paper) in [("MDCReqs", -0.11), ("OSCReqs", -0.20), ("LnetAveBW", -0.19)] {
+        let r = pearson(&pairs_of(metric)).unwrap();
+        report_row(
+            &format!("corr(CPU_Usage, {metric})"),
+            &format!("{paper:.2}"),
+            &format!("{r:.3}"),
+        );
+        measured.push(r);
+    }
+    // Shape: all negative, |MDC| weakest.
+    assert!(measured.iter().all(|r| *r < 0.0), "{measured:?}");
+    assert!(measured[0].abs() < measured[1].abs());
+    println!();
+
+    let mut g = c.benchmark_group("sec5b");
+    g.bench_function("orm_aggregation_user_vs_population", |b| {
+        b.iter(|| {
+            let bad = Query::new(t).filter_kw("user", "user9999");
+            let popn = Query::new(t)
+                .filter_kw("exec", "wrf.exe")
+                .filter_kw("user__ne", "user9999");
+            (
+                bad.avg("CPU_Usage").unwrap(),
+                popn.avg("MetaDataRate").unwrap(),
+            )
+        })
+    });
+    g.bench_function("correlation_over_production_jobs", |b| {
+        b.iter(|| pearson(&pairs_of("OSCReqs")).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

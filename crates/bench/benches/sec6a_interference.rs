@@ -1,0 +1,78 @@
+//! E13 — §VI-A: time-series interference analysis.
+//!
+//! "A particular user's metadata requests in a particular time interval
+//! from multiple jobs could be related to other users' increased Lustre
+//! operation wait times." Builds a cluster where a storm job runs
+//! mid-window, mirrors the sample stream into the OpenTSDB-substitute,
+//! and correlates the cluster-wide metadata request rate against the
+//! wait-time rate. Benchmarks the tagged aggregation queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tacc_bench::{report_header, report_row, request, t0};
+use tacc_core::config::{Mode, SystemConfig};
+use tacc_core::MonitoringSystem;
+use tacc_simnode::apps::AppModel;
+use tacc_simnode::SimDuration;
+use tacc_tsdb::stats::pearson;
+use tacc_tsdb::{Aggregation, TagFilter};
+
+fn bench(c: &mut Criterion) {
+    report_header("E13 / §VI-A", "cross-job interference via the time-series DB");
+    let mut cfg = SystemConfig::small(6, Mode::daemon());
+    cfg.enable_tsdb = true;
+    let mut sys = MonitoringSystem::new(cfg);
+    // Two healthy jobs plus a storm in the middle hour.
+    sys.enqueue_jobs(vec![
+        (t0(), request(1, AppModel::namd(), 2, 170)),
+        (t0(), request(2, AppModel::wrf(), 2, 170)),
+        (t0() + SimDuration::from_hours(1), {
+            let mut r = request(3, AppModel::wrf_metadata_storm(), 2, 55);
+            r.user = "user9999".to_string();
+            r
+        }),
+    ]);
+    sys.run_until(t0() + SimDuration::from_hours(3));
+    let tsdb = sys.tsdb().unwrap();
+    report_row(
+        "series stored (host×device×event tags)",
+        "tagged series",
+        &tsdb.n_series().to_string(),
+    );
+    let reqs = TagFilter::any().dev_type("mdc").event("reqs");
+    let wait = TagFilter::any().dev_type("mdc").event("wait");
+    let (ts, te) = (t0().as_secs(), t0().as_secs() + 3 * 3600);
+    let pairs = tsdb.aligned((&reqs, Aggregation::Sum), (&wait, Aggregation::Sum), ts, te, 600);
+    let r = pearson(&pairs).unwrap();
+    report_row(
+        "corr(cluster MDC reqs, cluster MDC wait)",
+        "positive (interference)",
+        &format!("{r:.3} over {} windows", pairs.len()),
+    );
+    assert!(r > 0.9);
+    // The storm hour dominates the aggregate.
+    let series = tsdb.aggregate(&reqs, Aggregation::Sum, ts, te, 600);
+    let peak_t = series
+        .iter()
+        .max_by(|a, b| a.v.total_cmp(&b.v))
+        .map(|p| (p.t - ts) / 3600)
+        .unwrap();
+    report_row("hour containing the request peak", "storm hour (2nd)", &format!("hour {}", peak_t + 1));
+    assert_eq!(peak_t, 1);
+    println!();
+
+    let mut g = c.benchmark_group("sec6a");
+    g.bench_function("aggregate_cluster_series_600s_buckets", |b| {
+        b.iter(|| tsdb.aggregate(&reqs, Aggregation::Sum, ts, te, 600))
+    });
+    g.bench_function("aligned_correlation_query", |b| {
+        b.iter(|| {
+            let pairs =
+                tsdb.aligned((&reqs, Aggregation::Sum), (&wait, Aggregation::Sum), ts, te, 600);
+            pearson(&pairs)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

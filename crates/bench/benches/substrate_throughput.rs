@@ -1,0 +1,99 @@
+//! Substrate ablations: throughput of the pieces the paper's deployment
+//! numbers depend on.
+//!
+//! Daemon mode shipped to SDSC's 1,944-node Comet and TACC's 1,278-node
+//! Lonestar 5 — one broker + one consumer must absorb the whole
+//! cluster's sample stream. These benches measure the broker (in-process
+//! and TCP), the raw-file codec, and the database scan, and print the
+//! implied cluster capacity.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bytes::Bytes;
+use tacc_bench::{report_header, report_row};
+use tacc_broker::tcp::{BrokerClient, BrokerServer};
+use tacc_broker::Broker;
+use tacc_collect::discovery::{discover, BuildOptions};
+use tacc_collect::engine::Sampler;
+use tacc_collect::record::RawFile;
+use tacc_simnode::pseudofs::NodeFs;
+use tacc_simnode::topology::NodeTopology;
+use tacc_simnode::workload::NodeDemand;
+use tacc_simnode::{SimDuration, SimNode, SimTime};
+use std::time::Duration;
+
+fn sample_message() -> String {
+    let mut node = SimNode::new("c401-0001", NodeTopology::stampede());
+    node.spawn_process("wrf.exe", 5000, 16, u64::MAX);
+    node.advance(
+        SimDuration::from_secs(600),
+        &NodeDemand {
+            active_cores: 16,
+            cpu_user_frac: 0.8,
+            flops_per_sec: 1e10,
+            mem_bw_bytes_per_sec: 1e9,
+            mem_used_bytes: 8 << 30,
+            ..NodeDemand::default()
+        },
+    );
+    let fs = NodeFs::new(&node);
+    let cfg = discover(&fs, BuildOptions::default()).unwrap();
+    let mut s = Sampler::new("c401-0001", &cfg);
+    let sample = s.sample(&fs, SimTime::from_secs(600), &["3001".to_string()], &[]);
+    RawFile::render_message(s.header(), &sample)
+}
+
+fn bench(c: &mut Criterion) {
+    let msg = sample_message();
+    report_header("ablation", "substrate throughput (cluster-scale feasibility)");
+    report_row(
+        "one daemon message (full node sample)",
+        "-",
+        &format!("{} bytes", msg.len()),
+    );
+
+    // Broker in-process round trip.
+    let mut g = c.benchmark_group("broker");
+    g.throughput(Throughput::Bytes(msg.len() as u64));
+    g.bench_function("publish_consume_ack_inprocess", |b| {
+        let broker = Broker::new();
+        broker.declare("stats");
+        let consumer = broker.consume("stats").unwrap();
+        let payload = Bytes::from(msg.clone());
+        b.iter(|| {
+            broker.publish("stats", "c401-0001", payload.clone());
+            let d = consumer.try_get().unwrap();
+            consumer.ack(d.tag)
+        })
+    });
+    g.bench_function("publish_consume_ack_tcp", |b| {
+        let server = BrokerServer::start(Broker::new()).unwrap();
+        let mut producer = BrokerClient::connect(server.addr()).unwrap();
+        producer.declare("stats").unwrap();
+        let mut consumer = BrokerClient::connect(server.addr()).unwrap();
+        let bytes = msg.as_bytes();
+        b.iter(|| {
+            producer.publish("stats", "c401-0001", bytes).unwrap();
+            let d = consumer
+                .get("stats", Duration::from_millis(500))
+                .unwrap()
+                .unwrap();
+            consumer.ack("stats", d.tag).unwrap();
+        })
+    });
+    g.finish();
+
+    // Raw-file codec (the consumer parses every message).
+    let mut g = c.benchmark_group("raw_format");
+    g.throughput(Throughput::Bytes(msg.len() as u64));
+    g.bench_function("parse_message", |b| {
+        b.iter(|| RawFile::parse(&msg).unwrap())
+    });
+    let parsed = RawFile::parse(&msg).unwrap();
+    g.bench_function("render_message", |b| {
+        b.iter(|| RawFile::render_message(&parsed.header, &parsed.samples[0]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

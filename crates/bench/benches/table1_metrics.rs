@@ -1,0 +1,47 @@
+//! E1 — Table I: the full per-job metric set.
+//!
+//! Regenerates Table I for a reference WRF job (prints every metric with
+//! its unit and definition) and benchmarks the metric pipeline: per-job
+//! collection, streaming accumulation, and finalization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tacc_bench::{finished_job, report_header};
+use tacc_core::population::simulate_job;
+use tacc_metrics::table1::MetricId;
+use tacc_simnode::apps::AppModel;
+use tacc_simnode::topology::NodeTopology;
+
+fn bench(c: &mut Criterion) {
+    let topo = NodeTopology::stampede();
+    let job = finished_job(1, AppModel::wrf(), 4, 120);
+
+    report_header("E1 / Table I", "set of metrics computed for every job");
+    let metrics = simulate_job(&job, &topo, 12);
+    println!("{}", metrics.render_table());
+    let present = MetricId::ALL
+        .iter()
+        .filter(|m| metrics.get(**m).is_some())
+        .count();
+    println!(
+        "{present}/{} Table I metrics computed for the reference job (absent ones\n\
+         correspond to hardware the job's nodes lack).\n",
+        MetricId::ALL.len()
+    );
+    assert!(present >= 25, "reference node type has nearly all hardware");
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    // Full pipeline: simulate nodes + collect + accumulate + finalize.
+    g.bench_function("simulate_and_compute_4node_job", |b| {
+        b.iter(|| simulate_job(&job, &topo, 3))
+    });
+    // A bigger job.
+    let big = finished_job(2, AppModel::namd(), 16, 60);
+    g.bench_function("simulate_and_compute_16node_job", |b| {
+        b.iter(|| simulate_job(&big, &topo, 3))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! # tacc-broker — a minimal message broker (RabbitMQ substitute)
+//!
+//! The paper's new daemon mode (§III-A, Fig. 2) ships every sample from
+//! `tacc_statsd` on each compute node "directly over the Ethernet network
+//! to a RMQ server", where a consumer processes it "as soon as it is
+//! available". RabbitMQ itself is not available offline, so this crate
+//! implements the subset of broker semantics that mode relies on:
+//!
+//! * named, process-lifetime queues ([`Broker::declare`]),
+//! * many concurrent producers ([`Broker::publish`]),
+//! * pull-based consumers with acknowledgement and redelivery
+//!   ([`Consumer::get`], [`Consumer::ack`]) — an unacked message is
+//!   returned to the queue when its consumer disconnects,
+//! * depth/throughput statistics ([`Broker::stats`]),
+//! * an optional real TCP transport ([`tcp::BrokerServer`],
+//!   [`tcp::BrokerClient`]) with a length-prefixed frame protocol, so the
+//!   daemon-mode demo can actually cross a socket.
+//!
+//! The in-process transport is the default for simulations (fast,
+//! deterministic); the TCP transport exists to prove the network path
+//! works end-to-end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+pub mod tcp;
+
+pub use crate::queue::{Broker, BrokerStats, Consumer, Delivery, QueueStats};

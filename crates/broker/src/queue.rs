@@ -1,0 +1,453 @@
+//! In-process broker core: queues, publish, consume, ack, redelivery.
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A message delivered to a consumer. Must be [`Consumer::ack`]ed, or it
+/// is redelivered when the consumer disconnects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Per-queue delivery tag (monotonically increasing).
+    pub tag: u64,
+    /// Routing key the producer attached (e.g. the node hostname).
+    pub routing_key: String,
+    /// Message payload.
+    pub payload: Bytes,
+    /// True if this message was delivered before and requeued.
+    pub redelivered: bool,
+}
+
+#[derive(Debug, Default)]
+struct QueueInner {
+    ready: VecDeque<Delivery>,
+    /// tag → (consumer id, delivery) for in-flight messages.
+    unacked: HashMap<u64, (u64, Delivery)>,
+    next_tag: u64,
+    published: u64,
+    delivered: u64,
+    acked: u64,
+    redelivered: u64,
+}
+
+#[derive(Debug, Default)]
+struct Queue {
+    inner: Mutex<QueueInner>,
+    nonempty: Condvar,
+}
+
+/// Counters for one queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Messages currently waiting for delivery.
+    pub depth: usize,
+    /// Messages delivered but not yet acked.
+    pub in_flight: usize,
+    /// Total messages published.
+    pub published: u64,
+    /// Total deliveries (including redeliveries).
+    pub delivered: u64,
+    /// Total acknowledgements.
+    pub acked: u64,
+    /// Total redeliveries.
+    pub redelivered: u64,
+}
+
+/// Broker-wide statistics.
+#[derive(Clone, Debug, Default)]
+pub struct BrokerStats {
+    /// Per-queue statistics, keyed by queue name.
+    pub queues: HashMap<String, QueueStats>,
+}
+
+impl BrokerStats {
+    /// Total published across all queues.
+    pub fn total_published(&self) -> u64 {
+        self.queues.values().map(|q| q.published).sum()
+    }
+
+    /// Total acked across all queues.
+    pub fn total_acked(&self) -> u64 {
+        self.queues.values().map(|q| q.acked).sum()
+    }
+}
+
+#[derive(Default)]
+struct BrokerInner {
+    queues: HashMap<String, Arc<Queue>>,
+    next_consumer_id: u64,
+}
+
+/// The message broker. Cheap to clone (shared state).
+///
+/// ```
+/// use tacc_broker::Broker;
+/// use bytes::Bytes;
+/// use std::time::Duration;
+///
+/// let broker = Broker::new();
+/// broker.declare("stats");
+/// broker.publish("stats", "c401-0001", Bytes::from_static(b"sample"));
+/// let consumer = broker.consume("stats").unwrap();
+/// let d = consumer.get(Duration::from_millis(10)).unwrap();
+/// assert_eq!(&d.payload[..], b"sample");
+/// assert!(consumer.ack(d.tag));
+/// ```
+#[derive(Clone, Default)]
+pub struct Broker {
+    inner: Arc<Mutex<BrokerInner>>,
+}
+
+impl Broker {
+    /// New empty broker.
+    pub fn new() -> Broker {
+        Broker::default()
+    }
+
+    /// Declare (create if absent) a queue. Idempotent.
+    pub fn declare(&self, queue: &str) {
+        let mut inner = self.inner.lock();
+        inner
+            .queues
+            .entry(queue.to_string())
+            .or_insert_with(|| Arc::new(Queue::default()));
+    }
+
+    fn queue(&self, queue: &str) -> Option<Arc<Queue>> {
+        self.inner.lock().queues.get(queue).cloned()
+    }
+
+    /// Publish a payload to a queue with a routing key. Returns `false`
+    /// if the queue has not been declared (message dropped — matching
+    /// AMQP's behaviour for unroutable messages on a default exchange).
+    pub fn publish(&self, queue: &str, routing_key: &str, payload: Bytes) -> bool {
+        let Some(q) = self.queue(queue) else {
+            return false;
+        };
+        let mut inner = q.inner.lock();
+        let tag = inner.next_tag;
+        inner.next_tag += 1;
+        inner.published += 1;
+        inner.ready.push_back(Delivery {
+            tag,
+            routing_key: routing_key.to_string(),
+            payload,
+            redelivered: false,
+        });
+        drop(inner);
+        q.nonempty.notify_one();
+        true
+    }
+
+    /// Open a consumer on a queue. Returns `None` if the queue does not
+    /// exist.
+    pub fn consume(&self, queue: &str) -> Option<Consumer> {
+        let q = self.queue(queue)?;
+        let id = {
+            let mut inner = self.inner.lock();
+            inner.next_consumer_id += 1;
+            inner.next_consumer_id
+        };
+        Some(Consumer { id, queue: q })
+    }
+
+    /// Snapshot of broker statistics.
+    pub fn stats(&self) -> BrokerStats {
+        let inner = self.inner.lock();
+        let queues = inner
+            .queues
+            .iter()
+            .map(|(name, q)| {
+                let qi = q.inner.lock();
+                (
+                    name.clone(),
+                    QueueStats {
+                        depth: qi.ready.len(),
+                        in_flight: qi.unacked.len(),
+                        published: qi.published,
+                        delivered: qi.delivered,
+                        acked: qi.acked,
+                        redelivered: qi.redelivered,
+                    },
+                )
+            })
+            .collect();
+        BrokerStats { queues }
+    }
+
+    /// Depth of one queue (0 if it does not exist).
+    pub fn depth(&self, queue: &str) -> usize {
+        self.queue(queue).map(|q| q.inner.lock().ready.len()).unwrap_or(0)
+    }
+}
+
+/// A pull-based consumer holding a position on one queue.
+///
+/// Dropping the consumer requeues all its unacknowledged messages (the
+/// reconnect-resilience semantics daemon mode relies on: a crashed
+/// consumer loses nothing that wasn't acked).
+pub struct Consumer {
+    id: u64,
+    queue: Arc<Queue>,
+}
+
+impl Consumer {
+    /// Pop the next message, blocking up to `timeout`. `None` on timeout.
+    pub fn get(&self, timeout: Duration) -> Option<Delivery> {
+        let mut inner = self.queue.inner.lock();
+        if inner.ready.is_empty() {
+            let deadline = std::time::Instant::now() + timeout;
+            while inner.ready.is_empty() {
+                if self
+                    .queue
+                    .nonempty
+                    .wait_until(&mut inner, deadline)
+                    .timed_out()
+                {
+                    break;
+                }
+            }
+        }
+        let d = inner.ready.pop_front()?;
+        inner.delivered += 1;
+        inner.unacked.insert(d.tag, (self.id, d.clone()));
+        Some(d)
+    }
+
+    /// Pop without blocking.
+    pub fn try_get(&self) -> Option<Delivery> {
+        self.get(Duration::from_millis(0))
+    }
+
+    /// Acknowledge a delivery. Returns `false` for unknown tags (already
+    /// acked, or never delivered to this consumer).
+    pub fn ack(&self, tag: u64) -> bool {
+        let mut inner = self.queue.inner.lock();
+        match inner.unacked.get(&tag) {
+            Some((cid, _)) if *cid == self.id => {
+                inner.unacked.remove(&tag);
+                inner.acked += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Negatively acknowledge: requeue the message at the front.
+    pub fn nack(&self, tag: u64) -> bool {
+        let mut inner = self.queue.inner.lock();
+        match inner.unacked.remove(&tag) {
+            Some((cid, mut d)) if cid == self.id => {
+                d.redelivered = true;
+                inner.redelivered += 1;
+                inner.ready.push_front(d);
+                drop(inner);
+                self.queue.nonempty.notify_one();
+                true
+            }
+            Some(entry) => {
+                // Not ours: put it back untouched.
+                let tag = entry.1.tag;
+                inner.unacked.insert(tag, entry);
+                false
+            }
+            None => false,
+        }
+    }
+}
+
+impl Drop for Consumer {
+    fn drop(&mut self) {
+        let mut inner = self.queue.inner.lock();
+        let mine: Vec<u64> = inner
+            .unacked
+            .iter()
+            .filter(|(_, (cid, _))| *cid == self.id)
+            .map(|(tag, _)| *tag)
+            .collect();
+        // Requeue in tag order so ordering is preserved as well as possible.
+        let mut msgs: Vec<Delivery> = mine
+            .into_iter()
+            .filter_map(|t| inner.unacked.remove(&t))
+            .map(|(_, mut d)| {
+                d.redelivered = true;
+                d
+            })
+            .collect();
+        msgs.sort_by_key(|d| d.tag);
+        inner.redelivered += msgs.len() as u64;
+        for d in msgs.into_iter().rev() {
+            inner.ready.push_front(d);
+        }
+        drop(inner);
+        self.queue.nonempty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn payload(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn publish_to_undeclared_queue_fails() {
+        let b = Broker::new();
+        assert!(!b.publish("nope", "k", payload("x")));
+        b.declare("q");
+        assert!(b.publish("q", "k", payload("x")));
+    }
+
+    #[test]
+    fn fifo_delivery_and_ack() {
+        let b = Broker::new();
+        b.declare("q");
+        for i in 0..5 {
+            b.publish("q", "node", payload(&format!("m{i}")));
+        }
+        let c = b.consume("q").unwrap();
+        for i in 0..5 {
+            let d = c.try_get().unwrap();
+            assert_eq!(d.payload, payload(&format!("m{i}")));
+            assert!(!d.redelivered);
+            assert!(c.ack(d.tag));
+            assert!(!c.ack(d.tag), "double ack must fail");
+        }
+        assert!(c.try_get().is_none());
+        let s = b.stats();
+        let q = &s.queues["q"];
+        assert_eq!((q.published, q.delivered, q.acked), (5, 5, 5));
+        assert_eq!(q.depth, 0);
+        assert_eq!(q.in_flight, 0);
+    }
+
+    #[test]
+    fn unacked_messages_requeue_on_disconnect() {
+        let b = Broker::new();
+        b.declare("q");
+        for i in 0..3 {
+            b.publish("q", "node", payload(&format!("m{i}")));
+        }
+        {
+            let c = b.consume("q").unwrap();
+            let d0 = c.try_get().unwrap();
+            let _d1 = c.try_get().unwrap(); // never acked
+            let _d2 = c.try_get().unwrap(); // never acked
+            c.ack(d0.tag);
+            // c dropped here with 2 unacked.
+        }
+        let c2 = b.consume("q").unwrap();
+        let r1 = c2.try_get().unwrap();
+        let r2 = c2.try_get().unwrap();
+        assert!(r1.redelivered && r2.redelivered);
+        assert_eq!(r1.payload, payload("m1"));
+        assert_eq!(r2.payload, payload("m2"));
+        assert_eq!(b.stats().queues["q"].redelivered, 2);
+    }
+
+    #[test]
+    fn nack_requeues_at_front() {
+        let b = Broker::new();
+        b.declare("q");
+        b.publish("q", "n", payload("a"));
+        b.publish("q", "n", payload("b"));
+        let c = b.consume("q").unwrap();
+        let d = c.try_get().unwrap();
+        assert!(c.nack(d.tag));
+        let again = c.try_get().unwrap();
+        assert_eq!(again.payload, payload("a"));
+        assert!(again.redelivered);
+    }
+
+    #[test]
+    fn blocking_get_wakes_on_publish() {
+        let b = Broker::new();
+        b.declare("q");
+        let c = b.consume("q").unwrap();
+        let b2 = b.clone();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            b2.publish("q", "n", payload("late"));
+        });
+        let d = c.get(Duration::from_secs(5)).expect("should wake");
+        assert_eq!(d.payload, payload("late"));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn get_times_out_on_empty_queue() {
+        let b = Broker::new();
+        b.declare("q");
+        let c = b.consume("q").unwrap();
+        let start = std::time::Instant::now();
+        assert!(c.get(Duration::from_millis(20)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let b = Broker::new();
+        b.declare("q");
+        let n_producers = 8;
+        let per = 100;
+        crossbeam::thread::scope(|s| {
+            for p in 0..n_producers {
+                let b = b.clone();
+                s.spawn(move |_| {
+                    for i in 0..per {
+                        b.publish("q", &format!("node{p}"), payload(&format!("{p}:{i}")));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let c = b.consume("q").unwrap();
+        let mut seen = 0;
+        let mut per_key: HashMap<String, Vec<u32>> = HashMap::new();
+        while let Some(d) = c.try_get() {
+            let body = String::from_utf8(d.payload.to_vec()).unwrap();
+            let (_, i) = body.split_once(':').unwrap();
+            per_key
+                .entry(d.routing_key.clone())
+                .or_default()
+                .push(i.parse().unwrap());
+            c.ack(d.tag);
+            seen += 1;
+        }
+        assert_eq!(seen, n_producers * per);
+        // Per-producer FIFO order is preserved.
+        for (_, v) in per_key {
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn consumers_compete_for_messages() {
+        let b = Broker::new();
+        b.declare("q");
+        for i in 0..10 {
+            b.publish("q", "n", payload(&format!("{i}")));
+        }
+        let c1 = b.consume("q").unwrap();
+        let c2 = b.consume("q").unwrap();
+        let mut got = 0;
+        while c1.try_get().map(|d| c1.ack(d.tag)).is_some() {
+            got += 1;
+            if let Some(d) = c2.try_get() {
+                c2.ack(d.tag);
+                got += 1;
+            }
+        }
+        assert_eq!(got, 10);
+        // c2 cannot ack a tag delivered to c1 (simulated cross-ack).
+        b.publish("q", "n", payload("x"));
+        let d = c1.try_get().unwrap();
+        assert!(!c2.ack(d.tag));
+        assert!(c1.ack(d.tag));
+    }
+}

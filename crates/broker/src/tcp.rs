@@ -1,0 +1,367 @@
+//! TCP transport for the broker.
+//!
+//! Daemon mode's value proposition (§III-A) is that samples leave the
+//! node over the *network*, not the shared filesystem. This module gives
+//! the broker a real socket path so the end-to-end demo actually crosses
+//! TCP: a [`BrokerServer`] wraps a [`Broker`] behind a length-prefixed
+//! frame protocol, and [`BrokerClient`] is the node-side connection used
+//! by `tacc_statsd`.
+//!
+//! Frame layout: `u32` big-endian body length, then a 1-byte opcode and
+//! the body. Strings are `u16`-length-prefixed UTF-8.
+
+use crate::queue::{Broker, Consumer, Delivery};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const OP_DECLARE: u8 = 0x01;
+const OP_PUBLISH: u8 = 0x02;
+const OP_GET: u8 = 0x03;
+const OP_ACK: u8 = 0x04;
+const RE_OK: u8 = 0x80;
+const RE_EMPTY: u8 = 0x81;
+const RE_DELIVERY: u8 = 0x82;
+const RE_ERR: u8 = 0xFF;
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> io::Result<String> {
+    if buf.remaining() < 2 {
+        return Err(io::ErrorKind::UnexpectedEof.into());
+    }
+    let len = buf.get_u16() as usize;
+    if buf.remaining() < len {
+        return Err(io::ErrorKind::UnexpectedEof.into());
+    }
+    let s = buf.split_to(len);
+    String::from_utf8(s.to_vec()).map_err(|_| io::ErrorKind::InvalidData.into())
+}
+
+fn write_frame(stream: &mut TcpStream, op: u8, body: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; 5];
+    header[..4].copy_from_slice(&(body.len() as u32 + 1).to_be_bytes());
+    header[4] = op;
+    stream.write_all(&header)?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut TcpStream) -> io::Result<(u8, Bytes)> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len == 0 || len > 64 << 20 {
+        return Err(io::ErrorKind::InvalidData.into());
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    let mut b = Bytes::from(body);
+    let op = b.get_u8();
+    Ok((op, b))
+}
+
+/// A broker exposed on a TCP socket.
+pub struct BrokerServer {
+    broker: Broker,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BrokerServer {
+    /// Start serving `broker` on `127.0.0.1:<ephemeral port>`.
+    pub fn start(broker: Broker) -> io::Result<BrokerServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let broker2 = broker.clone();
+        let accept_thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let broker = broker2.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, broker);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(BrokerServer {
+            broker,
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The wrapped broker (for stats inspection).
+    pub fn broker(&self) -> &Broker {
+        &self.broker
+    }
+}
+
+impl Drop for BrokerServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, broker: Broker) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    // Per-connection consumers; dropped (⇒ redelivery) when the
+    // connection closes.
+    let mut consumers: HashMap<String, Consumer> = HashMap::new();
+    loop {
+        let (op, mut body) = match read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(_) => return Ok(()), // peer closed
+        };
+        match op {
+            OP_DECLARE => {
+                let q = get_str(&mut body)?;
+                broker.declare(&q);
+                write_frame(&mut stream, RE_OK, &[])?;
+            }
+            OP_PUBLISH => {
+                let q = get_str(&mut body)?;
+                let key = get_str(&mut body)?;
+                let ok = broker.publish(&q, &key, body);
+                write_frame(&mut stream, if ok { RE_OK } else { RE_ERR }, &[])?;
+            }
+            OP_GET => {
+                let q = get_str(&mut body)?;
+                if body.remaining() < 4 {
+                    write_frame(&mut stream, RE_ERR, &[])?;
+                    continue;
+                }
+                let timeout_ms = body.get_u32();
+                let consumer = match consumers.entry(q.clone()) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => match broker.consume(&q) {
+                        Some(c) => e.insert(c),
+                        None => {
+                            write_frame(&mut stream, RE_ERR, &[])?;
+                            continue;
+                        }
+                    },
+                };
+                match consumer.get(Duration::from_millis(timeout_ms as u64)) {
+                    Some(d) => {
+                        let mut out = BytesMut::with_capacity(16 + d.payload.len());
+                        out.put_u64(d.tag);
+                        out.put_u8(d.redelivered as u8);
+                        put_str(&mut out, &d.routing_key);
+                        out.put_slice(&d.payload);
+                        write_frame(&mut stream, RE_DELIVERY, &out)?;
+                    }
+                    None => write_frame(&mut stream, RE_EMPTY, &[])?,
+                }
+            }
+            OP_ACK => {
+                let q = get_str(&mut body)?;
+                if body.remaining() < 8 {
+                    write_frame(&mut stream, RE_ERR, &[])?;
+                    continue;
+                }
+                let tag = body.get_u64();
+                let ok = consumers.get(&q).map(|c| c.ack(tag)).unwrap_or(false);
+                write_frame(&mut stream, if ok { RE_OK } else { RE_ERR }, &[])?;
+            }
+            _ => write_frame(&mut stream, RE_ERR, &[])?,
+        }
+    }
+}
+
+/// Client side of the TCP broker protocol.
+pub struct BrokerClient {
+    stream: TcpStream,
+}
+
+impl BrokerClient {
+    /// Connect to a [`BrokerServer`].
+    pub fn connect(addr: SocketAddr) -> io::Result<BrokerClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(BrokerClient { stream })
+    }
+
+    fn roundtrip(&mut self, op: u8, body: &[u8]) -> io::Result<(u8, Bytes)> {
+        write_frame(&mut self.stream, op, body)?;
+        read_frame(&mut self.stream)
+    }
+
+    /// Declare a queue.
+    pub fn declare(&mut self, queue: &str) -> io::Result<()> {
+        let mut b = BytesMut::new();
+        put_str(&mut b, queue);
+        let (re, _) = self.roundtrip(OP_DECLARE, &b)?;
+        if re == RE_OK {
+            Ok(())
+        } else {
+            Err(io::ErrorKind::Other.into())
+        }
+    }
+
+    /// Publish a payload.
+    pub fn publish(&mut self, queue: &str, routing_key: &str, payload: &[u8]) -> io::Result<()> {
+        let mut b = BytesMut::with_capacity(payload.len() + 64);
+        put_str(&mut b, queue);
+        put_str(&mut b, routing_key);
+        b.put_slice(payload);
+        let (re, _) = self.roundtrip(OP_PUBLISH, &b)?;
+        if re == RE_OK {
+            Ok(())
+        } else {
+            Err(io::ErrorKind::NotFound.into())
+        }
+    }
+
+    /// Fetch the next message, waiting up to `timeout` server-side.
+    pub fn get(&mut self, queue: &str, timeout: Duration) -> io::Result<Option<Delivery>> {
+        let mut b = BytesMut::new();
+        put_str(&mut b, queue);
+        b.put_u32(timeout.as_millis().min(u32::MAX as u128) as u32);
+        let (re, mut body) = self.roundtrip(OP_GET, &b)?;
+        match re {
+            RE_DELIVERY => {
+                if body.remaining() < 9 {
+                    return Err(io::ErrorKind::UnexpectedEof.into());
+                }
+                let tag = body.get_u64();
+                let redelivered = body.get_u8() != 0;
+                let routing_key = get_str(&mut body)?;
+                Ok(Some(Delivery {
+                    tag,
+                    routing_key,
+                    payload: body,
+                    redelivered,
+                }))
+            }
+            RE_EMPTY => Ok(None),
+            _ => Err(io::ErrorKind::Other.into()),
+        }
+    }
+
+    /// Acknowledge a delivery.
+    pub fn ack(&mut self, queue: &str, tag: u64) -> io::Result<bool> {
+        let mut b = BytesMut::new();
+        put_str(&mut b, queue);
+        b.put_u64(tag);
+        let (re, _) = self.roundtrip(OP_ACK, &b)?;
+        Ok(re == RE_OK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_roundtrip_publish_consume_ack() {
+        let server = BrokerServer::start(Broker::new()).unwrap();
+        let mut producer = BrokerClient::connect(server.addr()).unwrap();
+        producer.declare("stats").unwrap();
+        producer.publish("stats", "c401-0001", b"sample-1").unwrap();
+        producer.publish("stats", "c401-0002", b"sample-2").unwrap();
+
+        let mut consumer = BrokerClient::connect(server.addr()).unwrap();
+        let d1 = consumer
+            .get("stats", Duration::from_secs(1))
+            .unwrap()
+            .expect("message 1");
+        assert_eq!(&d1.payload[..], b"sample-1");
+        assert_eq!(d1.routing_key, "c401-0001");
+        assert!(consumer.ack("stats", d1.tag).unwrap());
+        let d2 = consumer
+            .get("stats", Duration::from_secs(1))
+            .unwrap()
+            .expect("message 2");
+        assert_eq!(&d2.payload[..], b"sample-2");
+        assert!(consumer.ack("stats", d2.tag).unwrap());
+        assert!(consumer
+            .get("stats", Duration::from_millis(10))
+            .unwrap()
+            .is_none());
+        assert_eq!(server.broker().stats().queues["stats"].acked, 2);
+    }
+
+    #[test]
+    fn publish_to_missing_queue_errors() {
+        let server = BrokerServer::start(Broker::new()).unwrap();
+        let mut c = BrokerClient::connect(server.addr()).unwrap();
+        assert!(c.publish("ghost", "k", b"x").is_err());
+    }
+
+    #[test]
+    fn consumer_disconnect_redelivers_over_tcp() {
+        let server = BrokerServer::start(Broker::new()).unwrap();
+        let mut producer = BrokerClient::connect(server.addr()).unwrap();
+        producer.declare("stats").unwrap();
+        producer.publish("stats", "n", b"precious").unwrap();
+        {
+            let mut c1 = BrokerClient::connect(server.addr()).unwrap();
+            let d = c1.get("stats", Duration::from_secs(1)).unwrap().unwrap();
+            assert_eq!(&d.payload[..], b"precious");
+            // No ack; connection drops.
+        }
+        // Server notices the disconnect when its read fails; the consumer
+        // drop requeues. Poll until redelivered.
+        let mut c2 = BrokerClient::connect(server.addr()).unwrap();
+        let mut redelivered = None;
+        for _ in 0..100 {
+            if let Some(d) = c2.get("stats", Duration::from_millis(50)).unwrap() {
+                redelivered = Some(d);
+                break;
+            }
+        }
+        let d = redelivered.expect("message must be redelivered");
+        assert!(d.redelivered);
+        assert_eq!(&d.payload[..], b"precious");
+    }
+
+    #[test]
+    fn many_tcp_producers() {
+        let server = BrokerServer::start(Broker::new()).unwrap();
+        {
+            let mut c = BrokerClient::connect(server.addr()).unwrap();
+            c.declare("stats").unwrap();
+        }
+        let addr = server.addr();
+        crossbeam::thread::scope(|s| {
+            for p in 0..4 {
+                s.spawn(move |_| {
+                    let mut c = BrokerClient::connect(addr).unwrap();
+                    for i in 0..25 {
+                        c.publish("stats", &format!("node{p}"), format!("{p}:{i}").as_bytes())
+                            .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(server.broker().stats().queues["stats"].published, 100);
+    }
+}

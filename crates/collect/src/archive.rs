@@ -1,0 +1,291 @@
+//! The central raw-stats archive.
+//!
+//! Both operation modes end here: cron mode rsyncs whole day-logs once a
+//! day; daemon mode appends samples as the consumer receives them. The
+//! archive is keyed by `(hostname, day)` like the real
+//! `/scratch/projects/tacc_stats/archive/<host>/<day>` layout, stores the
+//! raw text format, and tracks **data-availability latency** — the time
+//! between a sample's collection and its arrival in the archive — which
+//! is the quantity Fig. 1 vs Fig. 2 trades off.
+
+use crate::record::{ParseError, RawFile, Sample};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use tacc_simnode::{SimDuration, SimTime};
+
+#[derive(Default)]
+struct ArchiveInner {
+    /// (hostname, day-start seconds) → raw file text.
+    files: BTreeMap<(String, u64), String>,
+    /// Collection→availability latencies, one per stored sample.
+    latencies: Vec<SimDuration>,
+}
+
+/// Thread-safe central archive.
+#[derive(Default)]
+pub struct Archive {
+    inner: Mutex<ArchiveInner>,
+}
+
+/// Latency summary over everything stored so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Samples recorded.
+    pub count: usize,
+    /// Mean collection→availability latency in seconds.
+    pub mean_secs: f64,
+    /// Maximum latency in seconds.
+    pub max_secs: f64,
+}
+
+impl Archive {
+    /// New empty archive.
+    pub fn new() -> Archive {
+        Archive::default()
+    }
+
+    /// Store (or append to) the raw file of `host` for the day containing
+    /// `day_start`. `sample_times` are the collection instants of the
+    /// samples in `text`, used for latency accounting against `stored_at`.
+    pub fn append(
+        &self,
+        host: &str,
+        day_start: SimTime,
+        text: &str,
+        sample_times: &[SimTime],
+        stored_at: SimTime,
+    ) {
+        let mut inner = self.inner.lock();
+        let key = (host.to_string(), day_start.as_secs());
+        inner.files.entry(key).or_default().push_str(text);
+        for t in sample_times {
+            inner.latencies.push(stored_at.duration_since(*t));
+        }
+    }
+
+    /// True if a file exists for `(host, day)`.
+    pub fn has_file(&self, host: &str, day_start: SimTime) -> bool {
+        self.inner
+            .lock()
+            .files
+            .contains_key(&(host.to_string(), day_start.as_secs()))
+    }
+
+    /// Raw text of one host-day file.
+    pub fn read(&self, host: &str, day_start: SimTime) -> Option<String> {
+        self.inner
+            .lock()
+            .files
+            .get(&(host.to_string(), day_start.as_secs()))
+            .cloned()
+    }
+
+    /// Parse one host-day file.
+    pub fn parse(&self, host: &str, day_start: SimTime) -> Option<Result<RawFile, ParseError>> {
+        self.read(host, day_start).map(|t| RawFile::parse(&t))
+    }
+
+    /// All `(host, day-start)` keys present.
+    pub fn keys(&self) -> Vec<(String, SimTime)> {
+        self.inner
+            .lock()
+            .files
+            .keys()
+            .map(|(h, d)| (h.clone(), SimTime::from_secs(*d)))
+            .collect()
+    }
+
+    /// Parse every stored file. Panics on parse errors (tests rely on the
+    /// archive containing only well-formed data; production callers use
+    /// [`Archive::parse`] per file).
+    pub fn parse_all(&self) -> Vec<RawFile> {
+        let inner = self.inner.lock();
+        inner
+            .files
+            .iter()
+            .map(|((h, d), text)| {
+                RawFile::parse(text).unwrap_or_else(|e| panic!("archive {h}/{d}: {e}"))
+            })
+            .collect()
+    }
+
+    /// Total samples across all stored files (cheap line scan).
+    pub fn total_samples(&self) -> usize {
+        self.inner.lock().latencies.len()
+    }
+
+    /// Latency summary.
+    pub fn latency_stats(&self) -> LatencyStats {
+        let inner = self.inner.lock();
+        if inner.latencies.is_empty() {
+            return LatencyStats::default();
+        }
+        let secs: Vec<f64> = inner.latencies.iter().map(|d| d.as_secs_f64()).collect();
+        LatencyStats {
+            count: secs.len(),
+            mean_secs: secs.iter().sum::<f64>() / secs.len() as f64,
+            max_secs: secs.iter().cloned().fold(0.0, f64::max),
+        }
+    }
+
+    /// Persist the archive to a directory tree shaped like the real
+    /// deployment's (`<dir>/<hostname>/<day-start-unix-seconds>`).
+    pub fn write_to_dir(&self, dir: &std::path::Path) -> std::io::Result<usize> {
+        let inner = self.inner.lock();
+        let mut written = 0;
+        for ((host, day), text) in &inner.files {
+            let host_dir = dir.join(host);
+            std::fs::create_dir_all(&host_dir)?;
+            std::fs::write(host_dir.join(day.to_string()), text)?;
+            written += 1;
+        }
+        Ok(written)
+    }
+
+    /// Load an archive previously written by [`Archive::write_to_dir`].
+    /// Latency bookkeeping is not reconstructed (files carry no arrival
+    /// times); analyses over the raw data work as usual.
+    pub fn load_from_dir(dir: &std::path::Path) -> std::io::Result<Archive> {
+        let archive = Archive::new();
+        for host_entry in std::fs::read_dir(dir)? {
+            let host_entry = host_entry?;
+            if !host_entry.file_type()?.is_dir() {
+                continue;
+            }
+            let host = host_entry.file_name().to_string_lossy().into_owned();
+            for day_entry in std::fs::read_dir(host_entry.path())? {
+                let day_entry = day_entry?;
+                let Ok(day_secs) = day_entry
+                    .file_name()
+                    .to_string_lossy()
+                    .parse::<u64>()
+                else {
+                    continue;
+                };
+                let text = std::fs::read_to_string(day_entry.path())?;
+                let mut inner = archive.inner.lock();
+                inner.files.insert((host.clone(), day_secs), text);
+            }
+        }
+        Ok(archive)
+    }
+
+    /// Convenience: every sample of every host, with hostname attached,
+    /// sorted by time.
+    pub fn all_samples(&self) -> Vec<(String, Sample)> {
+        let mut out: Vec<(String, Sample)> = Vec::new();
+        for rf in self.parse_all() {
+            for s in rf.samples {
+                out.push((rf.header.hostname.clone(), s));
+            }
+        }
+        out.sort_by_key(|(_, s)| s.time.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::HostHeader;
+    use std::collections::BTreeMap;
+    use tacc_simnode::schema::DeviceType;
+    use tacc_simnode::topology::CpuArch;
+
+    fn tiny_file_text(host: &str, t: u64) -> String {
+        let mut schemas = BTreeMap::new();
+        schemas.insert(DeviceType::Mdc, DeviceType::Mdc.schema(CpuArch::SandyBridge));
+        let h = HostHeader {
+            hostname: host.to_string(),
+            arch: CpuArch::SandyBridge,
+            schemas,
+        };
+        format!("{}{} -\nmdc scratch 5 100\n", h.render(), t)
+    }
+
+    #[test]
+    fn append_and_parse_roundtrip() {
+        let a = Archive::new();
+        let day = SimTime::from_secs(0);
+        a.append(
+            "c1",
+            day,
+            &tiny_file_text("c1", 600),
+            &[SimTime::from_secs(600)],
+            SimTime::from_secs(90_000),
+        );
+        assert!(a.has_file("c1", day));
+        let parsed = a.parse("c1", day).unwrap().unwrap();
+        assert_eq!(parsed.header.hostname, "c1");
+        assert_eq!(parsed.samples.len(), 1);
+        assert_eq!(a.keys().len(), 1);
+        assert_eq!(a.total_samples(), 1);
+    }
+
+    #[test]
+    fn latency_stats_accumulate() {
+        let a = Archive::new();
+        let day = SimTime::from_secs(0);
+        a.append(
+            "c1",
+            day,
+            "",
+            &[SimTime::from_secs(0), SimTime::from_secs(600)],
+            SimTime::from_secs(3600),
+        );
+        let s = a.latency_stats();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_secs, 3600.0);
+        assert_eq!(s.mean_secs, (3600.0 + 3000.0) / 2.0);
+    }
+
+    #[test]
+    fn appending_samples_extends_file() {
+        let a = Archive::new();
+        let day = SimTime::from_secs(0);
+        a.append("c1", day, &tiny_file_text("c1", 600), &[], SimTime::from_secs(600));
+        a.append("c1", day, "1200 -\nmdc scratch 9 900\n", &[], SimTime::from_secs(1200));
+        let parsed = a.parse("c1", day).unwrap().unwrap();
+        assert_eq!(parsed.samples.len(), 2);
+        assert_eq!(parsed.samples[1].devices[0].values, vec![9, 900]);
+    }
+
+    #[test]
+    fn disk_roundtrip_preserves_files() {
+        let a = Archive::new();
+        for (host, t) in [("c1", 600u64), ("c2", 1200)] {
+            a.append(
+                host,
+                SimTime::from_secs(0),
+                &tiny_file_text(host, t),
+                &[SimTime::from_secs(t)],
+                SimTime::from_secs(t + 1),
+            );
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "tacc-archive-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let written = a.write_to_dir(&dir).unwrap();
+        assert_eq!(written, 2);
+        let b = Archive::load_from_dir(&dir).unwrap();
+        assert_eq!(b.keys().len(), 2);
+        assert_eq!(
+            b.read("c1", SimTime::from_secs(0)),
+            a.read("c1", SimTime::from_secs(0))
+        );
+        let parsed = b.parse("c2", SimTime::from_secs(0)).unwrap().unwrap();
+        assert_eq!(parsed.header.hostname, "c2");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_archive_stats() {
+        let a = Archive::new();
+        assert_eq!(a.latency_stats(), LatencyStats::default());
+        assert!(a.parse_all().is_empty());
+        assert!(a.read("x", SimTime::from_secs(0)).is_none());
+    }
+}

@@ -1,0 +1,823 @@
+//! Per-device collectors.
+//!
+//! Each collector reads one device type the way the real tacc_stats does:
+//! core counters and RAPL through binary MSR reads, uncore counters
+//! through PCI configuration space, and everything else by parsing
+//! procfs/sysfs-style text. A collector returns *register values in
+//! schema order*; delta/rollover handling happens downstream in the
+//! metrics pipeline, because raw files must carry raw readings.
+//!
+//! Missing hardware is not an error: §III-B — "if any of these are not
+//! present on a node TACC Stats will execute successfully at run time".
+//! Collectors return an empty vector when their device is absent.
+
+use crate::record::{DeviceRecord, PsRecord};
+use tacc_simnode::node::{
+    UncoreDev, MSR_DRAM_ENERGY_STATUS, MSR_FIXED_CTR0, MSR_FIXED_CTR1, MSR_FIXED_CTR2,
+    MSR_PKG_ENERGY_STATUS, MSR_PMC0, MSR_PP0_ENERGY_STATUS,
+};
+use tacc_simnode::pseudofs::NodeFs;
+use tacc_simnode::schema::DeviceType;
+use tacc_simnode::topology::CpuArch;
+
+/// A collector for one device type.
+pub trait Collector: Send + Sync {
+    /// The device type this collector produces.
+    fn dev_type(&self) -> DeviceType;
+    /// Read every instance of the device. Empty if absent.
+    fn collect(&self, fs: &NodeFs<'_>) -> Vec<DeviceRecord>;
+}
+
+fn rec(dev_type: DeviceType, instance: impl Into<String>, values: Vec<u64>) -> DeviceRecord {
+    DeviceRecord {
+        dev_type,
+        instance: instance.into(),
+        values,
+    }
+}
+
+/// Core hardware counters via MSR reads (`/dev/cpu/<n>/msr` equivalent).
+pub struct CpuCollector {
+    n_cpus: usize,
+    n_programmable: usize,
+}
+
+impl CpuCollector {
+    /// New collector for `n_cpus` logical CPUs on `arch`.
+    pub fn new(n_cpus: usize, arch: CpuArch) -> Self {
+        // Schema: 3 fixed + 4 programmable events (7) on 4-counter archs,
+        // 3 + 6 (9) on 8-counter archs.
+        let n_programmable = DeviceType::Cpu.schema(arch).len() - 3;
+        CpuCollector {
+            n_cpus,
+            n_programmable,
+        }
+    }
+}
+
+impl Collector for CpuCollector {
+    fn dev_type(&self) -> DeviceType {
+        DeviceType::Cpu
+    }
+
+    fn collect(&self, fs: &NodeFs<'_>) -> Vec<DeviceRecord> {
+        let node = fs.node();
+        let mut out = Vec::with_capacity(self.n_cpus);
+        for cpu in 0..self.n_cpus {
+            let mut values = Vec::with_capacity(3 + self.n_programmable);
+            let fixed = [MSR_FIXED_CTR0, MSR_FIXED_CTR1, MSR_FIXED_CTR2];
+            let mut ok = true;
+            for addr in fixed {
+                match node.read_msr(cpu, addr) {
+                    Some(v) => values.push(v),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue; // node down or CPU offline
+            }
+            for i in 0..self.n_programmable {
+                values.push(node.read_msr(cpu, MSR_PMC0 + i as u32).unwrap_or(0));
+            }
+            out.push(rec(DeviceType::Cpu, cpu.to_string(), values));
+        }
+        out
+    }
+}
+
+/// Uncore counters (IMC / QPI / CBo) via PCI configuration space.
+pub struct UncoreCollector {
+    dev: UncoreDev,
+    dev_type: DeviceType,
+    sockets: usize,
+    n_counters: usize,
+}
+
+impl UncoreCollector {
+    /// New uncore collector for one box type.
+    pub fn new(dev: UncoreDev, sockets: usize, arch: CpuArch) -> Self {
+        let dev_type = match dev {
+            UncoreDev::Imc => DeviceType::Imc,
+            UncoreDev::Qpi => DeviceType::Qpi,
+            UncoreDev::Cbo => DeviceType::Cbo,
+        };
+        UncoreCollector {
+            dev,
+            dev_type,
+            sockets,
+            n_counters: dev_type.schema(arch).len(),
+        }
+    }
+}
+
+impl Collector for UncoreCollector {
+    fn dev_type(&self) -> DeviceType {
+        self.dev_type
+    }
+
+    fn collect(&self, fs: &NodeFs<'_>) -> Vec<DeviceRecord> {
+        let node = fs.node();
+        let mut out = Vec::with_capacity(self.sockets);
+        for socket in 0..self.sockets {
+            let mut values = Vec::with_capacity(self.n_counters);
+            for idx in 0..self.n_counters {
+                match node.read_pci_counter(socket, self.dev, idx) {
+                    Some(v) => values.push(v),
+                    None => return out, // device absent / node down
+                }
+            }
+            out.push(rec(self.dev_type, socket.to_string(), values));
+        }
+        out
+    }
+}
+
+/// RAPL energy counters via MSR, one read per socket (through the first
+/// CPU of the socket).
+pub struct RaplCollector {
+    sockets: usize,
+    cpus_per_socket: usize,
+}
+
+impl RaplCollector {
+    /// New RAPL collector.
+    pub fn new(sockets: usize, cpus_per_socket: usize) -> Self {
+        RaplCollector {
+            sockets,
+            cpus_per_socket,
+        }
+    }
+}
+
+impl Collector for RaplCollector {
+    fn dev_type(&self) -> DeviceType {
+        DeviceType::Rapl
+    }
+
+    fn collect(&self, fs: &NodeFs<'_>) -> Vec<DeviceRecord> {
+        let node = fs.node();
+        let mut out = Vec::with_capacity(self.sockets);
+        for socket in 0..self.sockets {
+            let cpu = socket * self.cpus_per_socket;
+            let regs = [
+                MSR_PKG_ENERGY_STATUS,
+                MSR_PP0_ENERGY_STATUS,
+                MSR_DRAM_ENERGY_STATUS,
+            ];
+            let mut values = Vec::with_capacity(3);
+            for addr in regs {
+                match node.read_msr(cpu, addr) {
+                    Some(v) => values.push(v),
+                    None => return out,
+                }
+            }
+            out.push(rec(DeviceType::Rapl, socket.to_string(), values));
+        }
+        out
+    }
+}
+
+/// `/proc/stat` CPU time accounting.
+pub struct CpustatCollector;
+
+impl Collector for CpustatCollector {
+    fn dev_type(&self) -> DeviceType {
+        DeviceType::Cpustat
+    }
+
+    fn collect(&self, fs: &NodeFs<'_>) -> Vec<DeviceRecord> {
+        let Some(text) = fs.read("/proc/stat") else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for line in text.lines() {
+            // Per-CPU lines are "cpu<N> user nice system idle iowait …";
+            // skip the aggregate "cpu " line.
+            let Some(rest) = line.strip_prefix("cpu") else {
+                continue;
+            };
+            let mut toks = rest.split_whitespace();
+            let Some(first) = toks.next() else { continue };
+            let Ok(_cpu_idx) = first.parse::<usize>() else {
+                continue; // aggregate line: first token is "user" count
+            };
+            let values: Vec<u64> = toks.take(5).filter_map(|t| t.parse().ok()).collect();
+            if values.len() == 5 {
+                out.push(rec(DeviceType::Cpustat, first, values));
+            }
+        }
+        out
+    }
+}
+
+/// Per-NUMA-node memory from `/sys/devices/system/node/node*/meminfo`.
+pub struct MemCollector;
+
+impl Collector for MemCollector {
+    fn dev_type(&self) -> DeviceType {
+        DeviceType::Mem
+    }
+
+    fn collect(&self, fs: &NodeFs<'_>) -> Vec<DeviceRecord> {
+        let mut out = Vec::new();
+        for node_dir in fs.list("/sys/devices/system/node") {
+            let Some(idx) = node_dir.strip_prefix("node") else {
+                continue;
+            };
+            let Some(text) = fs.read(&format!("/sys/devices/system/node/{node_dir}/meminfo"))
+            else {
+                continue;
+            };
+            let mut total = 0u64;
+            let mut used = 0u64;
+            let mut file = 0u64;
+            let mut anon = 0u64;
+            for line in text.lines() {
+                // "Node 0 MemTotal:  33554432 kB"
+                let mut toks = line.split_whitespace();
+                let (Some(_node), Some(_idx), Some(key), Some(val)) =
+                    (toks.next(), toks.next(), toks.next(), toks.next())
+                else {
+                    continue;
+                };
+                let Ok(v) = val.parse::<u64>() else { continue };
+                match key {
+                    "MemTotal:" => total = v,
+                    "MemUsed:" => used = v,
+                    "FilePages:" => file = v,
+                    "AnonPages:" => anon = v,
+                    _ => {}
+                }
+            }
+            out.push(rec(DeviceType::Mem, idx, vec![total, used, file, anon]));
+        }
+        out
+    }
+}
+
+/// Ethernet counters from `/proc/net/dev`.
+pub struct NetCollector;
+
+impl Collector for NetCollector {
+    fn dev_type(&self) -> DeviceType {
+        DeviceType::Net
+    }
+
+    fn collect(&self, fs: &NodeFs<'_>) -> Vec<DeviceRecord> {
+        let Some(text) = fs.read("/proc/net/dev") else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for line in text.lines().skip(2) {
+            let Some((iface, rest)) = line.split_once(':') else {
+                continue;
+            };
+            let iface = iface.trim();
+            if iface == "lo" {
+                continue;
+            }
+            let f: Vec<u64> = rest
+                .split_whitespace()
+                .filter_map(|t| t.parse().ok())
+                .collect();
+            // Fields: rx_bytes rx_packets … (8 rx fields) tx_bytes tx_packets …
+            if f.len() >= 10 {
+                out.push(rec(
+                    DeviceType::Net,
+                    iface,
+                    vec![f[0], f[1], f[8], f[9]],
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Infiniband port counters from sysfs.
+pub struct IbCollector;
+
+impl Collector for IbCollector {
+    fn dev_type(&self) -> DeviceType {
+        DeviceType::Ib
+    }
+
+    fn collect(&self, fs: &NodeFs<'_>) -> Vec<DeviceRecord> {
+        let mut out = Vec::new();
+        for hca in fs.list("/sys/class/infiniband") {
+            let port = 1; // all our HCAs are single-port
+            let mut values = Vec::with_capacity(4);
+            let mut ok = true;
+            for counter in [
+                "port_xmit_data",
+                "port_rcv_data",
+                "port_xmit_pkts",
+                "port_rcv_pkts",
+            ] {
+                let path =
+                    format!("/sys/class/infiniband/{hca}/ports/{port}/counters/{counter}");
+                match fs.read(&path).and_then(|t| t.trim().parse().ok()) {
+                    Some(v) => values.push(v),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                out.push(rec(DeviceType::Ib, format!("{hca}/{port}"), values));
+            }
+        }
+        out
+    }
+}
+
+/// Parse a Lustre `stats` file into (name → (count, sum)) pairs.
+///
+/// Lines look like `open 123 samples [regs]` (count only) or
+/// `read_bytes 4 samples [bytes] 0 1048576 4194304` (count, min, max, sum).
+fn parse_lustre_stats(text: &str) -> Vec<(String, u64, u64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() < 4 || toks[0] == "snapshot_time" {
+            continue;
+        }
+        let Ok(count) = toks[1].parse::<u64>() else {
+            continue;
+        };
+        let sum = if toks.len() >= 7 {
+            toks[6].parse::<u64>().unwrap_or(0)
+        } else {
+            0
+        };
+        out.push((toks[0].to_string(), count, sum));
+    }
+    out
+}
+
+fn lustre_lookup(stats: &[(String, u64, u64)], name: &str) -> (u64, u64) {
+    stats
+        .iter()
+        .find(|(n, _, _)| n == name)
+        .map(|(_, c, s)| (*c, *s))
+        .unwrap_or((0, 0))
+}
+
+/// Lustre client (llite) statistics per filesystem.
+pub struct LliteCollector;
+
+impl Collector for LliteCollector {
+    fn dev_type(&self) -> DeviceType {
+        DeviceType::Llite
+    }
+
+    fn collect(&self, fs: &NodeFs<'_>) -> Vec<DeviceRecord> {
+        let mut out = Vec::new();
+        for dir in fs.list("/proc/fs/lustre/llite") {
+            let Some(text) = fs.read(&format!("/proc/fs/lustre/llite/{dir}/stats")) else {
+                continue;
+            };
+            let fsname = dir.split('-').next().unwrap_or(&dir).to_string();
+            let stats = parse_lustre_stats(&text);
+            let values = vec![
+                lustre_lookup(&stats, "read_bytes").1,
+                lustre_lookup(&stats, "write_bytes").1,
+                lustre_lookup(&stats, "open").0,
+                lustre_lookup(&stats, "close").0,
+                lustre_lookup(&stats, "getattr").0,
+                lustre_lookup(&stats, "statfs").0,
+                lustre_lookup(&stats, "seek").0,
+                lustre_lookup(&stats, "fsync").0,
+            ];
+            out.push(rec(DeviceType::Llite, fsname, values));
+        }
+        out
+    }
+}
+
+/// Lustre metadata-client statistics.
+pub struct MdcCollector;
+
+impl Collector for MdcCollector {
+    fn dev_type(&self) -> DeviceType {
+        DeviceType::Mdc
+    }
+
+    fn collect(&self, fs: &NodeFs<'_>) -> Vec<DeviceRecord> {
+        let mut out = Vec::new();
+        for dir in fs.list("/proc/fs/lustre/mdc") {
+            let Some(text) = fs.read(&format!("/proc/fs/lustre/mdc/{dir}/stats")) else {
+                continue;
+            };
+            let fsname = dir.split('-').next().unwrap_or(&dir).to_string();
+            let stats = parse_lustre_stats(&text);
+            let (reqs, wait) = lustre_lookup(&stats, "req_waittime");
+            out.push(rec(DeviceType::Mdc, fsname, vec![reqs, wait]));
+        }
+        out
+    }
+}
+
+/// Lustre object-storage-client statistics.
+pub struct OscCollector;
+
+impl Collector for OscCollector {
+    fn dev_type(&self) -> DeviceType {
+        DeviceType::Osc
+    }
+
+    fn collect(&self, fs: &NodeFs<'_>) -> Vec<DeviceRecord> {
+        let mut out = Vec::new();
+        for dir in fs.list("/proc/fs/lustre/osc") {
+            let Some(text) = fs.read(&format!("/proc/fs/lustre/osc/{dir}/stats")) else {
+                continue;
+            };
+            let fsname = dir.split('-').next().unwrap_or(&dir).to_string();
+            let stats = parse_lustre_stats(&text);
+            let (reqs, wait) = lustre_lookup(&stats, "req_waittime");
+            let values = vec![
+                reqs,
+                wait,
+                lustre_lookup(&stats, "read_bytes").1,
+                lustre_lookup(&stats, "write_bytes").1,
+            ];
+            out.push(rec(DeviceType::Osc, fsname, values));
+        }
+        out
+    }
+}
+
+/// Lustre networking statistics from `/proc/sys/lnet/stats`.
+pub struct LnetCollector;
+
+impl Collector for LnetCollector {
+    fn dev_type(&self) -> DeviceType {
+        DeviceType::Lnet
+    }
+
+    fn collect(&self, fs: &NodeFs<'_>) -> Vec<DeviceRecord> {
+        let Some(text) = fs.read("/proc/sys/lnet/stats") else {
+            return Vec::new();
+        };
+        let f: Vec<u64> = text
+            .split_whitespace()
+            .filter_map(|t| t.parse().ok())
+            .collect();
+        // Real layout: msgs_alloc msgs_max errors send_count recv_count
+        //              route_count drop_count send_length recv_length …
+        if f.len() < 9 {
+            return Vec::new();
+        }
+        vec![rec(
+            DeviceType::Lnet,
+            "lnet",
+            vec![f[7], f[8], f[3], f[4]],
+        )]
+    }
+}
+
+/// Xeon Phi utilization, read from the host (§III-B item 2).
+pub struct MicCollector;
+
+impl Collector for MicCollector {
+    fn dev_type(&self) -> DeviceType {
+        DeviceType::Mic
+    }
+
+    fn collect(&self, fs: &NodeFs<'_>) -> Vec<DeviceRecord> {
+        let mut out = Vec::new();
+        for card in fs.list("/sys/class/mic") {
+            let Some(text) = fs.read(&format!("/sys/class/mic/{card}/stats")) else {
+                continue;
+            };
+            let mut user = 0u64;
+            let mut sys = 0u64;
+            let mut idle = 0u64;
+            for line in text.lines() {
+                let mut toks = line.split_whitespace();
+                let (Some(k), Some(v)) = (toks.next(), toks.next()) else {
+                    continue;
+                };
+                let Ok(v) = v.parse::<u64>() else { continue };
+                match k {
+                    "user_sum" => user = v,
+                    "sys_sum" => sys = v,
+                    "idle_sum" => idle = v,
+                    _ => {}
+                }
+            }
+            out.push(rec(DeviceType::Mic, card, vec![user, sys, idle]));
+        }
+        out
+    }
+}
+
+/// Per-process collection from procfs (§III-B item 4): executable names,
+/// memory sizes and high-water marks, locked memory, segment sizes,
+/// thread counts, and affinities.
+pub struct PsCollector;
+
+impl PsCollector {
+    /// Collect the process table. Separate from [`Collector`] because ps
+    /// records are structured (pid/comm/uid), not plain value vectors.
+    pub fn collect_ps(&self, fs: &NodeFs<'_>) -> Vec<PsRecord> {
+        let mut out = Vec::new();
+        for pid_s in fs.list("/proc") {
+            let Ok(pid) = pid_s.parse::<u32>() else {
+                continue;
+            };
+            let Some(status) = fs.read(&format!("/proc/{pid}/status")) else {
+                continue; // raced with process exit
+            };
+            let mut comm = String::new();
+            let mut uid = 0u32;
+            let mut fields: std::collections::HashMap<&str, u64> =
+                std::collections::HashMap::new();
+            for line in status.lines() {
+                let Some((key, val)) = line.split_once(':') else {
+                    continue;
+                };
+                let val = val.trim();
+                match key {
+                    "Name" => comm = val.to_string(),
+                    "Uid" => {
+                        uid = val
+                            .split_whitespace()
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .unwrap_or(0)
+                    }
+                    "Threads" => {
+                        fields.insert("Threads", val.parse().unwrap_or(0));
+                    }
+                    "Cpus_allowed" => {
+                        fields.insert(
+                            "Cpus_allowed",
+                            u64::from_str_radix(val, 16).unwrap_or(0),
+                        );
+                    }
+                    "Mems_allowed" => {
+                        fields.insert(
+                            "Mems_allowed",
+                            u64::from_str_radix(val, 16).unwrap_or(0),
+                        );
+                    }
+                    k if k.starts_with("Vm") => {
+                        let n = val
+                            .split_whitespace()
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .unwrap_or(0);
+                        match k {
+                            "VmSize" => fields.insert("VmSize", n),
+                            "VmHWM" => fields.insert("VmHWM", n),
+                            "VmRSS" => fields.insert("VmRSS", n),
+                            "VmLck" => fields.insert("VmLck", n),
+                            "VmData" => fields.insert("VmData", n),
+                            "VmStk" => fields.insert("VmStk", n),
+                            "VmExe" => fields.insert("VmExe", n),
+                            _ => None,
+                        };
+                    }
+                    _ => {}
+                }
+            }
+            // utime from /proc/<pid>/stat, field 14 (1-based).
+            let utime = fs
+                .read(&format!("/proc/{pid}/stat"))
+                .and_then(|s| {
+                    s.split_whitespace()
+                        .nth(13)
+                        .and_then(|t| t.parse::<u64>().ok())
+                })
+                .unwrap_or(0);
+            let g = |k: &str| fields.get(k).copied().unwrap_or(0);
+            out.push(PsRecord {
+                pid,
+                comm,
+                uid,
+                values: vec![
+                    g("VmSize"),
+                    g("VmHWM"),
+                    g("VmRSS"),
+                    g("VmLck"),
+                    g("VmData"),
+                    g("VmStk"),
+                    g("VmExe"),
+                    g("Threads"),
+                    utime,
+                    g("Cpus_allowed"),
+                    g("Mems_allowed"),
+                ],
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_simnode::topology::NodeTopology;
+    use tacc_simnode::workload::{LustreDemand, NodeDemand};
+    use tacc_simnode::{SimDuration, SimNode};
+
+    fn running_node() -> SimNode {
+        let mut n = SimNode::new("c401-0001", NodeTopology::stampede());
+        n.spawn_process("wrf.exe", 5000, 16, 0xFFFF);
+        let d = NodeDemand {
+            active_cores: 16,
+            cpu_user_frac: 0.8,
+            flops_per_sec: 5e10,
+            vector_frac: 0.6,
+            mem_bw_bytes_per_sec: 2e10,
+            mem_used_bytes: 8 << 30,
+            ib_bytes_per_sec: 1e8,
+            gige_bytes_per_sec: 2e4,
+            mic_user_frac: 0.2,
+            lustre: vec![LustreDemand {
+                mdc_reqs_per_sec: 50.0,
+                mdc_wait_us: 200.0,
+                osc_reqs_per_sec: 20.0,
+                osc_wait_us: 1000.0,
+                opens_per_sec: 2.0,
+                getattr_per_sec: 10.0,
+                read_bytes_per_sec: 3e6,
+                write_bytes_per_sec: 7e6,
+            }],
+            ..NodeDemand::default()
+        };
+        n.advance(SimDuration::from_secs(600), &d);
+        n
+    }
+
+    #[test]
+    fn cpu_collector_reads_all_cpus() {
+        let n = running_node();
+        let fs = NodeFs::new(&n);
+        let c = CpuCollector::new(16, CpuArch::SandyBridge);
+        let recs = c.collect(&fs);
+        assert_eq!(recs.len(), 16);
+        assert!(recs.iter().all(|r| r.values.len() == 9));
+        assert!(recs[0].values[0] > 0, "instructions should be nonzero");
+        // Matches ground truth.
+        assert_eq!(
+            recs[3].values,
+            n.devices(DeviceType::Cpu)[3].read_all(),
+        );
+    }
+
+    #[test]
+    fn uncore_collectors_read_sockets() {
+        let n = running_node();
+        let fs = NodeFs::new(&n);
+        for (dev, dt) in [
+            (UncoreDev::Imc, DeviceType::Imc),
+            (UncoreDev::Qpi, DeviceType::Qpi),
+            (UncoreDev::Cbo, DeviceType::Cbo),
+        ] {
+            let c = UncoreCollector::new(dev, 2, CpuArch::SandyBridge);
+            let recs = c.collect(&fs);
+            assert_eq!(recs.len(), 2, "{dt:?}");
+            assert_eq!(recs[0].values, n.devices(dt)[0].read_all());
+        }
+    }
+
+    #[test]
+    fn rapl_collector_reads_both_sockets() {
+        let n = running_node();
+        let fs = NodeFs::new(&n);
+        let recs = RaplCollector::new(2, 8).collect(&fs);
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].values[0] > 0);
+        assert_eq!(recs[1].values, n.devices(DeviceType::Rapl)[1].read_all());
+    }
+
+    #[test]
+    fn cpustat_parses_proc_stat() {
+        let n = running_node();
+        let fs = NodeFs::new(&n);
+        let recs = CpustatCollector.collect(&fs);
+        assert_eq!(recs.len(), 16); // aggregate line excluded
+        assert_eq!(recs[0].instance, "0");
+        assert_eq!(recs[0].values, n.devices(DeviceType::Cpustat)[0].read_all());
+    }
+
+    #[test]
+    fn mem_collector_reads_numa_nodes() {
+        let n = running_node();
+        let fs = NodeFs::new(&n);
+        let recs = MemCollector.collect(&fs);
+        assert_eq!(recs.len(), 2);
+        // MemTotal per socket = 16 GiB in KiB.
+        assert_eq!(recs[0].values[0], 16 * 1024 * 1024);
+        assert!(recs[0].values[1] > 0, "MemUsed");
+    }
+
+    #[test]
+    fn net_collector_parses_counters() {
+        let n = running_node();
+        let fs = NodeFs::new(&n);
+        let recs = NetCollector.collect(&fs);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].instance, "eth0");
+        assert_eq!(recs[0].values, n.devices(DeviceType::Net)[0].read_all());
+    }
+
+    #[test]
+    fn ib_collector_reads_port_counters() {
+        let n = running_node();
+        let fs = NodeFs::new(&n);
+        let recs = IbCollector.collect(&fs);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].instance, "mlx4_0/1");
+        assert_eq!(recs[0].values, n.devices(DeviceType::Ib)[0].read_all());
+    }
+
+    #[test]
+    fn lustre_collectors_parse_stats_files() {
+        let n = running_node();
+        let fs = NodeFs::new(&n);
+        let llite = LliteCollector.collect(&fs);
+        assert_eq!(llite.len(), 2);
+        assert_eq!(llite[0].instance, "scratch");
+        assert_eq!(llite[0].values, n.devices(DeviceType::Llite)[0].read_all());
+        let mdc = MdcCollector.collect(&fs);
+        assert_eq!(mdc[0].values, n.devices(DeviceType::Mdc)[0].read_all());
+        let osc = OscCollector.collect(&fs);
+        assert_eq!(osc[0].values, n.devices(DeviceType::Osc)[0].read_all());
+        let lnet = LnetCollector.collect(&fs);
+        assert_eq!(lnet[0].values, n.devices(DeviceType::Lnet)[0].read_all());
+    }
+
+    #[test]
+    fn mic_collector_reads_cards() {
+        let n = running_node();
+        let fs = NodeFs::new(&n);
+        let recs = MicCollector.collect(&fs);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].instance, "mic0");
+        assert!(recs[0].values[0] > 0, "user_sum after activity");
+    }
+
+    #[test]
+    fn ps_collector_reads_process_table() {
+        let n = running_node();
+        let fs = NodeFs::new(&n);
+        let ps = PsCollector.collect_ps(&fs);
+        assert_eq!(ps.len(), 1);
+        let p = &ps[0];
+        assert_eq!(p.comm, "wrf.exe");
+        assert_eq!(p.uid, 5000);
+        assert_eq!(p.values.len(), 11);
+        assert!(p.values[1] >= p.values[2], "HWM >= RSS");
+        assert_eq!(p.values[7], 16, "threads");
+        assert!(p.values[8] > 0, "utime");
+        assert_eq!(p.values[9], 0xFFFF, "cpu affinity mask");
+        assert!(p.values[10] > 0, "mem affinity mask");
+    }
+
+    #[test]
+    fn collectors_tolerate_missing_hardware() {
+        let topo = NodeTopology {
+            has_infiniband: false,
+            mic_cards: 0,
+            lustre_filesystems: vec![],
+            ..NodeTopology::stampede()
+        };
+        let n = SimNode::new("bare", topo);
+        let fs = NodeFs::new(&n);
+        assert!(IbCollector.collect(&fs).is_empty());
+        assert!(MicCollector.collect(&fs).is_empty());
+        assert!(LliteCollector.collect(&fs).is_empty());
+        assert!(MdcCollector.collect(&fs).is_empty());
+        assert!(OscCollector.collect(&fs).is_empty());
+        assert!(LnetCollector.collect(&fs).is_empty());
+        // Present hardware still collects.
+        assert_eq!(CpustatCollector.collect(&fs).len(), 16);
+    }
+
+    #[test]
+    fn collectors_tolerate_crashed_node() {
+        let mut n = running_node();
+        n.crash();
+        let fs = NodeFs::new(&n);
+        assert!(CpuCollector::new(16, CpuArch::SandyBridge).collect(&fs).is_empty());
+        assert!(CpustatCollector.collect(&fs).is_empty());
+        assert!(PsCollector.collect_ps(&fs).is_empty());
+    }
+
+    #[test]
+    fn lustre_stats_parser_handles_both_line_shapes() {
+        let text = "snapshot_time 0.0 secs.usecs\n\
+                    open 42 samples [regs]\n\
+                    read_bytes 3 samples [bytes] 0 99 12345\n";
+        let stats = parse_lustre_stats(text);
+        assert_eq!(lustre_lookup(&stats, "open"), (42, 0));
+        assert_eq!(lustre_lookup(&stats, "read_bytes"), (3, 12345));
+        assert_eq!(lustre_lookup(&stats, "absent"), (0, 0));
+    }
+}

@@ -1,0 +1,317 @@
+//! The daemon operation mode — `tacc_statsd` (§III-A, Fig. 2).
+//!
+//! "A TACC Stats daemon, tacc_statsd, was implemented that runs on each
+//! node and relies on the system call sleep() to induce data collection
+//! and RabbitMQ to send data directly over the Ethernet network to a RMQ
+//! server."
+//!
+//! [`TaccStatsd::tick`] is the sleep-loop body, driven in simulated time;
+//! each collection is rendered as a self-contained message (header + one
+//! sample) and published to the broker queue with the hostname as the
+//! routing key.
+//!
+//! The §VI-C shared-node scheme also lands here: process start/stop
+//! signals ([`TaccStatsd::signal`]) trigger extra collections. "At
+//! present, up to one signal can be captured while another signal is
+//! still being processed" — one pending slot; signals arriving while the
+//! ~0.09 s collection window is busy *and* the slot is full are missed
+//! until the next collection.
+
+use crate::engine::Sampler;
+use crate::record::RawFile;
+use bytes::Bytes;
+use tacc_broker::Broker;
+use tacc_simnode::pseudofs::NodeFs;
+use tacc_simnode::{SimDuration, SimTime};
+
+/// Where the daemon publishes samples.
+pub trait Publisher: Send {
+    /// Publish one rendered message. Returns `false` on failure (broker
+    /// unreachable / queue missing).
+    fn publish(&mut self, queue: &str, routing_key: &str, payload: Bytes) -> bool;
+}
+
+/// In-process broker transport (the default for simulations).
+pub struct LocalPublisher(pub Broker);
+
+impl Publisher for LocalPublisher {
+    fn publish(&mut self, queue: &str, routing_key: &str, payload: Bytes) -> bool {
+        self.0.publish(queue, routing_key, payload)
+    }
+}
+
+/// TCP transport (the end-to-end network demo).
+pub struct TcpPublisher(pub tacc_broker::tcp::BrokerClient);
+
+impl Publisher for TcpPublisher {
+    fn publish(&mut self, queue: &str, routing_key: &str, payload: Bytes) -> bool {
+        self.0.publish(queue, routing_key, &payload).is_ok()
+    }
+}
+
+/// Outcome of a process start/stop signal (§VI-C).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignalOutcome {
+    /// The daemon was idle: collection performed immediately.
+    Collected,
+    /// The daemon was busy; the signal occupies the single pending slot
+    /// and will be processed when the current collection finishes.
+    Queued,
+    /// Busy and the pending slot was already full: the event is missed
+    /// ("they will be missed until the next data collection").
+    Missed,
+}
+
+/// Per-node daemon state.
+pub struct TaccStatsd {
+    sampler: Sampler,
+    interval: SimDuration,
+    queue: String,
+    publisher: Box<dyn Publisher>,
+    next_sample: SimTime,
+    jobids: Vec<String>,
+    pending_signal: Option<String>,
+    /// Messages successfully published.
+    pub published: u64,
+    /// Publish failures (broker unreachable).
+    pub publish_failures: u64,
+    /// Signals missed because the pending slot was full.
+    pub missed_signals: u64,
+}
+
+impl TaccStatsd {
+    /// New daemon publishing to `queue`, sampling every `interval`,
+    /// starting at `start`.
+    pub fn new(
+        sampler: Sampler,
+        interval: SimDuration,
+        queue: &str,
+        publisher: Box<dyn Publisher>,
+        start: SimTime,
+    ) -> TaccStatsd {
+        TaccStatsd {
+            sampler,
+            interval,
+            queue: queue.to_string(),
+            publisher,
+            next_sample: start,
+            jobids: Vec::new(),
+            pending_signal: None,
+            published: 0,
+            publish_failures: 0,
+            missed_signals: 0,
+        }
+    }
+
+    /// The sampler (overhead accounting, busy window).
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
+    }
+
+    /// Update the set of jobs running on this node.
+    pub fn set_jobs(&mut self, jobids: Vec<String>) {
+        self.jobids = jobids;
+    }
+
+    fn collect_and_publish(&mut self, fs: &NodeFs<'_>, now: SimTime, marks: &[String]) {
+        let sample = self.sampler.sample(fs, now, &self.jobids, marks);
+        let msg = RawFile::render_message(self.sampler.header(), &sample);
+        let host = self.sampler.header().hostname.clone();
+        if self.publisher.publish(&self.queue, &host, Bytes::from(msg)) {
+            self.published += 1;
+        } else {
+            self.publish_failures += 1;
+        }
+    }
+
+    /// Scheduler-driven collection with a mark (prolog/epilog).
+    pub fn collect_marked(&mut self, fs: &NodeFs<'_>, now: SimTime, mark: &str) {
+        self.collect_and_publish(fs, now, &[mark.to_string()]);
+    }
+
+    /// A process start/stop signal from the LD_PRELOAD shim (§VI-C).
+    ///
+    /// The mark is `procstart <pid> <comm>` or `procend <pid> <comm>`.
+    pub fn signal(&mut self, fs: &NodeFs<'_>, now: SimTime, mark: &str) -> SignalOutcome {
+        if self.sampler.is_busy(now) {
+            if self.pending_signal.is_none() {
+                self.pending_signal = Some(mark.to_string());
+                SignalOutcome::Queued
+            } else {
+                self.missed_signals += 1;
+                SignalOutcome::Missed
+            }
+        } else {
+            self.collect_and_publish(fs, now, &[mark.to_string()]);
+            SignalOutcome::Collected
+        }
+    }
+
+    /// Sleep-loop body: fire any due interval collections and drain a
+    /// pending signal once the busy window has passed.
+    pub fn tick(&mut self, fs: &NodeFs<'_>, now: SimTime) {
+        // Pending signal processed as soon as the previous collection
+        // finishes.
+        if let Some(mark) = self.pending_signal.take() {
+            if !self.sampler.is_busy(now) {
+                self.collect_and_publish(fs, now, &[mark]);
+            } else {
+                self.pending_signal = Some(mark);
+            }
+        }
+        while self.next_sample <= now {
+            let t = self.next_sample;
+            self.collect_and_publish(fs, t, &[]);
+            self.next_sample = self.next_sample + self.interval;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::{discover, BuildOptions};
+    use std::time::Duration;
+    use tacc_simnode::topology::NodeTopology;
+    use tacc_simnode::SimNode;
+
+    fn daemon_with_broker(start: SimTime) -> (SimNode, TaccStatsd, Broker) {
+        let node = SimNode::new("c401-0001", NodeTopology::stampede());
+        let fs = NodeFs::new(&node);
+        let cfg = discover(&fs, BuildOptions::default()).unwrap();
+        let sampler = Sampler::new("c401-0001", &cfg);
+        let broker = Broker::new();
+        broker.declare("stats");
+        let d = TaccStatsd::new(
+            sampler,
+            SimDuration::from_mins(10),
+            "stats",
+            Box::new(LocalPublisher(broker.clone())),
+            start,
+        );
+        (node, d, broker)
+    }
+
+    #[test]
+    fn interval_collections_publish_immediately() {
+        let (node, mut d, broker) = daemon_with_broker(SimTime::from_secs(0));
+        let fs = NodeFs::new(&node);
+        d.set_jobs(vec!["3001".to_string()]);
+        for t in [0u64, 600, 1200, 1800] {
+            d.tick(&fs, SimTime::from_secs(t));
+        }
+        assert_eq!(d.published, 4);
+        assert_eq!(broker.depth("stats"), 4);
+        // Messages are self-contained parseable raw files.
+        let c = broker.consume("stats").unwrap();
+        let msg = c.get(Duration::from_millis(10)).unwrap();
+        let rf = RawFile::parse(std::str::from_utf8(&msg.payload).unwrap()).unwrap();
+        assert_eq!(rf.header.hostname, "c401-0001");
+        assert_eq!(rf.samples.len(), 1);
+        assert_eq!(rf.samples[0].jobids, vec!["3001"]);
+        assert_eq!(msg.routing_key, "c401-0001");
+    }
+
+    #[test]
+    fn publish_failure_counted_when_queue_missing() {
+        let node = SimNode::new("c401-0001", NodeTopology::stampede());
+        let fs = NodeFs::new(&node);
+        let cfg = discover(&fs, BuildOptions::default()).unwrap();
+        let sampler = Sampler::new("c401-0001", &cfg);
+        let broker = Broker::new(); // queue never declared
+        let mut d = TaccStatsd::new(
+            sampler,
+            SimDuration::from_mins(10),
+            "stats",
+            Box::new(LocalPublisher(broker)),
+            SimTime::from_secs(0),
+        );
+        d.tick(&fs, SimTime::from_secs(0));
+        assert_eq!(d.published, 0);
+        assert_eq!(d.publish_failures, 1);
+    }
+
+    #[test]
+    fn signal_when_idle_collects_immediately() {
+        let (node, mut d, broker) = daemon_with_broker(SimTime::from_secs(1_000_000));
+        let fs = NodeFs::new(&node);
+        let out = d.signal(&fs, SimTime::from_secs(50), "procstart 1001 wrf.exe");
+        assert_eq!(out, SignalOutcome::Collected);
+        assert_eq!(broker.depth("stats"), 1);
+    }
+
+    #[test]
+    fn second_signal_during_busy_window_queues_third_misses() {
+        let (node, mut d, _broker) = daemon_with_broker(SimTime::from_secs(1_000_000));
+        let fs = NodeFs::new(&node);
+        let t0 = SimTime::from_secs(100);
+        assert_eq!(
+            d.signal(&fs, t0, "procstart 1 a.out"),
+            SignalOutcome::Collected
+        );
+        // 10 ms later: still inside the ~55-90 ms busy window.
+        let t1 = t0 + SimDuration::from_millis(10);
+        assert_eq!(
+            d.signal(&fs, t1, "procstart 2 b.out"),
+            SignalOutcome::Queued
+        );
+        let t2 = t0 + SimDuration::from_millis(20);
+        assert_eq!(
+            d.signal(&fs, t2, "procstart 3 c.out"),
+            SignalOutcome::Missed
+        );
+        assert_eq!(d.missed_signals, 1);
+        // After the busy window, tick drains the queued signal.
+        let t3 = t0 + SimDuration::from_secs(1);
+        d.tick(&fs, t3);
+        assert_eq!(d.published, 2, "initial + queued signal collection");
+    }
+
+    #[test]
+    fn queued_signal_survives_busy_tick() {
+        let (node, mut d, _broker) = daemon_with_broker(SimTime::from_secs(1_000_000));
+        let fs = NodeFs::new(&node);
+        let t0 = SimTime::from_secs(100);
+        d.signal(&fs, t0, "procstart 1 a.out");
+        let t1 = t0 + SimDuration::from_millis(5);
+        assert_eq!(d.signal(&fs, t1, "procend 1 a.out"), SignalOutcome::Queued);
+        // Tick while still busy: signal must not be dropped.
+        d.tick(&fs, t0 + SimDuration::from_millis(10));
+        assert_eq!(d.published, 1);
+        d.tick(&fs, t0 + SimDuration::from_secs(2));
+        assert_eq!(d.published, 2);
+    }
+
+    #[test]
+    fn every_process_gets_at_least_two_collections() {
+        // §VI-C: "This scheme guarantees at least two data points per
+        // process are taken regardless of process runtime" (when signals
+        // are not missed).
+        let (mut node, mut d, broker) = daemon_with_broker(SimTime::from_secs(1_000_000));
+        let pid = node.spawn_process("short.x", 5000, 1, 1);
+        {
+            let fs = NodeFs::new(&node);
+            assert_eq!(
+                d.signal(&fs, SimTime::from_secs(10), &format!("procstart {pid} short.x")),
+                SignalOutcome::Collected
+            );
+        }
+        node.end_process(pid);
+        {
+            let fs = NodeFs::new(&node);
+            assert_eq!(
+                d.signal(&fs, SimTime::from_secs(11), &format!("procend {pid} short.x")),
+                SignalOutcome::Collected
+            );
+        }
+        let c = broker.consume("stats").unwrap();
+        let m1 = c.get(Duration::from_millis(10)).unwrap();
+        let rf1 = RawFile::parse(std::str::from_utf8(&m1.payload).unwrap()).unwrap();
+        // First collection caught the live process.
+        assert_eq!(rf1.samples[0].processes.len(), 1);
+        assert!(rf1.samples[0].marks[0].starts_with("procstart"));
+        let m2 = c.get(Duration::from_millis(10)).unwrap();
+        let rf2 = RawFile::parse(std::str::from_utf8(&m2.payload).unwrap()).unwrap();
+        assert!(rf2.samples[0].marks[0].starts_with("procend"));
+    }
+}

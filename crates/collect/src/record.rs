@@ -1,0 +1,573 @@
+//! The raw-stats record format.
+//!
+//! Mirrors the structure of tacc_stats raw files:
+//!
+//! ```text
+//! $tacc_stats 2.1
+//! $hostname c401-0001
+//! $arch sandybridge
+//! !cpu FIXED_CTR0,I,C,48 FIXED_CTR1,C,C,48 …
+//! !imc CAS_READS,E,C,48 …
+//!
+//! 1443657600 3001
+//! %begin 3001
+//! cpu 0 8399450688 10567 …
+//! imc 0 122344 61010 …
+//! ps 1001 wrf.exe 5000 40960 40960 …
+//! 1443658200 3001
+//! cpu 0 8399999999 …
+//! ```
+//!
+//! Header lines start with `$`, schema lines with `!`, scheduler marks
+//! with `%`, and a line whose first token parses as an integer opens a
+//! new timestamped record group ("sample"). Everything round-trips:
+//! `parse(render(f)) == f`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use tacc_simnode::schema::{DeviceType, Schema};
+use tacc_simnode::topology::CpuArch;
+use tacc_simnode::SimTime;
+
+/// Format version string written in the `$tacc_stats` header line.
+pub const FORMAT_VERSION: &str = "2.1";
+
+/// Values read from one device instance at one sample.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceRecord {
+    /// Device type.
+    pub dev_type: DeviceType,
+    /// Instance name (CPU number, socket number, filesystem, port, …).
+    pub instance: String,
+    /// Register values in schema order.
+    pub values: Vec<u64>,
+}
+
+/// Per-process record from the procfs collector (§III-B item 4).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PsRecord {
+    /// Process id.
+    pub pid: u32,
+    /// Executable name.
+    pub comm: String,
+    /// Owning uid.
+    pub uid: u32,
+    /// Values per the `ps` schema (VmSize, VmHWM, VmRSS, VmLck, VmData,
+    /// VmStk, VmExe, Threads, utime).
+    pub values: Vec<u64>,
+}
+
+/// One timestamped record group: everything collected on a node at one
+/// instant.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Sample {
+    /// Collection time.
+    pub time: SimTimeRepr,
+    /// Job ids active on the node at collection time.
+    pub jobids: Vec<String>,
+    /// Scheduler marks recorded with this sample (`begin <jobid>`,
+    /// `end <jobid>`, `procstart <pid>`, `procend <pid>`).
+    pub marks: Vec<String>,
+    /// Counter values per device instance.
+    pub devices: Vec<DeviceRecord>,
+    /// Per-process records.
+    pub processes: Vec<PsRecord>,
+}
+
+/// Serializable wrapper for [`SimTime`] (seconds resolution in files, but
+/// nanoseconds kept in memory).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SimTimeRepr(pub u64);
+
+impl From<SimTime> for SimTimeRepr {
+    fn from(t: SimTime) -> Self {
+        SimTimeRepr(t.as_nanos())
+    }
+}
+
+impl SimTimeRepr {
+    /// As a [`SimTime`].
+    pub fn time(self) -> SimTime {
+        SimTime::from_nanos(self.0)
+    }
+
+    /// Whole Unix seconds.
+    pub fn as_secs(self) -> u64 {
+        self.time().as_secs()
+    }
+}
+
+impl Sample {
+    /// Values of one device instance, if present.
+    pub fn device(&self, dt: DeviceType, instance: &str) -> Option<&[u64]> {
+        self.devices
+            .iter()
+            .find(|d| d.dev_type == dt && d.instance == instance)
+            .map(|d| d.values.as_slice())
+    }
+
+    /// All records of one device type.
+    pub fn devices_of(&self, dt: DeviceType) -> impl Iterator<Item = &DeviceRecord> {
+        self.devices.iter().filter(move |d| d.dev_type == dt)
+    }
+}
+
+/// Static per-host header: identity plus the schemas needed to interpret
+/// record lines.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostHeader {
+    /// Hostname.
+    pub hostname: String,
+    /// Detected architecture.
+    pub arch: CpuArch,
+    /// Schema per device type present on the host.
+    pub schemas: BTreeMap<DeviceType, Schema>,
+}
+
+impl HostHeader {
+    /// Render the `$`/`!` header block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("$tacc_stats {FORMAT_VERSION}\n"));
+        out.push_str(&format!("$hostname {}\n", self.hostname));
+        out.push_str(&format!("$arch {}\n", self.arch.name()));
+        for (dt, schema) in &self.schemas {
+            out.push_str(&format!("!{} {}\n", dt.name(), schema.render()));
+        }
+        out
+    }
+}
+
+/// A complete raw-stats file: header plus samples.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawFile {
+    /// Host identity and schemas.
+    pub header: HostHeader,
+    /// Timestamped record groups, in collection order.
+    pub samples: Vec<Sample>,
+}
+
+/// Error from [`RawFile::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "raw-stats parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl RawFile {
+    /// New empty file for a host.
+    pub fn new(header: HostHeader) -> RawFile {
+        RawFile {
+            header,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Render the whole file.
+    pub fn render(&self) -> String {
+        let mut out = self.header.render();
+        for s in &self.samples {
+            out.push_str(&render_sample(s));
+        }
+        out
+    }
+
+    /// Render one sample as it would be appended to an existing log.
+    pub fn render_sample(s: &Sample) -> String {
+        render_sample(s)
+    }
+
+    /// Render a single-sample message for the daemon→broker path: full
+    /// header plus one sample, so the consumer can interpret it without
+    /// out-of-band state.
+    pub fn render_message(header: &HostHeader, s: &Sample) -> String {
+        let mut out = header.render();
+        out.push_str(&render_sample(s));
+        out
+    }
+
+    /// Parse a rendered file.
+    pub fn parse(text: &str) -> Result<RawFile, ParseError> {
+        let err = |line: usize, message: &str| ParseError {
+            line,
+            message: message.to_string(),
+        };
+        let mut hostname = None;
+        let mut arch = None;
+        let mut schemas: BTreeMap<DeviceType, Schema> = BTreeMap::new();
+        let mut samples: Vec<Sample> = Vec::new();
+        let mut current: Option<Sample> = None;
+
+        for (idx, line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('$') {
+                let (key, value) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err(lineno, "malformed $ line"))?;
+                match key {
+                    "tacc_stats" if value != FORMAT_VERSION => {
+                        return Err(err(lineno, &format!("unsupported version {value}")));
+                    }
+                    "tacc_stats" => {}
+                    "hostname" => hostname = Some(value.to_string()),
+                    "arch" => {
+                        arch = Some(
+                            CpuArch::HOST_ARCHS
+                                .iter()
+                                .copied()
+                                .chain([CpuArch::KnightsCorner])
+                                .find(|a| a.name() == value)
+                                .ok_or_else(|| err(lineno, &format!("unknown arch {value}")))?,
+                        )
+                    }
+                    _ => {} // forward-compatible: ignore unknown header keys
+                }
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('!') {
+                let (name, body) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| err(lineno, "malformed ! line"))?;
+                let dt = DeviceType::parse(name)
+                    .ok_or_else(|| err(lineno, &format!("unknown device type {name}")))?;
+                let schema = Schema::parse(body)
+                    .ok_or_else(|| err(lineno, "malformed schema"))?;
+                schemas.insert(dt, schema);
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('%') {
+                let s = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "mark before any timestamp"))?;
+                s.marks.push(rest.to_string());
+                continue;
+            }
+            let mut toks = line.split_whitespace();
+            let first = toks.next().ok_or_else(|| err(lineno, "empty line"))?;
+            if first.chars().all(|c| c.is_ascii_digit()) && DeviceType::parse(first).is_none() {
+                // New record group: "<unix seconds> <jobids|->".
+                if let Some(s) = current.take() {
+                    samples.push(s);
+                }
+                let secs: u64 = first
+                    .parse()
+                    .map_err(|_| err(lineno, "bad timestamp"))?;
+                let jobids = match toks.next() {
+                    None | Some("-") => Vec::new(),
+                    Some(j) => j.split(',').map(|s| s.to_string()).collect(),
+                };
+                current = Some(Sample {
+                    time: SimTimeRepr::from(SimTime::from_secs(secs)),
+                    jobids,
+                    ..Sample::default()
+                });
+                continue;
+            }
+            // Device record line.
+            let s = current
+                .as_mut()
+                .ok_or_else(|| err(lineno, "record before any timestamp"))?;
+            let dt = DeviceType::parse(first)
+                .ok_or_else(|| err(lineno, &format!("unknown device {first}")))?;
+            if dt == DeviceType::Ps {
+                let pid: u32 = toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(lineno, "ps line missing pid"))?;
+                let comm = toks
+                    .next()
+                    .ok_or_else(|| err(lineno, "ps line missing comm"))?
+                    .to_string();
+                let uid: u32 = toks
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(lineno, "ps line missing uid"))?;
+                let values: Result<Vec<u64>, _> = toks.map(|t| t.parse()).collect();
+                let values = values.map_err(|_| err(lineno, "bad ps value"))?;
+                if let Some(schema) = schemas.get(&DeviceType::Ps) {
+                    if values.len() != schema.len() {
+                        return Err(err(lineno, "ps value count mismatch"));
+                    }
+                }
+                s.processes.push(PsRecord {
+                    pid,
+                    comm,
+                    uid,
+                    values,
+                });
+            } else {
+                let instance = toks
+                    .next()
+                    .ok_or_else(|| err(lineno, "record missing instance"))?
+                    .to_string();
+                let values: Result<Vec<u64>, _> = toks.map(|t| t.parse()).collect();
+                let values = values.map_err(|_| err(lineno, "bad value"))?;
+                if let Some(schema) = schemas.get(&dt) {
+                    if values.len() != schema.len() {
+                        return Err(err(
+                            lineno,
+                            &format!(
+                                "{dt} value count {} != schema {}",
+                                values.len(),
+                                schema.len()
+                            ),
+                        ));
+                    }
+                }
+                s.devices.push(DeviceRecord {
+                    dev_type: dt,
+                    instance,
+                    values,
+                });
+            }
+        }
+        if let Some(s) = current.take() {
+            samples.push(s);
+        }
+        let hostname = hostname.ok_or_else(|| err(0, "missing $hostname"))?;
+        let arch = arch.ok_or_else(|| err(0, "missing $arch"))?;
+        Ok(RawFile {
+            header: HostHeader {
+                hostname,
+                arch,
+                schemas,
+            },
+            samples,
+        })
+    }
+}
+
+fn render_sample(s: &Sample) -> String {
+    let mut out = String::with_capacity(64 * (s.devices.len() + s.processes.len() + 2));
+    let jobids = if s.jobids.is_empty() {
+        "-".to_string()
+    } else {
+        s.jobids.join(",")
+    };
+    out.push_str(&format!("{} {}\n", s.time.as_secs(), jobids));
+    for m in &s.marks {
+        out.push('%');
+        out.push_str(m);
+        out.push('\n');
+    }
+    for d in &s.devices {
+        out.push_str(d.dev_type.name());
+        out.push(' ');
+        out.push_str(&d.instance);
+        for v in &d.values {
+            out.push(' ');
+            out.push_str(itoa(*v).as_str());
+        }
+        out.push('\n');
+    }
+    for p in &s.processes {
+        out.push_str("ps ");
+        out.push_str(itoa(p.pid as u64).as_str());
+        out.push(' ');
+        out.push_str(&p.comm);
+        out.push(' ');
+        out.push_str(itoa(p.uid as u64).as_str());
+        for v in &p.values {
+            out.push(' ');
+            out.push_str(itoa(*v).as_str());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Allocation-light u64 → decimal (hot path: every value of every sample).
+fn itoa(mut v: u64) -> String {
+    if v == 0 {
+        return "0".to_string();
+    }
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    while v > 0 {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+    }
+    String::from_utf8_lossy(&buf[i..]).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn header() -> HostHeader {
+        let arch = CpuArch::SandyBridge;
+        let mut schemas = BTreeMap::new();
+        for dt in [
+            DeviceType::Cpu,
+            DeviceType::Cpustat,
+            DeviceType::Mdc,
+            DeviceType::Ps,
+        ] {
+            schemas.insert(dt, dt.schema(arch));
+        }
+        HostHeader {
+            hostname: "c401-0001".to_string(),
+            arch,
+            schemas,
+        }
+    }
+
+    fn sample(t: u64) -> Sample {
+        Sample {
+            time: SimTimeRepr::from(SimTime::from_secs(t)),
+            jobids: vec!["3001".to_string()],
+            marks: vec!["begin 3001".to_string()],
+            devices: vec![
+                DeviceRecord {
+                    dev_type: DeviceType::Cpu,
+                    instance: "0".to_string(),
+                    values: vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+                },
+                DeviceRecord {
+                    dev_type: DeviceType::Mdc,
+                    instance: "scratch".to_string(),
+                    values: vec![100, 5000],
+                },
+            ],
+            processes: vec![PsRecord {
+                pid: 1001,
+                comm: "wrf.exe".to_string(),
+                uid: 5000,
+                values: vec![10, 20, 30, 0, 5, 1, 2, 16, 12345, 0xFFFF, 3],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_small_file() {
+        let f = RawFile {
+            header: header(),
+            samples: vec![sample(1443657600), sample(1443658200)],
+        };
+        let text = f.render();
+        let parsed = RawFile::parse(&text).expect("parse");
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn empty_jobids_render_as_dash() {
+        let mut s = sample(100);
+        s.jobids.clear();
+        let f = RawFile {
+            header: header(),
+            samples: vec![s],
+        };
+        let text = f.render();
+        assert!(text.contains("\n100 -\n"), "{text}");
+        let parsed = RawFile::parse(&text).unwrap();
+        assert!(parsed.samples[0].jobids.is_empty());
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let h = header();
+        let s = sample(42);
+        let msg = RawFile::render_message(&h, &s);
+        let parsed = RawFile::parse(&msg).unwrap();
+        assert_eq!(parsed.header, h);
+        assert_eq!(parsed.samples, vec![s]);
+    }
+
+    #[test]
+    fn parse_rejects_value_count_mismatch() {
+        let mut text = header().render();
+        text.push_str("100 3001\nmdc scratch 1 2 3\n");
+        let e = RawFile::parse(&text).unwrap_err();
+        assert!(e.message.contains("value count"), "{e}");
+    }
+
+    #[test]
+    fn parse_rejects_record_before_timestamp() {
+        let mut text = header().render();
+        text.push_str("mdc scratch 1 2\n");
+        assert!(RawFile::parse(&text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_device_and_bad_values() {
+        let mut text = header().render();
+        text.push_str("100 -\nwarp 0 1 2\n");
+        assert!(RawFile::parse(&text).is_err());
+        let mut text2 = header().render();
+        text2.push_str("100 -\nmdc scratch 1 x\n");
+        assert!(RawFile::parse(&text2).is_err());
+    }
+
+    #[test]
+    fn parse_requires_identity() {
+        assert!(RawFile::parse("!cpu FIXED_CTR0,I,C,48\n").is_err());
+        assert!(RawFile::parse("$hostname h\n100 -\n").is_err());
+    }
+
+    #[test]
+    fn multiple_jobids_shared_node() {
+        let mut s = sample(100);
+        s.jobids = vec!["3001".into(), "3002".into()];
+        let f = RawFile {
+            header: header(),
+            samples: vec![s],
+        };
+        let parsed = RawFile::parse(&f.render()).unwrap();
+        assert_eq!(parsed.samples[0].jobids, vec!["3001", "3002"]);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let text = "$tacc_stats 9.9\n$hostname h\n$arch haswell\n";
+        assert!(RawFile::parse(text).is_err());
+    }
+
+    proptest! {
+        /// Arbitrary device values round-trip through render/parse.
+        #[test]
+        fn roundtrip_arbitrary_values(
+            vals in proptest::collection::vec(any::<u64>(), 2),
+            t in 1u64..4_000_000_000,
+        ) {
+            let mut schemas = BTreeMap::new();
+            schemas.insert(DeviceType::Mdc, DeviceType::Mdc.schema(CpuArch::Haswell));
+            let f = RawFile {
+                header: HostHeader {
+                    hostname: "h".to_string(),
+                    arch: CpuArch::Haswell,
+                    schemas,
+                },
+                samples: vec![Sample {
+                    time: SimTimeRepr::from(SimTime::from_secs(t)),
+                    jobids: vec!["1".to_string()],
+                    marks: vec![],
+                    devices: vec![DeviceRecord {
+                        dev_type: DeviceType::Mdc,
+                        instance: "scratch".to_string(),
+                        values: vals.clone(),
+                    }],
+                    processes: vec![],
+                }],
+            };
+            let parsed = RawFile::parse(&f.render()).unwrap();
+            prop_assert_eq!(parsed, f);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! System configuration.
+
+use tacc_simnode::topology::NodeTopology;
+use tacc_simnode::{SimDuration, SimTime};
+
+/// Which §III-A operation mode the system runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Fig. 1: node-local logs, daily rotation, staggered daily rsync.
+    Cron {
+        /// Second-of-day when rotation happens (cron).
+        rotate_second: u64,
+        /// Base second-of-day of the staggered per-node sync; each node
+        /// adds a deterministic offset within `sync_spread_secs`.
+        sync_second: u64,
+        /// Width of the random per-node sync window.
+        sync_spread_secs: u64,
+    },
+    /// Fig. 2: `tacc_statsd` publishing every sample to the broker, a
+    /// consumer archiving in real time.
+    Daemon {
+        /// Broker queue name.
+        queue: String,
+    },
+}
+
+impl Mode {
+    /// The default cron mode (midnight rotation, 03:00–05:00 sync).
+    pub fn cron() -> Mode {
+        Mode::Cron {
+            rotate_second: 0,
+            sync_second: 3 * 3600,
+            sync_spread_secs: 2 * 3600,
+        }
+    }
+
+    /// The default daemon mode.
+    pub fn daemon() -> Mode {
+        Mode::Daemon {
+            queue: "tacc_stats".to_string(),
+        }
+    }
+}
+
+/// Full system configuration.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Hostname prefix (e.g. `c401`).
+    pub host_prefix: String,
+    /// Normal-pool nodes.
+    pub n_nodes: usize,
+    /// Largemem-pool nodes.
+    pub n_largemem: usize,
+    /// Node hardware description for the normal pool.
+    pub topology: NodeTopology,
+    /// Node hardware for the largemem pool.
+    pub largemem_topology: NodeTopology,
+    /// Operation mode.
+    pub mode: Mode,
+    /// Sampling interval (paper default: 10 minutes).
+    pub interval: SimDuration,
+    /// Simulation step (granularity of scheduling/cluster advance).
+    pub step: SimDuration,
+    /// Simulation start time.
+    pub start: SimTime,
+    /// Whether to mirror samples into the time-series database (§VI-A).
+    pub enable_tsdb: bool,
+    /// Whether the XALT plugin records per-job modules/libraries
+    /// (§IV-B: the detail view shows them "only if the XALT plugin is
+    /// enabled").
+    pub enable_xalt: bool,
+    /// RNG seed (stagger offsets etc.).
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// A small Stampede-like test system.
+    pub fn small(n_nodes: usize, mode: Mode) -> SystemConfig {
+        SystemConfig {
+            host_prefix: "c401".to_string(),
+            n_nodes,
+            n_largemem: 0,
+            topology: NodeTopology::stampede(),
+            largemem_topology: NodeTopology::stampede_largemem(),
+            mode,
+            interval: SimDuration::from_mins(10),
+            step: SimDuration::from_secs(60),
+            start: SimTime::from_secs(tacc_simnode::clock::Q4_2015_START_SECS),
+            enable_tsdb: false,
+            enable_xalt: true,
+            seed: 42,
+        }
+    }
+
+    /// Total nodes (normal + largemem).
+    pub fn total_nodes(&self) -> usize {
+        self.n_nodes + self.n_largemem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = SystemConfig::small(4, Mode::daemon());
+        assert_eq!(c.total_nodes(), 4);
+        assert_eq!(c.interval.as_secs(), 600);
+        assert!(matches!(c.mode, Mode::Daemon { .. }));
+        assert!(matches!(Mode::cron(), Mode::Cron { .. }));
+    }
+}

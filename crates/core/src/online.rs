@@ -1,0 +1,354 @@
+//! Automated real-time analysis (§VI-B).
+//!
+//! "Combining this time-series analysis capability with the real time
+//! reporting recently enabled in TACC Stats will allow problem jobs to
+//! be quickly identified and suspended before they create system-wide
+//! slowdowns or crashes. This identification process could be automated
+//! and a system administrator notified immediately upon identification
+//! of problematic behavior."
+//!
+//! The [`OnlineAnalyzer`] watches the daemon-mode sample stream as the
+//! consumer drains it, maintains the previous sample per host to turn
+//! cumulative counters into instantaneous rates, and raises one
+//! [`Alert`] per (job, kind). Detection latency is bounded by the
+//! sampling interval — versus up to a full day in cron mode.
+
+use std::collections::{HashMap, HashSet};
+use tacc_collect::record::{HostHeader, Sample};
+use tacc_simnode::counter::wrapping_delta;
+use tacc_simnode::schema::DeviceType;
+use tacc_simnode::SimTime;
+
+/// What kind of problem an alert reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlertKind {
+    /// Metadata request rate threatening the Lustre MDS.
+    MetadataStorm,
+    /// Heavy GigE traffic (MPI over Ethernet).
+    GigeTraffic,
+    /// A node stopped reporting (possible failure).
+    SilentNode,
+}
+
+/// A raised alert.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Alert {
+    /// When the analyzer saw the offending sample.
+    pub time: SimTime,
+    /// Host whose sample triggered the alert.
+    pub host: String,
+    /// Jobs active on the host at that moment.
+    pub jobids: Vec<String>,
+    /// Problem class.
+    pub kind: AlertKind,
+    /// The offending rate (req/s for metadata, bytes/s for GigE,
+    /// seconds of silence for silent nodes).
+    pub value: f64,
+}
+
+/// Analyzer thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct OnlineConfig {
+    /// Per-host metadata request rate (req/s) above which a storm is
+    /// declared.
+    pub md_rate_per_host: f64,
+    /// Per-host GigE byte rate (bytes/s).
+    pub gige_rate: f64,
+    /// Seconds without a sample before a host is declared silent.
+    pub silence_secs: u64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            md_rate_per_host: 20_000.0,
+            gige_rate: 10e6,
+            silence_secs: 2_100, // 3.5 sampling intervals at 10 min
+        }
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct PrevCounters {
+    t: u64,
+    mdc_reqs: u64,
+    net_bytes: u64,
+}
+
+/// Streaming analyzer over the consumer output.
+pub struct OnlineAnalyzer {
+    cfg: OnlineConfig,
+    prev: HashMap<String, PrevCounters>,
+    last_seen: HashMap<String, SimTime>,
+    raised: HashSet<(String, AlertKind)>,
+    alerts: Vec<Alert>,
+}
+
+impl OnlineAnalyzer {
+    /// New analyzer.
+    pub fn new(cfg: OnlineConfig) -> OnlineAnalyzer {
+        OnlineAnalyzer {
+            cfg,
+            prev: HashMap::new(),
+            last_seen: HashMap::new(),
+            raised: HashSet::new(),
+            alerts: Vec::new(),
+        }
+    }
+
+    /// All alerts raised so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Alerts of one kind.
+    pub fn alerts_of(&self, kind: AlertKind) -> Vec<&Alert> {
+        self.alerts.iter().filter(|a| a.kind == kind).collect()
+    }
+
+    fn raise(
+        &mut self,
+        now: SimTime,
+        host: &str,
+        jobids: &[String],
+        kind: AlertKind,
+        value: f64,
+    ) -> Option<Alert> {
+        // One alert per (responsible job or host, kind).
+        let key = jobids.first().cloned().unwrap_or_else(|| host.to_string());
+        if !self.raised.insert((key, kind)) {
+            return None;
+        }
+        let alert = Alert {
+            time: now,
+            host: host.to_string(),
+            jobids: jobids.to_vec(),
+            kind,
+            value,
+        };
+        self.alerts.push(alert.clone());
+        Some(alert)
+    }
+
+    /// Observe one sample as the consumer processes it. Returns any
+    /// newly raised alerts.
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        header: &HostHeader,
+        sample: &Sample,
+    ) -> Vec<Alert> {
+        let host = header.hostname.clone();
+        self.last_seen.insert(host.clone(), now);
+        let t = sample.time.as_secs();
+        let mdc_reqs: u64 = {
+            let idx = header
+                .schemas
+                .get(&DeviceType::Mdc)
+                .and_then(|s| s.index_of("reqs"));
+            match idx {
+                Some(i) => sample
+                    .devices_of(DeviceType::Mdc)
+                    .map(|r| r.values[i])
+                    .sum(),
+                None => 0,
+            }
+        };
+        let net_bytes: u64 = {
+            let s = header.schemas.get(&DeviceType::Net);
+            match s {
+                Some(s) => {
+                    let rx = s.index_of("rx_bytes");
+                    let tx = s.index_of("tx_bytes");
+                    sample
+                        .devices_of(DeviceType::Net)
+                        .map(|r| {
+                            rx.map(|i| r.values[i]).unwrap_or(0)
+                                + tx.map(|i| r.values[i]).unwrap_or(0)
+                        })
+                        .sum()
+                }
+                None => 0,
+            }
+        };
+        let mut out = Vec::new();
+        if let Some(prev) = self.prev.get(&host).copied() {
+            let dt = t.saturating_sub(prev.t) as f64;
+            if dt > 0.0 {
+                let md_rate = wrapping_delta(prev.mdc_reqs, mdc_reqs, 64) as f64 / dt;
+                if md_rate > self.cfg.md_rate_per_host {
+                    if let Some(a) = self.raise(
+                        now,
+                        &host,
+                        &sample.jobids,
+                        AlertKind::MetadataStorm,
+                        md_rate,
+                    ) {
+                        out.push(a);
+                    }
+                }
+                let net_rate = wrapping_delta(prev.net_bytes, net_bytes, 64) as f64 / dt;
+                if net_rate > self.cfg.gige_rate {
+                    if let Some(a) = self.raise(
+                        now,
+                        &host,
+                        &sample.jobids,
+                        AlertKind::GigeTraffic,
+                        net_rate,
+                    ) {
+                        out.push(a);
+                    }
+                }
+            }
+        }
+        self.prev.insert(
+            host,
+            PrevCounters {
+                t,
+                mdc_reqs,
+                net_bytes,
+            },
+        );
+        out
+    }
+
+    /// Periodic silence check: hosts not heard from within the
+    /// configured window. Call once per driver step.
+    pub fn check_silence(&mut self, now: SimTime) -> Vec<Alert> {
+        let mut out = Vec::new();
+        let silent: Vec<(String, SimTime)> = self
+            .last_seen
+            .iter()
+            .filter(|(_, last)| {
+                now.duration_since(**last).as_secs() >= self.cfg.silence_secs
+            })
+            .map(|(h, last)| (h.clone(), *last))
+            .collect();
+        for (host, last) in silent {
+            let silence = now.duration_since(last).as_secs() as f64;
+            if let Some(a) = self.raise(now, &host, &[], AlertKind::SilentNode, silence) {
+                out.push(a);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use tacc_collect::record::{DeviceRecord, SimTimeRepr};
+    use tacc_simnode::topology::CpuArch;
+
+    fn header(host: &str) -> HostHeader {
+        let mut schemas = BTreeMap::new();
+        schemas.insert(DeviceType::Mdc, DeviceType::Mdc.schema(CpuArch::SandyBridge));
+        schemas.insert(DeviceType::Net, DeviceType::Net.schema(CpuArch::SandyBridge));
+        HostHeader {
+            hostname: host.to_string(),
+            arch: CpuArch::SandyBridge,
+            schemas,
+        }
+    }
+
+    fn sample(t: u64, jobid: &str, mdc_reqs: u64, net_bytes: u64) -> Sample {
+        Sample {
+            time: SimTimeRepr::from(SimTime::from_secs(t)),
+            jobids: vec![jobid.to_string()],
+            marks: vec![],
+            devices: vec![
+                DeviceRecord {
+                    dev_type: DeviceType::Mdc,
+                    instance: "scratch".to_string(),
+                    values: vec![mdc_reqs, mdc_reqs * 200],
+                },
+                DeviceRecord {
+                    dev_type: DeviceType::Net,
+                    instance: "eth0".to_string(),
+                    values: vec![net_bytes / 2, 0, net_bytes / 2, 0],
+                },
+            ],
+            processes: vec![],
+        }
+    }
+
+    #[test]
+    fn metadata_storm_detected_on_second_sample() {
+        let mut a = OnlineAnalyzer::new(OnlineConfig::default());
+        let h = header("c1");
+        // First sample: baseline only, no alert possible.
+        assert!(a.observe(SimTime::from_secs(0), &h, &sample(0, "77", 0, 0)).is_empty());
+        // 600 s later: 140k req/s.
+        let alerts = a.observe(
+            SimTime::from_secs(600),
+            &h,
+            &sample(600, "77", 140_000 * 600, 0),
+        );
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::MetadataStorm);
+        assert_eq!(alerts[0].jobids, vec!["77"]);
+        assert!((alerts[0].value - 140_000.0).abs() < 1.0);
+        // Continuing storm: no duplicate alert for the same job.
+        let again = a.observe(
+            SimTime::from_secs(1200),
+            &h,
+            &sample(1200, "77", 2 * 140_000 * 600, 0),
+        );
+        assert!(again.is_empty());
+        assert_eq!(a.alerts().len(), 1);
+    }
+
+    #[test]
+    fn quiet_host_never_alerts() {
+        let mut a = OnlineAnalyzer::new(OnlineConfig::default());
+        let h = header("c1");
+        for k in 0..10u64 {
+            let s = sample(600 * k, "5", 10 * 600 * k, 1000 * 600 * k);
+            assert!(a.observe(SimTime::from_secs(600 * k), &h, &s).is_empty());
+        }
+    }
+
+    #[test]
+    fn gige_traffic_detected() {
+        let mut a = OnlineAnalyzer::new(OnlineConfig::default());
+        let h = header("c1");
+        a.observe(SimTime::from_secs(0), &h, &sample(0, "9", 0, 0));
+        let alerts = a.observe(
+            SimTime::from_secs(600),
+            &h,
+            &sample(600, "9", 0, 90_000_000 * 600),
+        );
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::GigeTraffic);
+    }
+
+    #[test]
+    fn silent_node_detected() {
+        let mut a = OnlineAnalyzer::new(OnlineConfig::default());
+        let h = header("c1");
+        a.observe(SimTime::from_secs(0), &h, &sample(0, "1", 0, 0));
+        assert!(a.check_silence(SimTime::from_secs(1200)).is_empty());
+        let alerts = a.check_silence(SimTime::from_secs(3000));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::SilentNode);
+        // No duplicates.
+        assert!(a.check_silence(SimTime::from_secs(4000)).is_empty());
+    }
+
+    #[test]
+    fn separate_jobs_alert_separately() {
+        let mut a = OnlineAnalyzer::new(OnlineConfig::default());
+        for (host, job) in [("c1", "100"), ("c2", "200")] {
+            let h = header(host);
+            a.observe(SimTime::from_secs(0), &h, &sample(0, job, 0, 0));
+            let alerts = a.observe(
+                SimTime::from_secs(600),
+                &h,
+                &sample(600, job, 50_000 * 600, 0),
+            );
+            assert_eq!(alerts.len(), 1, "{job}");
+        }
+        assert_eq!(a.alerts_of(AlertKind::MetadataStorm).len(), 2);
+    }
+}

@@ -1,0 +1,281 @@
+//! Population-scale experiments (the fast path for §V).
+//!
+//! The paper's §V analyses run over 404,002 jobs — far more than is
+//! sensible to push through the full cluster-time-stepped
+//! [`crate::MonitoringSystem`]. The runner splits the work the way the
+//! real system does:
+//!
+//! 1. **Scheduling** runs for the whole population at once (cheap: no
+//!    hardware simulation), producing start/end times and queue waits
+//!    with real contention.
+//! 2. **Per-job collection + metrics** then run independently per job —
+//!    each job's nodes are simulated in isolation, sampled
+//!    prolog/epilog plus interior intervals, streamed through
+//!    [`JobAccum`], and ingested. Jobs fan out across worker threads
+//!    (crossbeam), which is sound because jobs share no mutable state.
+//!
+//! The isolation step is faithful for every Table I metric: counters
+//! are cumulative and per-node, and a fresh node is indistinguishable
+//! from a rebooted one.
+
+use crossbeam::channel;
+use tacc_collect::discovery::{discover, BuildOptions};
+use tacc_collect::engine::Sampler;
+use tacc_jobdb::Database;
+use tacc_metrics::accum::JobAccum;
+use tacc_metrics::flags::FlagRules;
+use tacc_metrics::ingest::ingest_job;
+use tacc_metrics::table1::JobMetrics;
+use tacc_scheduler::job::{Job, QueueName};
+use tacc_scheduler::sched::Scheduler;
+use tacc_scheduler::workload::{WorkloadConfig, WorkloadGenerator};
+use tacc_simnode::pseudofs::NodeFs;
+use tacc_simnode::topology::NodeTopology;
+use tacc_simnode::workload::NodeDemand;
+use tacc_simnode::{SimDuration, SimNode};
+
+/// Result of a population run.
+pub struct PopulationResult {
+    /// The populated job database.
+    pub db: Database,
+    /// Jobs ingested.
+    pub n_jobs: usize,
+    /// Jobs that never started (still queued when scheduling stopped).
+    pub unstarted: usize,
+}
+
+/// Runs a synthetic population through scheduling and per-job
+/// collection.
+pub struct PopulationRunner {
+    /// Workload configuration (generator parameters).
+    pub workload: WorkloadConfig,
+    /// Normal-pool size for scheduling. Defaults scale with the
+    /// population so queue waits are realistic but bounded.
+    pub n_nodes: usize,
+    /// Largemem-pool size.
+    pub n_largemem: usize,
+    /// Number of interior samples per job (in addition to
+    /// prolog/epilog).
+    pub interior_samples: usize,
+    /// Worker threads for the per-job phase.
+    pub threads: usize,
+}
+
+impl PopulationRunner {
+    /// A Q4-2015-shaped run scaled to `n_jobs`.
+    pub fn q4_2015(seed: u64, n_jobs: usize) -> PopulationRunner {
+        let workload = WorkloadConfig::q4_2015(seed, n_jobs);
+        // Capacity: enough nodes that the queue drains within the
+        // quarter. Mean job ≈ 5.5 nodes × ~2.6 h ⇒ node-hours ≈ 14.3/job.
+        let span_hours = workload.span.as_secs_f64() / 3600.0;
+        let node_hours = n_jobs as f64 * 14.3;
+        let n_nodes = ((node_hours / span_hours) * 1.6).ceil().max(300.0) as usize;
+        PopulationRunner {
+            workload,
+            n_nodes,
+            n_largemem: (n_nodes / 40).max(4),
+            interior_samples: 3,
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+        }
+    }
+
+    /// Run scheduling + per-job collection + ingestion.
+    pub fn run(&self) -> PopulationResult {
+        // Phase 1: schedule the whole population.
+        let mut generator = WorkloadGenerator::new(self.workload.clone());
+        let submissions = generator.generate();
+        let mut sched = Scheduler::new(self.n_nodes, self.n_largemem);
+        let step = SimDuration::from_secs(300);
+        let mut t = self.workload.start;
+        let horizon = self.workload.start + self.workload.span + SimDuration::from_hours(48);
+        let mut iter = submissions.into_iter().peekable();
+        let mut finished: Vec<Job> = Vec::new();
+        while t <= horizon {
+            while iter.peek().map(|(st, _)| *st <= t).unwrap_or(false) {
+                let (_, req) = iter.next().expect("peeked");
+                sched.submit(req, t);
+            }
+            sched.step(t);
+            finished.append(&mut sched.drain_finished());
+            if iter.peek().is_none() && sched.running().next().is_none() && sched.queued() == 0
+            {
+                break;
+            }
+            t = t + step;
+        }
+        let unstarted = sched.queued();
+        finished.append(&mut sched.drain_finished());
+
+        // Phase 2: per-job node simulation + metrics, fanned out.
+        let (tx, rx) = channel::unbounded::<(Job, JobMetrics)>();
+        let chunk = finished.len().div_ceil(self.threads.max(1)).max(1);
+        let topo_normal = self.workload.topology.clone();
+        let topo_lm = NodeTopology::stampede_largemem();
+        let interior = self.interior_samples;
+        crossbeam::thread::scope(|scope| {
+            for jobs in finished.chunks(chunk) {
+                let tx = tx.clone();
+                let topo_normal = topo_normal.clone();
+                let topo_lm = topo_lm.clone();
+                scope.spawn(move |_| {
+                    for job in jobs {
+                        let topo = if job.queue == QueueName::LargeMem {
+                            &topo_lm
+                        } else {
+                            &topo_normal
+                        };
+                        let metrics = simulate_job(job, topo, interior);
+                        tx.send((job.clone(), metrics)).expect("collector alive");
+                    }
+                });
+            }
+            drop(tx);
+            // Phase 3: ingest serially as results arrive.
+            let mut db = Database::new();
+            let rules = FlagRules::default();
+            let mut n_jobs = 0;
+            for (job, metrics) in rx {
+                let mem_gb = if job.queue == QueueName::LargeMem {
+                    topo_lm.memory_bytes as f64 / 1e9
+                } else {
+                    topo_normal.memory_bytes as f64 / 1e9
+                };
+                ingest_job(&mut db, &job, &metrics, &rules, mem_gb);
+                n_jobs += 1;
+            }
+            PopulationResult {
+                db,
+                n_jobs,
+                unstarted,
+            }
+        })
+        .expect("population worker panicked")
+    }
+}
+
+/// Simulate one job's nodes in isolation and compute its metrics.
+///
+/// Sampling plan: prolog at start, epilog at end, `interior` evenly
+/// spaced interior samples; each sampling interval advances the nodes in
+/// 8 sub-steps so phase structure (output bursts, failures, compile
+/// phases) lands in the counters.
+pub fn simulate_job(job: &Job, topo: &NodeTopology, interior: usize) -> JobMetrics {
+    let runtime = job.run_time();
+    if runtime.is_zero() {
+        return JobMetrics::new();
+    }
+    let n_samples = interior + 2;
+    let mut acc = JobAccum::new();
+    for rank in 0..job.n_nodes {
+        let hostname = format!("c{:03}-{rank:03}", job.id % 1000);
+        let mut node = SimNode::new(hostname.clone(), topo.clone());
+        let cfg = {
+            let fs = NodeFs::new(&node);
+            discover(&fs, BuildOptions::default()).expect("fresh node")
+        };
+        let mut sampler = Sampler::new(&hostname, &cfg);
+        let idle_rank = rank >= job.n_nodes.saturating_sub(job.idle_nodes);
+        if !idle_rank {
+            let n_procs = job.wayness.min(topo.n_cores()).max(1);
+            for _ in 0..n_procs.min(4) {
+                node.spawn_process(&job.exec, job.uid, 1, u64::MAX);
+            }
+        }
+        let jobids = [job.id.to_string()];
+        // Prolog sample.
+        {
+            let fs = NodeFs::new(&node);
+            let s = sampler.sample(&fs, job.start, &jobids, &[format!("begin {}", job.id)]);
+            acc.feed(sampler.header(), &s);
+        }
+        for k in 1..n_samples {
+            let t_prev = job.start + runtime * (k as u64 - 1) / (n_samples as u64 - 1);
+            let t_now = job.start + runtime * (k as u64) / (n_samples as u64 - 1);
+            // Advance in sub-steps so phase transitions are captured.
+            const SUB: u64 = 8;
+            let sub_dt = t_now.duration_since(t_prev) / SUB;
+            for s in 0..SUB {
+                let mid = t_prev + sub_dt * s + sub_dt / 2;
+                let demand = if idle_rank {
+                    NodeDemand::idle()
+                } else {
+                    job.app.demand(rank, job.t_frac(mid))
+                };
+                node.advance(sub_dt, &demand);
+            }
+            let fs = NodeFs::new(&node);
+            let marks = if k == n_samples - 1 {
+                vec![format!("end {}", job.id)]
+            } else {
+                Vec::new()
+            };
+            let s = sampler.sample(&fs, t_now, &jobids, &marks);
+            acc.feed(sampler.header(), &s);
+        }
+    }
+    acc.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacc_jobdb::Query;
+    use tacc_metrics::ingest::JOBS_TABLE;
+    use tacc_metrics::table1::MetricId;
+
+    #[test]
+    fn small_population_runs_and_ingests() {
+        let mut runner = PopulationRunner::q4_2015(7, 300);
+        runner.threads = 4;
+        let result = runner.run();
+        assert!(result.n_jobs >= 300, "ingested {}", result.n_jobs);
+        assert_eq!(result.unstarted, 0);
+        let t = result.db.table(JOBS_TABLE).unwrap();
+        assert_eq!(t.len(), result.n_jobs);
+        // Core population shapes hold even at this scale.
+        let total = t.len() as f64;
+        let vec_lo = Query::new(t)
+            .filter_kw("VecPercent__gt", 1.0)
+            .count()
+            .unwrap() as f64
+            / total;
+        assert!((0.3..0.8).contains(&vec_lo), "vec>1% {vec_lo}");
+        let cpu = Query::new(t).avg("CPU_Usage").unwrap().unwrap();
+        assert!((0.4..0.95).contains(&cpu), "avg cpu {cpu}");
+    }
+
+    #[test]
+    fn simulate_job_is_deterministic() {
+        let runner = PopulationRunner::q4_2015(3, 50);
+        let mut generator = WorkloadGenerator::new(runner.workload.clone());
+        let submissions = generator.generate();
+        let mut sched = Scheduler::new(100, 4);
+        let (t, req) = submissions.into_iter().next().unwrap();
+        sched.submit(req, t);
+        sched.step(t);
+        sched.step(t + SimDuration::from_hours(48));
+        let job = sched.drain_finished().pop().unwrap();
+        let m1 = simulate_job(&job, &NodeTopology::stampede(), 3);
+        let m2 = simulate_job(&job, &NodeTopology::stampede(), 3);
+        assert_eq!(
+            m1.get(MetricId::CpuUsage),
+            m2.get(MetricId::CpuUsage)
+        );
+        assert_eq!(m1.get(MetricId::Flops), m2.get(MetricId::Flops));
+    }
+
+    #[test]
+    fn zero_runtime_job_yields_empty_metrics() {
+        let runner = PopulationRunner::q4_2015(3, 10);
+        let mut generator = WorkloadGenerator::new(runner.workload.clone());
+        let (t, req) = generator.generate().into_iter().next().unwrap();
+        let mut sched = Scheduler::new(100, 4);
+        let id = sched.submit(req, t);
+        sched.step(t);
+        let mut job = sched.job(id).unwrap().clone();
+        job.end = job.start;
+        assert!(simulate_job(&job, &NodeTopology::stampede(), 3).is_empty());
+    }
+}

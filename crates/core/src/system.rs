@@ -1,0 +1,779 @@
+//! The assembled monitoring system.
+//!
+//! [`MonitoringSystem`] wires the whole paper together: a simulated
+//! cluster, the batch scheduler with prolog/epilog hooks, a per-node
+//! collector in either §III-A operation mode, the broker + consumer of
+//! daemon mode, the central archive, the streaming Table I metric
+//! pipeline, the job database the portal queries, the optional §VI-A
+//! time-series mirror, and the §VI-B online analyzer with automated job
+//! suspension.
+
+use crate::config::{Mode, SystemConfig};
+use crate::online::{Alert, OnlineAnalyzer, OnlineConfig};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use tacc_broker::Broker;
+use tacc_collect::consumer::StatsConsumer;
+use tacc_collect::cron::{CronCollector, CronConfig};
+use tacc_collect::daemon::{LocalPublisher, TaccStatsd};
+use tacc_collect::discovery::{discover, BuildOptions};
+use tacc_collect::engine::{OverheadAccount, Sampler};
+use tacc_collect::record::{HostHeader, Sample};
+use tacc_collect::Archive;
+use tacc_jobdb::Database;
+use tacc_metrics::accum::JobAccum;
+use tacc_metrics::flags::FlagRules;
+use tacc_metrics::ingest::ingest_job;
+use tacc_scheduler::job::{JobId, JobRequest, JobStatus};
+use tacc_scheduler::sched::{SchedEvent, Scheduler};
+use tacc_scheduler::xalt::XaltDb;
+use tacc_simnode::lustre_server::MdsModel;
+use tacc_simnode::workload::NodeDemand;
+use tacc_simnode::counter::wrapping_delta;
+use tacc_simnode::pseudofs::NodeFs;
+use tacc_simnode::schema::DeviceType;
+use tacc_simnode::{SimClock, SimCluster, SimNode, SimTime};
+use tacc_tsdb::{SeriesKey, TsDb};
+
+/// Mirrors selected per-host rates into the time-series database
+/// (§VI-A): cumulative counters become bucketed rate series tagged
+/// (host, device type, device name, event).
+struct TsdbMirror {
+    prev: HashMap<SeriesKey, (u64, u64)>,
+}
+
+impl TsdbMirror {
+    fn new() -> TsdbMirror {
+        TsdbMirror {
+            prev: HashMap::new(),
+        }
+    }
+
+    fn feed(&mut self, header: &HostHeader, sample: &Sample, tsdb: &TsDb) {
+        let t = sample.time.as_secs();
+        let host = &header.hostname;
+        let mut track = |dt: DeviceType, event: &str, value: u64| {
+            let key = SeriesKey::new(host, dt.name(), "all", event);
+            if let Some((pt, pv)) = self.prev.get(&key).copied() {
+                let dtime = t.saturating_sub(pt) as f64;
+                if dtime > 0.0 {
+                    let rate = wrapping_delta(pv, value, 64) as f64 / dtime;
+                    tsdb.insert(key.clone(), t, rate);
+                }
+            }
+            self.prev.insert(key, (t, value));
+        };
+        let sum_of = |dt: DeviceType, ev: &str| -> u64 {
+            let Some(schema) = header.schemas.get(&dt) else {
+                return 0;
+            };
+            let Some(i) = schema.index_of(ev) else { return 0 };
+            sample.devices_of(dt).map(|r| r.values[i]).sum()
+        };
+        if header.schemas.contains_key(&DeviceType::Mdc) {
+            track(DeviceType::Mdc, "reqs", sum_of(DeviceType::Mdc, "reqs"));
+            track(DeviceType::Mdc, "wait", sum_of(DeviceType::Mdc, "wait"));
+        }
+        if header.schemas.contains_key(&DeviceType::Llite) {
+            track(
+                DeviceType::Llite,
+                "open_close",
+                sum_of(DeviceType::Llite, "open") + sum_of(DeviceType::Llite, "close"),
+            );
+        }
+        if header.schemas.contains_key(&DeviceType::Lnet) {
+            track(
+                DeviceType::Lnet,
+                "bytes",
+                sum_of(DeviceType::Lnet, "tx_bytes") + sum_of(DeviceType::Lnet, "rx_bytes"),
+            );
+        }
+        track(DeviceType::Cpustat, "user", sum_of(DeviceType::Cpustat, "user"));
+    }
+}
+
+enum NodeCollectors {
+    Cron(Vec<CronCollector>),
+    Daemon(Vec<TaccStatsd>),
+}
+
+/// The full monitoring system over a simulated cluster.
+pub struct MonitoringSystem {
+    cfg: SystemConfig,
+    clock: SimClock,
+    cluster: SimCluster,
+    scheduler: Scheduler,
+    collectors: NodeCollectors,
+    headers: Vec<HostHeader>,
+    archive: Arc<Archive>,
+    broker: Option<Broker>,
+    consumer: Option<StatsConsumer>,
+    db: Database,
+    tsdb: Option<TsDb>,
+    mirror: TsdbMirror,
+    online: Option<OnlineAnalyzer>,
+    /// Automatically cancel jobs the online analyzer blames.
+    pub auto_suspend: bool,
+    rules: FlagRules,
+    pending: VecDeque<(SimTime, JobRequest)>,
+    accums: HashMap<JobId, JobAccum>,
+    node_assign: Vec<Option<(JobId, usize)>>,
+    job_pids: HashMap<JobId, Vec<(usize, u32)>>,
+    /// Jobs ingested into the database so far.
+    pub ingested: usize,
+    suspended: Vec<JobId>,
+    xalt: XaltDb,
+    /// Shared metadata-server latency model (§VI-A interference).
+    pub mds: MdsModel,
+}
+
+impl MonitoringSystem {
+    /// Build the system (cluster, scheduler, per-node collectors, and —
+    /// in daemon mode — broker and consumer).
+    pub fn new(cfg: SystemConfig) -> MonitoringSystem {
+        let clock = SimClock::starting_at(cfg.start);
+        let mut nodes = Vec::with_capacity(cfg.total_nodes());
+        for i in 0..cfg.n_nodes {
+            nodes.push(SimNode::new(
+                format!("{}-{i:04}", cfg.host_prefix),
+                cfg.topology.clone(),
+            ));
+        }
+        for i in 0..cfg.n_largemem {
+            nodes.push(SimNode::new(
+                format!("{}-lm{i:02}", cfg.host_prefix),
+                cfg.largemem_topology.clone(),
+            ));
+        }
+        // Discover and build a sampler per node.
+        let mut samplers = Vec::with_capacity(nodes.len());
+        for node in &nodes {
+            let fs = NodeFs::new(node);
+            let dcfg = discover(&fs, BuildOptions::default()).expect("fresh node discovers");
+            samplers.push(Sampler::new(&node.hostname, &dcfg));
+        }
+        let headers: Vec<HostHeader> = samplers.iter().map(|s| s.header().clone()).collect();
+        let cluster = SimCluster::from_nodes(clock.clone(), nodes);
+        let scheduler = Scheduler::new(cfg.n_nodes, cfg.n_largemem);
+        let mut broker = None;
+        let mut consumer = None;
+        let archive = Arc::new(Archive::new());
+        let collectors = match &cfg.mode {
+            Mode::Cron {
+                rotate_second,
+                sync_second,
+                sync_spread_secs,
+            } => NodeCollectors::Cron(
+                samplers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        // Deterministic per-node stagger within the window.
+                        let offset = (i as u64)
+                            .wrapping_mul(0x9E37_79B9)
+                            .wrapping_add(cfg.seed)
+                            % (*sync_spread_secs).max(1);
+                        CronCollector::new(
+                            s,
+                            CronConfig {
+                                interval: cfg.interval,
+                                rotate_second: *rotate_second,
+                                sync_second: sync_second + offset,
+                            },
+                            cfg.start,
+                        )
+                    })
+                    .collect(),
+            ),
+            Mode::Daemon { queue } => {
+                let b = Broker::new();
+                b.declare(queue);
+                consumer = Some(
+                    StatsConsumer::new(&b, queue, Arc::clone(&archive))
+                        .expect("queue just declared"),
+                );
+                let ds = samplers
+                    .into_iter()
+                    .map(|s| {
+                        TaccStatsd::new(
+                            s,
+                            cfg.interval,
+                            queue,
+                            Box::new(LocalPublisher(b.clone())),
+                            cfg.start,
+                        )
+                    })
+                    .collect();
+                broker = Some(b);
+                NodeCollectors::Daemon(ds)
+            }
+        };
+        let tsdb = if cfg.enable_tsdb {
+            Some(TsDb::new())
+        } else {
+            None
+        };
+        let n_total = cfg.total_nodes();
+        let enable_xalt = cfg.enable_xalt;
+        MonitoringSystem {
+            cfg,
+            clock,
+            cluster,
+            scheduler,
+            collectors,
+            headers,
+            archive,
+            broker,
+            consumer,
+            db: Database::new(),
+            tsdb,
+            mirror: TsdbMirror::new(),
+            online: None,
+            auto_suspend: false,
+            rules: FlagRules::default(),
+            pending: VecDeque::new(),
+            accums: HashMap::new(),
+            node_assign: vec![None; n_total],
+            job_pids: HashMap::new(),
+            ingested: 0,
+            suspended: Vec::new(),
+            xalt: XaltDb::new(enable_xalt),
+            mds: MdsModel::default(),
+        }
+    }
+
+    /// Enable §VI-B online analysis (daemon mode only; cron mode has no
+    /// real-time stream to analyze).
+    pub fn enable_online(&mut self, cfg: OnlineConfig, auto_suspend: bool) {
+        assert!(
+            matches!(self.cfg.mode, Mode::Daemon { .. }),
+            "online analysis requires the daemon mode's real-time stream"
+        );
+        self.online = Some(OnlineAnalyzer::new(cfg));
+        self.auto_suspend = auto_suspend;
+    }
+
+    /// Queue job submissions (time-ordered or not; they are sorted).
+    pub fn enqueue_jobs(&mut self, mut jobs: Vec<(SimTime, JobRequest)>) {
+        jobs.sort_by_key(|(t, _)| *t);
+        for j in jobs {
+            self.pending.push_back(j);
+        }
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The job database (portal queries run against this).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The central raw-stats archive.
+    pub fn archive(&self) -> &Archive {
+        &self.archive
+    }
+
+    /// The broker (daemon mode only).
+    pub fn broker(&self) -> Option<&Broker> {
+        self.broker.as_ref()
+    }
+
+    /// The time-series database, if enabled.
+    pub fn tsdb(&self) -> Option<&TsDb> {
+        self.tsdb.as_ref()
+    }
+
+    /// The scheduler (running/queued inspection).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Alerts raised by the online analyzer.
+    pub fn alerts(&self) -> &[Alert] {
+        self.online.as_ref().map(|o| o.alerts()).unwrap_or(&[])
+    }
+
+    /// Jobs suspended by automated response.
+    pub fn suspended(&self) -> &[JobId] {
+        &self.suspended
+    }
+
+    /// The XALT environment database (§IV-B).
+    pub fn xalt(&self) -> &XaltDb {
+        &self.xalt
+    }
+
+    /// Aggregate collection-overhead accounting across all nodes.
+    pub fn overhead(&self) -> OverheadAccount {
+        let mut total = OverheadAccount::default();
+        let accounts: Vec<OverheadAccount> = match &self.collectors {
+            NodeCollectors::Cron(cs) => cs.iter().map(|c| c.sampler().account()).collect(),
+            NodeCollectors::Daemon(ds) => ds.iter().map(|d| d.sampler().account()).collect(),
+        };
+        for a in accounts {
+            total.busy = total.busy + a.busy;
+            total.collections += a.collections;
+            total.real_nanos += a.real_nanos;
+        }
+        total
+    }
+
+    /// Crash a node: the hardware stops responding and — in cron mode —
+    /// the unsynced local log is lost. Returns samples lost (cron) or 0.
+    pub fn crash_node(&mut self, node_idx: usize) -> usize {
+        self.cluster.node(node_idx).write().crash();
+        match &mut self.collectors {
+            NodeCollectors::Cron(cs) => cs[node_idx].on_crash(),
+            NodeCollectors::Daemon(_) => 0, // published data already safe
+        }
+    }
+
+    /// Reboot a crashed node.
+    pub fn reboot_node(&mut self, node_idx: usize) {
+        self.cluster.node(node_idx).write().reboot();
+    }
+
+    fn feed_sample(
+        headers: &[HostHeader],
+        accums: &mut HashMap<JobId, JobAccum>,
+        mirror: &mut TsdbMirror,
+        tsdb: Option<&TsDb>,
+        node_idx: usize,
+        sample: &Sample,
+    ) {
+        let header = &headers[node_idx];
+        for jid in &sample.jobids {
+            if let Ok(id) = jid.parse::<JobId>() {
+                accums.entry(id).or_default().feed(header, sample);
+            }
+        }
+        if let Some(tsdb) = tsdb {
+            mirror.feed(header, sample, tsdb);
+        }
+    }
+
+    fn host_index(&self, host: &str) -> Option<usize> {
+        self.headers.iter().position(|h| h.hostname == host)
+    }
+
+    fn set_jobs_on(&mut self, node_idx: usize) {
+        let ids: Vec<String> = self
+            .scheduler
+            .running_on(node_idx)
+            .into_iter()
+            .map(|j| j.to_string())
+            .collect();
+        match &mut self.collectors {
+            NodeCollectors::Cron(cs) => cs[node_idx].set_jobs(ids),
+            NodeCollectors::Daemon(ds) => ds[node_idx].set_jobs(ids),
+        }
+    }
+
+    fn collect_marked_on(&mut self, node_idx: usize, now: SimTime, mark: &str) {
+        let node = self.cluster.node(node_idx);
+        let guard = node.read();
+        let fs = NodeFs::new(&guard);
+        match &mut self.collectors {
+            NodeCollectors::Cron(cs) => {
+                let sample = cs[node_idx].collect_marked(&fs, now, mark);
+                drop(guard);
+                Self::feed_sample(
+                    &self.headers,
+                    &mut self.accums,
+                    &mut self.mirror,
+                    self.tsdb.as_ref(),
+                    node_idx,
+                    &sample,
+                );
+            }
+            NodeCollectors::Daemon(ds) => {
+                ds[node_idx].collect_marked(&fs, now, mark);
+            }
+        }
+    }
+
+    fn handle_started(&mut self, id: JobId, now: SimTime) {
+        let job = self.scheduler.job(id).expect("started job exists").clone();
+        self.xalt.record_launch(id, &job.exec);
+        let mut pids = Vec::new();
+        for (rank, &node_idx) in job.nodes.iter().enumerate() {
+            self.node_assign[node_idx] = Some((id, rank));
+            let idle = rank >= job.n_nodes.saturating_sub(job.idle_nodes);
+            if !idle {
+                let node = self.cluster.node(node_idx);
+                let mut guard = node.write();
+                let n_procs = job.wayness.min(guard.topology.n_cores()).max(1);
+                for _ in 0..n_procs {
+                    let pid = guard.spawn_process(&job.exec, job.uid, 1, u64::MAX);
+                    pids.push((node_idx, pid));
+                }
+            }
+            self.set_jobs_on(node_idx);
+            self.collect_marked_on(node_idx, now, &format!("begin {id}"));
+        }
+        self.job_pids.insert(id, pids);
+    }
+
+    fn handle_ended(&mut self, id: JobId, now: SimTime, mark: &str) {
+        let job = self.scheduler.job(id).expect("ended job exists").clone();
+        for &node_idx in &job.nodes {
+            // Epilog collection first (captures the final counters with
+            // the job still attributed), then clean up.
+            self.collect_marked_on(node_idx, now, &format!("{mark} {id}"));
+            self.node_assign[node_idx] = None;
+            self.set_jobs_on(node_idx);
+        }
+        if let Some(pids) = self.job_pids.remove(&id) {
+            for (node_idx, pid) in pids {
+                self.cluster.node(node_idx).write().end_process(pid);
+            }
+        }
+    }
+
+    fn ingest_finished(&mut self) {
+        for job in self.scheduler.drain_finished() {
+            let metrics = self
+                .accums
+                .remove(&job.id)
+                .map(|a| a.finalize())
+                .unwrap_or_default();
+            let mem_gb = self.cfg.largemem_topology.memory_bytes as f64 / 1e9;
+            let mem_gb = if job.queue.name() == "largemem" {
+                mem_gb
+            } else {
+                self.cfg.topology.memory_bytes as f64 / 1e9
+            };
+            ingest_job(&mut self.db, &job, &metrics, &self.rules, mem_gb);
+            self.ingested += 1;
+        }
+    }
+
+    /// One driver step: submissions → scheduler events (prolog/epilog
+    /// collections) → cluster advance → collector ticks → consumer
+    /// drain (daemon) → online analysis → ingest finished jobs.
+    pub fn step_once(&mut self) {
+        let now = self.clock.now();
+        // Submissions due.
+        while self
+            .pending
+            .front()
+            .map(|(t, _)| *t <= now)
+            .unwrap_or(false)
+        {
+            let (_, req) = self.pending.pop_front().expect("checked nonempty");
+            self.scheduler.submit(req, now);
+        }
+        // Scheduler events.
+        let events = self.scheduler.step(now);
+        for ev in events {
+            match ev {
+                SchedEvent::Started(id) => self.handle_started(id, now),
+                SchedEvent::Ended(id) => self.handle_ended(id, now, "end"),
+            }
+        }
+        // Demands for the coming step.
+        let mut demands: Vec<Option<NodeDemand>> = self
+            .node_assign
+            .iter()
+            .map(|slot| {
+                let (id, rank) = (*slot)?;
+                let job = self.scheduler.job(id)?;
+                if job.status != JobStatus::Running {
+                    return None;
+                }
+                if rank >= job.n_nodes.saturating_sub(job.idle_nodes) {
+                    return Some(NodeDemand::idle());
+                }
+                Some(job.app.demand(rank, job.t_frac(now)))
+            })
+            .collect();
+        // Shared-MDS interference (§VI-A): per-request wait scales with
+        // the cluster-wide aggregate request rate, so one job's metadata
+        // storm raises every other job's MDCWait.
+        let aggregate_reqs: f64 = demands
+            .iter()
+            .flatten()
+            .flat_map(|d| d.lustre.iter())
+            .map(|l| l.mdc_reqs_per_sec)
+            .sum();
+        let factor = self.mds.wait_factor(aggregate_reqs);
+        if factor > 1.0 {
+            for d in demands.iter_mut().flatten() {
+                for l in &mut d.lustre {
+                    l.mdc_wait_us *= factor;
+                }
+            }
+        }
+        self.cluster
+            .advance_all(self.cfg.step, |i| demands[i].clone());
+        let now2 = self.clock.now();
+        // Collector ticks.
+        match &mut self.collectors {
+            NodeCollectors::Cron(cs) => {
+                for (i, c) in cs.iter_mut().enumerate() {
+                    let node = self.cluster.node(i);
+                    let guard = node.read();
+                    let fs = NodeFs::new(&guard);
+                    let samples = c.tick(&fs, now2, &self.archive);
+                    drop(guard);
+                    for s in samples {
+                        Self::feed_sample(
+                            &self.headers,
+                            &mut self.accums,
+                            &mut self.mirror,
+                            self.tsdb.as_ref(),
+                            i,
+                            &s,
+                        );
+                    }
+                }
+            }
+            NodeCollectors::Daemon(ds) => {
+                for (i, d) in ds.iter_mut().enumerate() {
+                    let node = self.cluster.node(i);
+                    let guard = node.read();
+                    let fs = NodeFs::new(&guard);
+                    d.tick(&fs, now2);
+                }
+            }
+        }
+        // Consumer drain + online analysis (daemon mode).
+        let mut to_suspend: Vec<JobId> = Vec::new();
+        if let Some(consumer) = &mut self.consumer {
+            for (host, sample) in consumer.drain(now2) {
+                let Some(idx) = self.host_index(&host) else {
+                    continue;
+                };
+                Self::feed_sample(
+                    &self.headers,
+                    &mut self.accums,
+                    &mut self.mirror,
+                    self.tsdb.as_ref(),
+                    idx,
+                    &sample,
+                );
+                if let Some(online) = &mut self.online {
+                    for alert in online.observe(now2, &self.headers[idx], &sample) {
+                        if self.auto_suspend {
+                            for jid in &alert.jobids {
+                                if let Ok(id) = jid.parse::<JobId>() {
+                                    to_suspend.push(id);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(online) = &mut self.online {
+                online.check_silence(now2);
+            }
+        }
+        for id in to_suspend {
+            self.suspend_job(id, now2);
+        }
+        // Ingest whatever finished this step.
+        self.ingest_finished();
+    }
+
+    /// Suspend (cancel) a job — the §VI-B automated response.
+    pub fn suspend_job(&mut self, id: JobId, now: SimTime) -> bool {
+        if !self.scheduler.cancel(id, now) {
+            return false;
+        }
+        self.suspended.push(id);
+        self.handle_ended(id, now, "cancel");
+        true
+    }
+
+    /// Drive the system until the clock reaches `end`.
+    pub fn run_until(&mut self, end: SimTime) {
+        while self.clock.now() < end {
+            self.step_once();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tacc_jobdb::Query;
+    use tacc_metrics::ingest::JOBS_TABLE;
+    use tacc_scheduler::job::QueueName;
+    use tacc_simnode::apps::AppModel;
+    use tacc_simnode::topology::NodeTopology;
+    use tacc_simnode::SimDuration;
+
+    fn request(model: AppModel, n_nodes: usize, runtime_mins: u64) -> JobRequest {
+        let mut rng = StdRng::seed_from_u64(runtime_mins);
+        let topo = NodeTopology::stampede();
+        let app = model.instantiate(&mut rng, n_nodes, 16, &topo);
+        JobRequest {
+            user: "alice".into(),
+            uid: 5001,
+            account: "TG-1".into(),
+            job_name: "t".into(),
+            queue: QueueName::Normal,
+            n_nodes,
+            wayness: 16,
+            runtime: SimDuration::from_mins(runtime_mins),
+            will_fail: false,
+            idle_nodes: 0,
+            app,
+        }
+    }
+
+    fn t0() -> SimTime {
+        SimTime::from_secs(tacc_simnode::clock::Q4_2015_START_SECS)
+    }
+
+    #[test]
+    fn daemon_mode_end_to_end_job_metrics() {
+        let mut sys = MonitoringSystem::new(SystemConfig::small(
+            2,
+            crate::config::Mode::daemon(),
+        ));
+        sys.enqueue_jobs(vec![(t0(), request(AppModel::namd(), 2, 60))]);
+        sys.run_until(t0() + SimDuration::from_mins(90));
+        assert_eq!(sys.ingested, 1);
+        let t = sys.db().table(JOBS_TABLE).unwrap();
+        assert_eq!(t.len(), 1);
+        let cpu = Query::new(t).avg("CPU_Usage").unwrap().unwrap();
+        assert!(cpu > 0.5, "CPU_Usage {cpu}");
+        let vec = Query::new(t).avg("VecPercent").unwrap().unwrap();
+        assert!(vec > 10.0, "VecPercent {vec}");
+        // Samples reached the archive in real time.
+        let lat = sys.archive().latency_stats();
+        assert!(lat.count > 0);
+        assert!(lat.max_secs <= sys.cfg.step.as_secs_f64() + 1.0);
+        // ≥2 samples per job (prolog + epilog at least).
+        assert!(lat.count >= 2);
+    }
+
+    #[test]
+    fn cron_mode_end_to_end_with_latency() {
+        let mut sys = MonitoringSystem::new(SystemConfig::small(2, Mode::cron()));
+        sys.enqueue_jobs(vec![(t0(), request(AppModel::namd(), 1, 30))]);
+        // Run past the next day's sync window.
+        sys.run_until(t0() + SimDuration::from_hours(30));
+        assert_eq!(sys.ingested, 1);
+        // Metrics computed even though archive data arrived a day late.
+        let t = sys.db().table(JOBS_TABLE).unwrap();
+        assert!(Query::new(t).avg("CPU_Usage").unwrap().unwrap() > 0.5);
+        let lat = sys.archive().latency_stats();
+        assert!(
+            lat.mean_secs > 3600.0,
+            "cron latency should be hours, got {}",
+            lat.mean_secs
+        );
+    }
+
+    #[test]
+    fn overhead_accounting_accumulates() {
+        let mut sys = MonitoringSystem::new(SystemConfig::small(
+            2,
+            crate::config::Mode::daemon(),
+        ));
+        sys.run_until(t0() + SimDuration::from_hours(2));
+        let acct = sys.overhead();
+        // 2 nodes × 13 interval samples.
+        assert!(acct.collections >= 24, "collections {}", acct.collections);
+        let per_node_elapsed = SimDuration::from_hours(2);
+        let ov = OverheadAccount {
+            busy: SimDuration::from_nanos(acct.busy.as_nanos() / 2),
+            collections: acct.collections / 2,
+            real_nanos: 0,
+        }
+        .overhead_fraction(per_node_elapsed);
+        assert!(ov < 1e-3, "overhead {ov}");
+    }
+
+    #[test]
+    fn online_analyzer_detects_and_suspends_storm_job() {
+        let mut sys = MonitoringSystem::new(SystemConfig::small(
+            2,
+            crate::config::Mode::daemon(),
+        ));
+        sys.enable_online(OnlineConfig::default(), true);
+        sys.enqueue_jobs(vec![(
+            t0(),
+            request(AppModel::wrf_metadata_storm(), 2, 240),
+        )]);
+        sys.run_until(t0() + SimDuration::from_mins(40));
+        assert!(
+            !sys.alerts().is_empty(),
+            "storm must be detected within a few intervals"
+        );
+        assert_eq!(sys.suspended().len(), 1);
+        // The suspended job is in the DB with cancelled status.
+        let t = sys.db().table(JOBS_TABLE).unwrap();
+        let cancelled = Query::new(t)
+            .filter_kw("status", "cancelled")
+            .count()
+            .unwrap();
+        assert_eq!(cancelled, 1);
+        // Detection latency: first alert within 2 sampling intervals of
+        // job start.
+        let first = &sys.alerts()[0];
+        let latency = first.time.duration_since(t0());
+        assert!(
+            latency.as_secs() <= 2 * 600 + sys.cfg.step.as_secs(),
+            "latency {}s",
+            latency.as_secs()
+        );
+    }
+
+    #[test]
+    fn node_crash_loses_cron_data_but_not_daemon_data() {
+        // Cron mode.
+        let mut cron = MonitoringSystem::new(SystemConfig::small(1, Mode::cron()));
+        cron.run_until(t0() + SimDuration::from_hours(2));
+        let lost = cron.crash_node(0);
+        assert!(lost >= 12, "unsynced samples lost: {lost}");
+        // Daemon mode: same scenario, nothing lost.
+        let mut daemon = MonitoringSystem::new(SystemConfig::small(
+            1,
+            crate::config::Mode::daemon(),
+        ));
+        daemon.run_until(t0() + SimDuration::from_hours(2));
+        let lost = daemon.crash_node(0);
+        assert_eq!(lost, 0);
+        assert!(daemon.archive().total_samples() >= 12);
+    }
+
+    #[test]
+    fn tsdb_mirror_populates_series() {
+        let mut cfg = SystemConfig::small(2, crate::config::Mode::daemon());
+        cfg.enable_tsdb = true;
+        let mut sys = MonitoringSystem::new(cfg);
+        sys.enqueue_jobs(vec![(t0(), request(AppModel::io_heavy(), 2, 60))]);
+        sys.run_until(t0() + SimDuration::from_mins(90));
+        let tsdb = sys.tsdb().unwrap();
+        assert!(tsdb.n_series() > 0);
+        let f = tacc_tsdb::TagFilter::any().dev_type("mdc").event("reqs");
+        assert!(!tsdb.keys(&f).is_empty());
+        assert!(tsdb.n_points() > 0);
+    }
+
+    #[test]
+    fn queued_jobs_wait_for_nodes() {
+        let mut sys = MonitoringSystem::new(SystemConfig::small(
+            1,
+            crate::config::Mode::daemon(),
+        ));
+        sys.enqueue_jobs(vec![
+            (t0(), request(AppModel::python(), 1, 30)),
+            (t0(), request(AppModel::python(), 1, 30)),
+        ]);
+        sys.run_until(t0() + SimDuration::from_mins(90));
+        assert_eq!(sys.ingested, 2);
+        let t = sys.db().table(JOBS_TABLE).unwrap();
+        let waits: Vec<f64> = Query::new(t).values("queue_wait").unwrap()
+            .iter().filter_map(|v| v.as_f64()).collect();
+        assert!(waits.iter().any(|w| *w >= 1700.0), "waits {waits:?}");
+    }
+}

@@ -1,0 +1,35 @@
+//! # tacc-jobdb — embedded relational store (PostgreSQL/Django-ORM substitute)
+//!
+//! §IV-A of the paper: "Metadata describing each job along with a set of
+//! computed metrics are then ingested into a PostgreSQL database", and the
+//! web portal's searches plus the §V-B case study run through Django's ORM
+//! ("a variety of aggregation functions including averaging a metric field
+//! over a returned job list").
+//!
+//! PostgreSQL is not available offline, so this crate provides the query
+//! surface those analyses actually use, as an embedded typed store:
+//!
+//! * typed tables with a declared schema ([`table::Table`]),
+//! * predicate filters with Django-style comparison suffixes
+//!   (`MetaDataRate__gte`) ([`query::Query::filter_kw`]),
+//! * ordering, limits, projection,
+//! * aggregation: count / sum / avg / min / max, and group-by,
+//! * a text persistence format that round-trips ([`db::Database::render`] /
+//!   [`db::Database::parse`]).
+//!
+//! Scans are linear: the populations the paper queries (≤ ~400 k job rows)
+//! scan in milliseconds, so secondary indexes would add complexity without
+//! changing any experiment's shape.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod query;
+pub mod table;
+pub mod value;
+
+pub use db::Database;
+pub use query::{CmpOp, Filter, Query};
+pub use table::{Column, Row, Table, TableSchema};
+pub use value::{Value, ValueType};

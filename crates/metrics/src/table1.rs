@@ -1,0 +1,340 @@
+//! The metric set of Table I.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Every metric of Table I, in table order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // each variant is documented by `definition()`
+pub enum MetricId {
+    // Lustre
+    MetaDataRate,
+    MDCReqs,
+    OSCReqs,
+    MDCWait,
+    OSCWait,
+    LLiteOpenClose,
+    LnetAveBW,
+    LnetMaxBW,
+    // Network
+    InternodeIBAveBW,
+    InternodeIBMaxBW,
+    Packetsize,
+    Packetrate,
+    GigEBW,
+    // Processor
+    LoadAll,
+    LoadL1Hits,
+    LoadL2Hits,
+    LoadLLCHits,
+    Cpi,
+    Cpld,
+    Flops,
+    VecPercent,
+    Mbw,
+    // OS
+    MemUsage,
+    CpuUsage,
+    Idle,
+    Catastrophe,
+    MicUsage,
+}
+
+impl MetricId {
+    /// All metrics in Table I order.
+    pub const ALL: [MetricId; 27] = [
+        MetricId::MetaDataRate,
+        MetricId::MDCReqs,
+        MetricId::OSCReqs,
+        MetricId::MDCWait,
+        MetricId::OSCWait,
+        MetricId::LLiteOpenClose,
+        MetricId::LnetAveBW,
+        MetricId::LnetMaxBW,
+        MetricId::InternodeIBAveBW,
+        MetricId::InternodeIBMaxBW,
+        MetricId::Packetsize,
+        MetricId::Packetrate,
+        MetricId::GigEBW,
+        MetricId::LoadAll,
+        MetricId::LoadL1Hits,
+        MetricId::LoadL2Hits,
+        MetricId::LoadLLCHits,
+        MetricId::Cpi,
+        MetricId::Cpld,
+        MetricId::Flops,
+        MetricId::VecPercent,
+        MetricId::Mbw,
+        MetricId::MemUsage,
+        MetricId::CpuUsage,
+        MetricId::Idle,
+        MetricId::Catastrophe,
+        MetricId::MicUsage,
+    ];
+
+    /// The label used in Table I (and as the portal's search-field /
+    /// database column name).
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricId::MetaDataRate => "MetaDataRate",
+            MetricId::MDCReqs => "MDCReqs",
+            MetricId::OSCReqs => "OSCReqs",
+            MetricId::MDCWait => "MDCWait",
+            MetricId::OSCWait => "OSCWait",
+            MetricId::LLiteOpenClose => "LLiteOpenClose",
+            MetricId::LnetAveBW => "LnetAveBW",
+            MetricId::LnetMaxBW => "LnetMaxBW",
+            MetricId::InternodeIBAveBW => "InternodeIBAveBW",
+            MetricId::InternodeIBMaxBW => "InternodeIBMaxBW",
+            MetricId::Packetsize => "Packetsize",
+            MetricId::Packetrate => "Packetrate",
+            MetricId::GigEBW => "GigEBW",
+            MetricId::LoadAll => "Load_All",
+            MetricId::LoadL1Hits => "Load_L1Hits",
+            MetricId::LoadL2Hits => "Load_L2Hits",
+            MetricId::LoadLLCHits => "Load_LLCHits",
+            MetricId::Cpi => "cpi",
+            MetricId::Cpld => "cpld",
+            MetricId::Flops => "flops",
+            MetricId::VecPercent => "VecPercent",
+            MetricId::Mbw => "mbw",
+            MetricId::MemUsage => "MemUsage",
+            MetricId::CpuUsage => "CPU_Usage",
+            MetricId::Idle => "idle",
+            MetricId::Catastrophe => "catastrophe",
+            MetricId::MicUsage => "MIC_Usage",
+        }
+    }
+
+    /// Find a metric by its Table I label.
+    pub fn from_label(s: &str) -> Option<MetricId> {
+        MetricId::ALL.iter().copied().find(|m| m.label() == s)
+    }
+
+    /// The definition column of Table I.
+    pub fn definition(self) -> &'static str {
+        match self {
+            MetricId::MetaDataRate => "Maximum Metadata server operation rate",
+            MetricId::MDCReqs => "Average Metadata server operation rate",
+            MetricId::OSCReqs => "Average Object Storage server operation rate",
+            MetricId::MDCWait => "Average time required to complete Metadata server operations",
+            MetricId::OSCWait => {
+                "Average time required to complete Object storage server operations"
+            }
+            MetricId::LLiteOpenClose => "Average file open/close rate",
+            MetricId::LnetAveBW => "Average Lustre bandwidth",
+            MetricId::LnetMaxBW => "Maximum Lustre bandwidth",
+            MetricId::InternodeIBAveBW => {
+                "Average Infiniband Bandwidth between compute nodes (typically MPI)"
+            }
+            MetricId::InternodeIBMaxBW => {
+                "Maximum Infiniband Bandwidth between compute nodes (typically MPI)"
+            }
+            MetricId::Packetsize => "Average Infiniband Package Size",
+            MetricId::Packetrate => "Average Infiniband Package Rate",
+            MetricId::GigEBW => "Average Bandwidth over the GigE network",
+            MetricId::LoadAll => "Average Cache load rate from any cache level",
+            MetricId::LoadL1Hits => "Average L1 cache hit rate",
+            MetricId::LoadL2Hits => "Average L2 cache hit rate",
+            MetricId::LoadLLCHits => "Average Last-level cache hit rate",
+            MetricId::Cpi => "Average Ratio of Cycles to Instructions",
+            MetricId::Cpld => "Average Ratio of Cycles to L1 data cache loads",
+            MetricId::Flops => "Average FLOPs",
+            MetricId::VecPercent => "Ratio of vectorized versus unvectorized instructions",
+            MetricId::Mbw => "Average Memory bandwidth",
+            MetricId::MemUsage => "Maximum memory usage",
+            MetricId::CpuUsage => "Average CPU utilization",
+            MetricId::Idle => "Ratio of maximum to minimum CPU_Usage over nodes",
+            MetricId::Catastrophe => "Ratio of maximum to minimum CPU_Usage over time",
+            MetricId::MicUsage => "Average CPU Utilization of the Intel Xeon Phi Coprocessor",
+        }
+    }
+
+    /// The Table I group this metric belongs to.
+    pub fn group(self) -> &'static str {
+        match self {
+            MetricId::MetaDataRate
+            | MetricId::MDCReqs
+            | MetricId::OSCReqs
+            | MetricId::MDCWait
+            | MetricId::OSCWait
+            | MetricId::LLiteOpenClose
+            | MetricId::LnetAveBW
+            | MetricId::LnetMaxBW => "Lustre Metrics",
+            MetricId::InternodeIBAveBW
+            | MetricId::InternodeIBMaxBW
+            | MetricId::Packetsize
+            | MetricId::Packetrate
+            | MetricId::GigEBW => "Network Metrics",
+            MetricId::LoadAll
+            | MetricId::LoadL1Hits
+            | MetricId::LoadL2Hits
+            | MetricId::LoadLLCHits
+            | MetricId::Cpi
+            | MetricId::Cpld
+            | MetricId::Flops
+            | MetricId::VecPercent
+            | MetricId::Mbw => "Processor Metrics",
+            MetricId::MemUsage
+            | MetricId::CpuUsage
+            | MetricId::Idle
+            | MetricId::Catastrophe
+            | MetricId::MicUsage => "OS Metrics",
+        }
+    }
+
+    /// Unit string for report rendering.
+    pub fn unit(self) -> &'static str {
+        match self {
+            MetricId::MetaDataRate | MetricId::MDCReqs | MetricId::OSCReqs => "req/s",
+            MetricId::MDCWait | MetricId::OSCWait => "us/req",
+            MetricId::LLiteOpenClose => "ops/s",
+            MetricId::LnetAveBW
+            | MetricId::LnetMaxBW
+            | MetricId::InternodeIBAveBW
+            | MetricId::InternodeIBMaxBW
+            | MetricId::GigEBW
+            | MetricId::Mbw => "MB/s",
+            MetricId::Packetsize => "B",
+            MetricId::Packetrate => "pkt/s",
+            MetricId::LoadAll | MetricId::LoadL1Hits | MetricId::LoadL2Hits
+            | MetricId::LoadLLCHits => "loads/s",
+            MetricId::Cpi | MetricId::Cpld => "ratio",
+            MetricId::Flops => "GF/s",
+            MetricId::VecPercent => "%",
+            MetricId::MemUsage => "GB",
+            MetricId::CpuUsage | MetricId::Idle | MetricId::Catastrophe | MetricId::MicUsage => {
+                "fraction"
+            }
+        }
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Direction of a catastrophic CPU-usage change over a job's lifetime.
+///
+/// §V-A: "Sudden performance increases suggest a job that consists of a
+/// compilation step before it runs, while sudden drops indicate
+/// application failure."
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrendDirection {
+    /// The weak window came first: activity rose (compile-then-run).
+    Rise,
+    /// The weak window came last: activity collapsed (failure).
+    Drop,
+}
+
+/// Computed metric values for one job. Missing hardware (no Phi, no
+/// Lustre, no IB) leaves the corresponding metrics absent.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    values: BTreeMap<MetricId, f64>,
+    /// Direction of the catastrophe (set alongside [`MetricId::Catastrophe`]
+    /// when the min/max windows are distinguishable).
+    pub trend: Option<TrendDirection>,
+}
+
+impl JobMetrics {
+    /// New empty set.
+    pub fn new() -> JobMetrics {
+        JobMetrics::default()
+    }
+
+    /// Set a metric.
+    pub fn set(&mut self, id: MetricId, v: f64) {
+        if v.is_finite() {
+            self.values.insert(id, v);
+        }
+    }
+
+    /// Get a metric.
+    pub fn get(&self, id: MetricId) -> Option<f64> {
+        self.values.get(&id).copied()
+    }
+
+    /// All present metrics.
+    pub fn iter(&self) -> impl Iterator<Item = (MetricId, f64)> + '_ {
+        self.values.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Number of present metrics.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no metrics present.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Render as a Table I-shaped text table (label, value, unit,
+    /// definition), grouped like the paper.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let mut group = "";
+        for id in MetricId::ALL {
+            if id.group() != group {
+                group = id.group();
+                out.push_str(&format!("== {group} ==\n"));
+            }
+            match self.get(id) {
+                Some(v) => out.push_str(&format!(
+                    "{:<18} {:>14.4} {:<8} {}\n",
+                    id.label(),
+                    v,
+                    id.unit(),
+                    id.definition()
+                )),
+                None => out.push_str(&format!(
+                    "{:<18} {:>14} {:<8} {}\n",
+                    id.label(),
+                    "-",
+                    id.unit(),
+                    id.definition()
+                )),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for m in MetricId::ALL {
+            assert_eq!(MetricId::from_label(m.label()), Some(m));
+        }
+        assert_eq!(MetricId::from_label("nope"), None);
+    }
+
+    #[test]
+    fn all_has_27_metrics_in_4_groups() {
+        assert_eq!(MetricId::ALL.len(), 27);
+        let groups: std::collections::BTreeSet<&str> =
+            MetricId::ALL.iter().map(|m| m.group()).collect();
+        assert_eq!(groups.len(), 4);
+    }
+
+    #[test]
+    fn set_get_and_render() {
+        let mut m = JobMetrics::new();
+        m.set(MetricId::CpuUsage, 0.8);
+        m.set(MetricId::MetaDataRate, f64::NAN); // ignored
+        assert_eq!(m.get(MetricId::CpuUsage), Some(0.8));
+        assert_eq!(m.get(MetricId::MetaDataRate), None);
+        assert_eq!(m.len(), 1);
+        let table = m.render_table();
+        assert!(table.contains("CPU_Usage"));
+        assert!(table.contains("== Lustre Metrics =="));
+        assert!(table.contains("== OS Metrics =="));
+    }
+}

@@ -1,0 +1,241 @@
+//! Histograms — the automatic four-panel figure every portal query
+//! returns (Fig. 4): jobs versus runtime, nodes, queue wait time, and
+//! maximum metadata requests.
+
+use crate::render;
+
+/// A 1-D histogram with fixed-width (linear or logarithmic) bins.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Title shown above the panel.
+    pub title: String,
+    /// Bin lower edges (the last bin's upper edge is `max`).
+    pub edges: Vec<f64>,
+    /// Counts per bin.
+    pub counts: Vec<usize>,
+    /// Smallest value observed.
+    pub min: f64,
+    /// Largest value observed.
+    pub max: f64,
+    /// Values histogrammed.
+    pub n: usize,
+    /// Whether bins are logarithmic.
+    pub log: bool,
+}
+
+impl Histogram {
+    /// Build a linear histogram with `bins` equal-width bins.
+    pub fn linear(title: &str, values: &[f64], bins: usize) -> Histogram {
+        Self::build(title, values, bins, false)
+    }
+
+    /// Build a log10 histogram (values ≤ 0 are clamped into the lowest
+    /// bin) — used for the metadata-requests panel where outliers span
+    /// orders of magnitude.
+    pub fn log10(title: &str, values: &[f64], bins: usize) -> Histogram {
+        Self::build(title, values, bins, true)
+    }
+
+    fn build(title: &str, values: &[f64], bins: usize, log: bool) -> Histogram {
+        assert!(bins > 0, "need at least one bin");
+        let finite: Vec<f64> = values.iter().cloned().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return Histogram {
+                title: title.to_string(),
+                edges: vec![0.0],
+                counts: vec![0; bins],
+                min: 0.0,
+                max: 0.0,
+                n: 0,
+                log,
+            };
+        }
+        let min = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let tx = |v: f64| -> f64 {
+            if log {
+                v.max(1e-9).log10()
+            } else {
+                v
+            }
+        };
+        let (lo, hi) = (tx(min), tx(max));
+        let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+        let mut counts = vec![0usize; bins];
+        for v in &finite {
+            let idx = (((tx(*v) - lo) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        let edges = (0..bins)
+            .map(|i| {
+                let e = lo + i as f64 * width;
+                if log {
+                    10f64.powf(e)
+                } else {
+                    e
+                }
+            })
+            .collect();
+        Histogram {
+            title: title.to_string(),
+            edges,
+            counts,
+            min,
+            max,
+            n: finite.len(),
+            log,
+        }
+    }
+
+    /// Total count across bins (== number of finite values).
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Render as a horizontal-bar ASCII panel.
+    pub fn render(&self) -> String {
+        let mut out = format!("{} (n = {})\n", self.title, self.n);
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (i, c) in self.counts.iter().enumerate() {
+            let lo = self.edges[i];
+            let hi = if i + 1 < self.edges.len() {
+                self.edges[i + 1]
+            } else {
+                self.max
+            };
+            let bar_len = (c * 50).div_ceil(peak);
+            let bar: String = "#".repeat(if *c > 0 { bar_len.max(1) } else { 0 });
+            out.push_str(&format!(
+                "  [{:>10} – {:>10}] {:>7} {}\n",
+                render::num(lo),
+                render::num(hi),
+                c,
+                bar
+            ));
+        }
+        out
+    }
+}
+
+/// The standard Fig. 4 four-panel set over a job list's columns.
+pub struct Fig4Panels {
+    /// Jobs vs runtime (hours).
+    pub runtime: Histogram,
+    /// Jobs vs node count.
+    pub nodes: Histogram,
+    /// Jobs vs queue wait (hours).
+    pub queue_wait: Histogram,
+    /// Jobs vs maximum metadata request rate (log bins — the panel
+    /// where the §V-B outliers are visible).
+    pub metadata_reqs: Histogram,
+}
+
+impl Fig4Panels {
+    /// Build the four panels from per-job vectors.
+    pub fn new(
+        runtime_hours: &[f64],
+        nodes: &[f64],
+        queue_wait_hours: &[f64],
+        metadata_reqs: &[f64],
+    ) -> Fig4Panels {
+        Fig4Panels {
+            runtime: Histogram::linear("Jobs vs Runtime (h)", runtime_hours, 12),
+            nodes: Histogram::linear("Jobs vs Nodes", nodes, 12),
+            queue_wait: Histogram::linear("Jobs vs Queue Wait (h)", queue_wait_hours, 12),
+            metadata_reqs: Histogram::log10("Jobs vs Max Metadata Reqs (1/s)", metadata_reqs, 12),
+        }
+    }
+
+    /// Render all four panels.
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n{}\n{}\n{}",
+            self.runtime.render(),
+            self.nodes.render(),
+            self.queue_wait.render(),
+            self.metadata_reqs.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_histogram_bins_correctly() {
+        let h = Histogram::linear("t", &[0.0, 0.5, 1.0, 1.5, 2.0], 4);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts, vec![1, 1, 1, 2]); // max lands in last bin
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 2.0);
+    }
+
+    #[test]
+    fn log_histogram_separates_outliers() {
+        // 99 jobs near 10 req/s, one at 563905: with log bins the
+        // outlier occupies a distant bin (the Fig. 4 signature).
+        let mut vals = vec![10.0; 99];
+        vals.push(563_905.0);
+        let h = Histogram::log10("md", &vals, 10);
+        assert_eq!(h.counts[0], 99);
+        assert_eq!(*h.counts.last().unwrap(), 1);
+        assert!(h.counts[1..9].iter().all(|c| *c == 0));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = Histogram::linear("e", &[], 5);
+        assert_eq!(empty.total(), 0);
+        let flat = Histogram::linear("f", &[3.0, 3.0], 5);
+        assert_eq!(flat.total(), 2);
+        let nan = Histogram::linear("n", &[f64::NAN, 1.0], 5);
+        assert_eq!(nan.total(), 1);
+    }
+
+    #[test]
+    fn render_contains_bars() {
+        let h = Histogram::linear("Jobs vs Runtime (h)", &[1.0, 1.1, 5.0], 5);
+        let s = h.render();
+        assert!(s.contains("Jobs vs Runtime"));
+        assert!(s.contains('#'));
+        assert_eq!(s.lines().count(), 6);
+    }
+
+    #[test]
+    fn fig4_panels_build() {
+        let p = Fig4Panels::new(
+            &[1.0, 2.0, 3.0],
+            &[1.0, 4.0, 16.0],
+            &[0.1, 0.5, 2.0],
+            &[10.0, 3900.0, 563905.0],
+        );
+        let s = p.render();
+        assert!(s.contains("Jobs vs Nodes"));
+        assert!(s.contains("Max Metadata Reqs"));
+        assert!(p.metadata_reqs.log);
+    }
+
+    proptest! {
+        /// Bin conservation: every finite value lands in exactly one bin.
+        #[test]
+        fn counts_conserve_values(
+            vals in proptest::collection::vec(-1e6f64..1e6, 0..200),
+            bins in 1usize..30,
+        ) {
+            let h = Histogram::linear("p", &vals, bins);
+            prop_assert_eq!(h.total(), vals.len());
+            prop_assert_eq!(h.counts.len(), bins);
+        }
+
+        #[test]
+        fn log_counts_conserve_positive_values(
+            vals in proptest::collection::vec(1e-3f64..1e9, 1..200),
+            bins in 1usize..30,
+        ) {
+            let h = Histogram::log10("p", &vals, bins);
+            prop_assert_eq!(h.total(), vals.len());
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Text rendering helpers: aligned tables and sparklines.
+
+/// Render an aligned text table: header row plus data rows. Columns are
+/// sized to their widest cell.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(n_cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(n_cols) {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<w$}", cell, w = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Unicode sparkline of a series, scaled to its own min..max. Empty
+/// input renders as an empty string; a flat series renders mid-level.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    values
+        .iter()
+        .map(|v| {
+            if !v.is_finite() {
+                return '?';
+            }
+            if max <= min {
+                return LEVELS[3];
+            }
+            let x = (v - min) / (max - min);
+            let idx = ((x * 7.0).round() as usize).min(7);
+            LEVELS[idx]
+        })
+        .collect()
+}
+
+/// Format a float compactly for table cells (3 significant-ish digits,
+/// scientific for very large/small).
+pub fn num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.2e}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["JobID", "User"],
+            &[
+                vec!["1".to_string(), "alice".to_string()],
+                vec!["104857".to_string(), "b".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("JobID"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // "User" column starts at the same offset in all rows.
+        let off = lines[0].find("User").unwrap();
+        assert_eq!(&lines[2][off..off + 5], "alice");
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        // Flat series: all mid.
+        let flat = sparkline(&[5.0, 5.0, 5.0]);
+        assert!(flat.chars().all(|c| c == '▄'));
+        assert_eq!(sparkline(&[f64::NAN, 1.0, 0.0]).chars().next(), Some('?'));
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(0.8), "0.80");
+        assert_eq!(num(563905.0), "563905");
+        assert_eq!(num(5_639_050.0), "5.64e6");
+        assert_eq!(num(0.0001), "1.00e-4");
+    }
+}

@@ -1,0 +1,210 @@
+//! The consulting-staff report (§I-B).
+//!
+//! "TACC Stats also includes capabilities for generating several
+//! different reports including a report giving a resource use profile
+//! for every job run on Stampede and Lonestar 5. These reports are
+//! available to the consulting staff of TACC to assist in diagnosing
+//! problems which may have occurred during execution of a job."
+//!
+//! [`daily_report`] summarizes one day of the jobs table: volume,
+//! node-hours, top users, the flag breakdown the §V-A rules produce, and
+//! resource-use quantiles — the at-a-glance page a consultant starts
+//! from before drilling into a job's detail view.
+
+use crate::render;
+use crate::search::SearchSpec;
+use std::collections::BTreeMap;
+use tacc_jobdb::Table;
+
+/// Summary statistics of one day.
+#[derive(Clone, Debug, Default)]
+pub struct DailySummary {
+    /// Jobs that started on the day.
+    pub n_jobs: usize,
+    /// Total node-hours consumed.
+    pub node_hours: f64,
+    /// Distinct users.
+    pub n_users: usize,
+    /// Jobs carrying at least one flag.
+    pub n_flagged: usize,
+    /// Flag name → count.
+    pub flag_counts: BTreeMap<String, usize>,
+    /// (user, node-hours) descending, top 5.
+    pub top_users: Vec<(String, f64)>,
+    /// Mean CPU_Usage over jobs reporting it.
+    pub mean_cpu: Option<f64>,
+}
+
+/// Compute the summary for jobs starting in `[day_start, day_start+86400)`.
+pub fn daily_summary(table: &Table, day_start: i64) -> DailySummary {
+    let list = match (SearchSpec {
+        start_after: Some(day_start),
+        start_before: Some(day_start + 86_400),
+        ..SearchSpec::default()
+    })
+    .run(table)
+    {
+        Ok(l) => l,
+        Err(_) => return DailySummary::default(),
+    };
+    let users = list.column_str("user");
+    let mut n_users: Vec<&String> = users.iter().collect();
+    n_users.sort();
+    n_users.dedup();
+    let mut flag_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for f in list.column_str("flags") {
+        for name in f.split(',').filter(|s| !s.is_empty()) {
+            *flag_counts.entry(name.to_string()).or_default() += 1;
+        }
+    }
+    let mut per_user: BTreeMap<String, f64> = BTreeMap::new();
+    let hours = list.column("node_hours");
+    for (u, h) in users.iter().zip(&hours) {
+        *per_user.entry(u.clone()).or_default() += h;
+    }
+    let mut top_users: Vec<(String, f64)> = per_user.into_iter().collect();
+    top_users.sort_by(|a, b| b.1.total_cmp(&a.1));
+    top_users.truncate(5);
+    DailySummary {
+        n_jobs: list.len(),
+        node_hours: hours.iter().sum(),
+        n_users: n_users.len(),
+        n_flagged: list.flagged().len(),
+        flag_counts,
+        top_users,
+        mean_cpu: list.avg("CPU_Usage"),
+    }
+}
+
+/// Render the consulting report for one day.
+pub fn daily_report(table: &Table, day_start: i64) -> String {
+    let s = daily_summary(table, day_start);
+    let mut out = format!(
+        "=== Daily resource-use report (day starting {day_start}) ===\n\
+         jobs started : {}\n\
+         node hours   : {:.1}\n\
+         users        : {}\n\
+         mean CPU use : {}\n\
+         flagged jobs : {} ({:.1}%)\n",
+        s.n_jobs,
+        s.node_hours,
+        s.n_users,
+        s.mean_cpu
+            .map(|c| format!("{:.0}%", c * 100.0))
+            .unwrap_or_else(|| "-".to_string()),
+        s.n_flagged,
+        if s.n_jobs > 0 {
+            100.0 * s.n_flagged as f64 / s.n_jobs as f64
+        } else {
+            0.0
+        },
+    );
+    if !s.flag_counts.is_empty() {
+        out.push_str("flags:\n");
+        for (name, n) in &s.flag_counts {
+            out.push_str(&format!("  {name:<20} {n}\n"));
+        }
+    }
+    if !s.top_users.is_empty() {
+        out.push_str("top users by node-hours:\n");
+        let rows: Vec<Vec<String>> = s
+            .top_users
+            .iter()
+            .map(|(u, h)| vec![u.clone(), format!("{h:.1}")])
+            .collect();
+        out.push_str(&render::table(&["user", "node-hours"], &rows));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tacc_jobdb::Database;
+    use tacc_metrics::flags::FlagRules;
+    use tacc_metrics::ingest::{ingest_job, JOBS_TABLE};
+    use tacc_metrics::table1::{JobMetrics, MetricId};
+    use tacc_scheduler::job::{Job, JobStatus, QueueName};
+    use tacc_simnode::apps::AppModel;
+    use tacc_simnode::topology::NodeTopology;
+    use tacc_simnode::{SimDuration, SimTime};
+
+    fn mk_job(id: u64, user: &str, start: u64, hours: u64, nodes: usize) -> Job {
+        let mut rng = StdRng::seed_from_u64(id);
+        let app = AppModel::wrf().instantiate(&mut rng, nodes, 16, &NodeTopology::stampede());
+        Job {
+            id,
+            user: user.into(),
+            uid: 5000,
+            account: "TG".into(),
+            job_name: "r".into(),
+            exec: "wrf.exe".into(),
+            queue: QueueName::Normal,
+            n_nodes: nodes,
+            wayness: 16,
+            submit: SimTime::from_secs(start),
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(start) + SimDuration::from_hours(hours),
+            status: JobStatus::Completed,
+            nodes: (0..nodes).collect(),
+            idle_nodes: 0,
+            app,
+        }
+    }
+
+    fn db() -> Database {
+        let rules = FlagRules::default();
+        let mut db = Database::new();
+        let mut clean = JobMetrics::new();
+        clean.set(MetricId::CpuUsage, 0.9);
+        clean.set(MetricId::VecPercent, 50.0);
+        let mut stormy = JobMetrics::new();
+        stormy.set(MetricId::CpuUsage, 0.6);
+        stormy.set(MetricId::MetaDataRate, 500_000.0);
+        // Day 0: two users, one flagged job.
+        ingest_job(&mut db, &mk_job(1, "alice", 3600, 2, 4), &clean, &rules, 34.0);
+        ingest_job(&mut db, &mk_job(2, "bob", 7200, 1, 2), &stormy, &rules, 34.0);
+        // Day 1: one job, out of the day-0 report window.
+        ingest_job(&mut db, &mk_job(3, "alice", 90_000, 1, 1), &clean, &rules, 34.0);
+        db
+    }
+
+    #[test]
+    fn summary_counts_one_day_only() {
+        let db = db();
+        let t = db.table(JOBS_TABLE).unwrap();
+        let s = daily_summary(t, 0);
+        assert_eq!(s.n_jobs, 2);
+        assert_eq!(s.n_users, 2);
+        assert_eq!(s.node_hours, 8.0 + 2.0);
+        assert_eq!(s.n_flagged, 1);
+        assert_eq!(s.flag_counts.get("HighMetadataRate"), Some(&1));
+        assert_eq!(s.top_users[0], ("alice".to_string(), 8.0));
+        let day1 = daily_summary(t, 86_400);
+        assert_eq!(day1.n_jobs, 1);
+        assert_eq!(day1.n_flagged, 0);
+    }
+
+    #[test]
+    fn report_renders() {
+        let db = db();
+        let t = db.table(JOBS_TABLE).unwrap();
+        let r = daily_report(t, 0);
+        assert!(r.contains("jobs started : 2"));
+        assert!(r.contains("HighMetadataRate"));
+        assert!(r.contains("alice"));
+        assert!(r.contains("flagged jobs : 1 (50.0%)"));
+    }
+
+    #[test]
+    fn empty_day_is_graceful() {
+        let db = db();
+        let t = db.table(JOBS_TABLE).unwrap();
+        let s = daily_summary(t, 10 * 86_400);
+        assert_eq!(s.n_jobs, 0);
+        let r = daily_report(t, 10 * 86_400);
+        assert!(r.contains("jobs started : 0"));
+    }
+}

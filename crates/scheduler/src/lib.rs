@@ -1,0 +1,34 @@
+//! # tacc-scheduler — synthetic job scheduler and workload generator
+//!
+//! TACC Stats is driven by the batch scheduler: "At the begin and end of
+//! every job TACC Stats is executed by a job scheduler in order to obtain
+//! at least 2 data points per job and provide TACC Stats with a job id"
+//! (§III-A). The paper's §V analyses run over the resulting job
+//! population — 404,002 jobs in Q4 2015 on Stampede.
+//!
+//! This crate provides:
+//!
+//! * [`job`] — job metadata matching what the portal displays (user,
+//!   executable, queue, wayness, node list, timings, completion status),
+//! * [`sched`] — an event-driven FCFS scheduler with per-queue node
+//!   pools; emits `Started`/`Ended` events the monitoring system turns
+//!   into prolog/epilog collections,
+//! * [`workload`] — a calibrated population generator reproducing the
+//!   §V-A workload shape (app mix, node counts, runtimes, the WRF
+//!   population with its one pathological user, largemem misuse, idle
+//!   nodes),
+//! * [`procevents`] — process start/stop event streams for the §VI-C
+//!   shared-node scheme.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod job;
+pub mod procevents;
+pub mod sched;
+pub mod workload;
+pub mod xalt;
+
+pub use job::{Job, JobId, JobRequest, JobStatus, QueueName};
+pub use sched::{SchedEvent, Scheduler};
+pub use workload::{WorkloadConfig, WorkloadGenerator};

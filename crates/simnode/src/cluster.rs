@@ -1,0 +1,187 @@
+//! A simulated cluster: a set of nodes sharing one clock.
+//!
+//! Node state is behind `parking_lot::RwLock`s so the collector threads
+//! (one per node in daemon mode) and the workload driver can run
+//! concurrently, as they do on a real system. Advancing the whole cluster
+//! fans out across threads with crossbeam's scoped threads.
+
+use crate::clock::{SimClock, SimDuration};
+use crate::node::SimNode;
+use crate::topology::NodeTopology;
+use crate::workload::NodeDemand;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A collection of simulated nodes sharing a [`SimClock`].
+pub struct SimCluster {
+    clock: SimClock,
+    nodes: Vec<Arc<RwLock<SimNode>>>,
+}
+
+impl SimCluster {
+    /// Build a homogeneous cluster of `n` nodes named `prefix-<i>`.
+    pub fn homogeneous(
+        clock: SimClock,
+        prefix: &str,
+        n: usize,
+        topology: NodeTopology,
+    ) -> SimCluster {
+        let nodes = (0..n)
+            .map(|i| {
+                Arc::new(RwLock::new(SimNode::new(
+                    format!("{prefix}-{i:04}"),
+                    topology.clone(),
+                )))
+            })
+            .collect();
+        SimCluster { clock, nodes }
+    }
+
+    /// Build a cluster from explicit nodes.
+    pub fn from_nodes(clock: SimClock, nodes: Vec<SimNode>) -> SimCluster {
+        SimCluster {
+            clock,
+            nodes: nodes
+                .into_iter()
+                .map(|n| Arc::new(RwLock::new(n)))
+                .collect(),
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Shared handle to node `i`.
+    pub fn node(&self, i: usize) -> Arc<RwLock<SimNode>> {
+        Arc::clone(&self.nodes[i])
+    }
+
+    /// All node handles.
+    pub fn nodes(&self) -> &[Arc<RwLock<SimNode>>] {
+        &self.nodes
+    }
+
+    /// Find a node index by hostname.
+    pub fn index_of(&self, hostname: &str) -> Option<usize> {
+        self.nodes
+            .iter()
+            .position(|n| n.read().hostname == hostname)
+    }
+
+    /// Advance every node by `dt` using per-node demands supplied by
+    /// `demand_of` (node index → demand; `None` means idle), then advance
+    /// the shared clock. Fans out over worker threads for large clusters.
+    pub fn advance_all<F>(&self, dt: SimDuration, demand_of: F)
+    where
+        F: Fn(usize) -> Option<NodeDemand> + Sync,
+    {
+        let n_workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(self.nodes.len().max(1));
+        if self.nodes.len() < 32 || n_workers == 1 {
+            let idle = NodeDemand::idle();
+            for (i, node) in self.nodes.iter().enumerate() {
+                let d = demand_of(i);
+                node.write().advance(dt, d.as_ref().unwrap_or(&idle));
+            }
+        } else {
+            let chunk = self.nodes.len().div_ceil(n_workers);
+            crossbeam::thread::scope(|s| {
+                for (w, nodes) in self.nodes.chunks(chunk).enumerate() {
+                    let demand_of = &demand_of;
+                    s.spawn(move |_| {
+                        let idle = NodeDemand::idle();
+                        for (j, node) in nodes.iter().enumerate() {
+                            let i = w * chunk + j;
+                            let d = demand_of(i);
+                            node.write().advance(dt, d.as_ref().unwrap_or(&idle));
+                        }
+                    });
+                }
+            })
+            .expect("cluster advance worker panicked");
+        }
+        self.clock.advance(dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DeviceType;
+
+    #[test]
+    fn homogeneous_cluster_names_nodes() {
+        let c = SimCluster::homogeneous(SimClock::new(), "c401", 3, NodeTopology::stampede());
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.node(0).read().hostname, "c401-0000");
+        assert_eq!(c.index_of("c401-0002"), Some(2));
+        assert_eq!(c.index_of("nope"), None);
+    }
+
+    #[test]
+    fn advance_all_advances_clock_and_nodes() {
+        let c = SimCluster::homogeneous(SimClock::new(), "c", 4, NodeTopology::stampede());
+        let busy = NodeDemand {
+            active_cores: 16,
+            cpu_user_frac: 0.5,
+            ..NodeDemand::idle()
+        };
+        c.advance_all(SimDuration::from_secs(60), |i| {
+            if i == 0 {
+                Some(busy.clone())
+            } else {
+                None
+            }
+        });
+        assert_eq!(c.clock().now().as_secs(), 60);
+        let n0 = c.node(0);
+        let n1 = c.node(1);
+        let user0 = n0.read().devices(DeviceType::Cpustat)[0].read("user").unwrap();
+        let user1 = n1.read().devices(DeviceType::Cpustat)[0].read("user").unwrap();
+        assert!(user0 > 0);
+        assert_eq!(user1, 0);
+    }
+
+    #[test]
+    fn parallel_advance_matches_serial() {
+        // 64 nodes triggers the threaded path; totals must match the
+        // serial result exactly (demands are pure).
+        let mk = || SimCluster::homogeneous(SimClock::new(), "c", 64, NodeTopology::stampede());
+        let busy = |i: usize| {
+            Some(NodeDemand {
+                active_cores: 16,
+                cpu_user_frac: 0.3 + (i % 5) as f64 * 0.1,
+                ..NodeDemand::idle()
+            })
+        };
+        let par = mk();
+        par.advance_all(SimDuration::from_secs(600), busy);
+        let ser = mk();
+        {
+            let idle = NodeDemand::idle();
+            for (i, node) in ser.nodes().iter().enumerate() {
+                node.write()
+                    .advance(SimDuration::from_secs(600), busy(i).as_ref().unwrap_or(&idle));
+            }
+        }
+        for i in 0..64 {
+            let a = par.node(i).read().devices(DeviceType::Cpustat)[0].read_all();
+            let b = ser.node(i).read().devices(DeviceType::Cpustat)[0].read_all();
+            assert_eq!(a, b, "node {i}");
+        }
+    }
+}

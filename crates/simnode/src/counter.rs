@@ -1,0 +1,186 @@
+//! Hardware-counter primitives.
+//!
+//! Real performance counters are fixed-width cumulative registers: core
+//! MSR counters are 48 bits wide, RAPL energy-status registers only 32,
+//! and procfs counters effectively 64. The paper's metric definitions
+//! (§IV-A) rely on counters being *cumulative* so that infrequent (10 min)
+//! sampling still yields exact average rates — but the collector must
+//! handle register wrap-around between samples. The simulation therefore
+//! accumulates full-precision values internally and exposes *wrapped*
+//! readings, so the collector's rollover logic is genuinely exercised.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing hardware counter with a fixed register
+/// width.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Counter {
+    /// Register width in bits (1..=64).
+    width: u32,
+    /// Full-precision accumulated value (never wraps in practice: u64
+    /// nanojoule-scale quantities over simulated months stay < 2^64).
+    total: u64,
+}
+
+impl Counter {
+    /// New zeroed counter of the given register width.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "counter width {width} out of range");
+        Counter { width, total: 0 }
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Bit mask of the register.
+    pub fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Increment by `delta` events.
+    pub fn add(&mut self, delta: u64) {
+        self.total = self.total.wrapping_add(delta);
+    }
+
+    /// The value a register read returns: the accumulated total truncated
+    /// to the register width (i.e. after any wrap-arounds).
+    pub fn read(&self) -> u64 {
+        self.total & self.mask()
+    }
+
+    /// Full-precision total (ground truth, used by tests to validate the
+    /// collector's rollover correction).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Reset to zero (counters reset on node reboot).
+    pub fn reset(&mut self) {
+        self.total = 0;
+    }
+}
+
+/// Correct a delta between two fixed-width register reads for (at most
+/// one) wrap-around — the same arithmetic the real tacc_stats applies.
+///
+/// Returns `curr - prev` modulo `2^width`.
+pub fn wrapping_delta(prev: u64, curr: u64, width: u32) -> u64 {
+    let mask = if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    curr.wrapping_sub(prev) & mask
+}
+
+/// Accumulate fractional event counts into integer counter increments
+/// without losing the fractional part across simulation steps.
+///
+/// Workload models produce *rates* (e.g. 3.7e9 FLOPs per second); stepping
+/// the simulation by, say, 100 ms yields fractional event counts. This
+/// accumulator carries the remainder so long-run totals are exact.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FracAccum {
+    carry: f64,
+}
+
+impl FracAccum {
+    /// New accumulator with zero carry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convert a fractional amount into a whole-event increment, carrying
+    /// the remainder to the next call.
+    pub fn step(&mut self, amount: f64) -> u64 {
+        debug_assert!(amount.is_finite() && amount >= 0.0, "bad amount {amount}");
+        let total = self.carry + amount.max(0.0);
+        let whole = total.floor();
+        self.carry = total - whole;
+        // Clamp: a single step never plausibly exceeds u64 in this sim.
+        whole.min(u64::MAX as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_wraps_at_width() {
+        let mut c = Counter::new(8);
+        c.add(300);
+        assert_eq!(c.read(), 300 % 256);
+        assert_eq!(c.total(), 300);
+    }
+
+    #[test]
+    fn counter_full_width_never_masks() {
+        let mut c = Counter::new(64);
+        c.add(u64::MAX / 2);
+        assert_eq!(c.read(), u64::MAX / 2);
+    }
+
+    #[test]
+    fn wrapping_delta_handles_single_wrap() {
+        // 32-bit RAPL register wrapping once between samples.
+        let prev = 0xFFFF_FF00u64;
+        let curr = 0x0000_0100u64;
+        assert_eq!(wrapping_delta(prev, curr, 32), 0x200);
+    }
+
+    #[test]
+    fn wrapping_delta_no_wrap() {
+        assert_eq!(wrapping_delta(100, 350, 48), 250);
+    }
+
+    #[test]
+    fn frac_accum_conserves_totals() {
+        let mut acc = FracAccum::new();
+        let mut sum = 0u64;
+        for _ in 0..1000 {
+            sum += acc.step(0.3);
+        }
+        // 1000 * 0.3 = 300 events, +-1 for the trailing carry.
+        assert!(sum == 299 || sum == 300, "sum = {sum}");
+    }
+
+    proptest! {
+        /// The collector-side rollover correction must recover the true
+        /// delta whenever the true delta fits in the register width.
+        #[test]
+        fn rollover_correction_recovers_truth(
+            start in 0u64..u64::MAX / 4,
+            delta in 0u64..1u64 << 30,
+            width in 32u32..=64,
+        ) {
+            let mut c = Counter::new(width);
+            c.add(start);
+            let prev = c.read();
+            c.add(delta);
+            let curr = c.read();
+            prop_assert_eq!(wrapping_delta(prev, curr, width), delta & c.mask());
+        }
+
+        /// FracAccum never loses more than one event over any sequence.
+        #[test]
+        fn frac_accum_error_bounded(amounts in proptest::collection::vec(0.0f64..1e6, 1..100)) {
+            let mut acc = FracAccum::new();
+            let mut got = 0u64;
+            let mut want = 0.0f64;
+            for a in &amounts {
+                got += acc.step(*a);
+                want += *a;
+            }
+            let err = (want - got as f64).abs();
+            prop_assert!(err <= 1.0 + want * 1e-9, "err = {err}");
+        }
+    }
+}

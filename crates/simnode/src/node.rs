@@ -1,0 +1,757 @@
+//! A simulated compute node.
+//!
+//! [`SimNode`] owns one [`SimDevice`] per monitored hardware/OS resource
+//! and a process table. [`SimNode::advance`] integrates a workload
+//! [`NodeDemand`] over a time step into counter increments, emulating what
+//! the real hardware would have counted.
+//!
+//! The node exposes the *raw interfaces* the collector consumes:
+//! binary MSR reads ([`SimNode::read_msr`]), PCI-config-space uncore
+//! counter reads ([`SimNode::read_pci_counter`]), and — through
+//! [`crate::pseudofs`] — procfs/sysfs-style text files.
+
+use crate::devices::SimDevice;
+use crate::schema::DeviceType;
+use crate::topology::NodeTopology;
+use crate::workload::NodeDemand;
+use crate::SimDuration;
+use std::collections::BTreeMap;
+
+/// MSR address of IA32_FIXED_CTR0 (instructions retired).
+pub const MSR_FIXED_CTR0: u32 = 0x309;
+/// MSR address of IA32_FIXED_CTR1 (core cycles).
+pub const MSR_FIXED_CTR1: u32 = 0x30A;
+/// MSR address of IA32_FIXED_CTR2 (reference cycles).
+pub const MSR_FIXED_CTR2: u32 = 0x30B;
+/// MSR address of the first programmable counter (IA32_PMC0).
+pub const MSR_PMC0: u32 = 0xC1;
+/// MSR address of the RAPL package energy-status register.
+pub const MSR_PKG_ENERGY_STATUS: u32 = 0x611;
+/// MSR address of the RAPL power-plane-0 (cores) energy-status register.
+pub const MSR_PP0_ENERGY_STATUS: u32 = 0x639;
+/// MSR address of the RAPL DRAM energy-status register.
+pub const MSR_DRAM_ENERGY_STATUS: u32 = 0x619;
+
+/// Uncore device selector for PCI-config-space reads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UncoreDev {
+    /// Integrated memory controller.
+    Imc,
+    /// QPI link layer.
+    Qpi,
+    /// LLC coherence boxes.
+    Cbo,
+}
+
+/// An entry in the simulated process table — the data the paper's new
+/// procfs collection gathers per process (§III-B item 4).
+#[derive(Clone, Debug)]
+pub struct ProcessInfo {
+    /// Process id.
+    pub pid: u32,
+    /// Owning user id.
+    pub uid: u32,
+    /// Executable name.
+    pub comm: String,
+    /// Virtual memory size (KiB).
+    pub vm_size_kib: u64,
+    /// Virtual memory high-water mark — peak VmSize (KiB).
+    pub vm_peak_kib: u64,
+    /// Resident set size (KiB).
+    pub vm_rss_kib: u64,
+    /// RSS high-water mark (KiB). The paper: "a true memory high water
+    /// mark for each process is recorded by the OS".
+    pub vm_hwm_kib: u64,
+    /// Locked memory (KiB).
+    pub vm_lck_kib: u64,
+    /// Data segment size (KiB).
+    pub vm_data_kib: u64,
+    /// Stack size (KiB).
+    pub vm_stk_kib: u64,
+    /// Text segment size (KiB).
+    pub vm_exe_kib: u64,
+    /// Thread count.
+    pub threads: u32,
+    /// CPU affinity mask (bit per logical CPU).
+    pub cpus_allowed: u64,
+    /// Memory (NUMA node) affinity mask.
+    pub mems_allowed: u64,
+    /// Cumulative user-mode jiffies consumed.
+    pub utime_jiffies: u64,
+}
+
+/// A simulated compute node.
+#[derive(Clone, Debug)]
+pub struct SimNode {
+    /// Hostname, e.g. `c401-101`.
+    pub hostname: String,
+    /// Hardware layout.
+    pub topology: NodeTopology,
+    devices: BTreeMap<DeviceType, Vec<SimDevice>>,
+    processes: Vec<ProcessInfo>,
+    next_pid: u32,
+    crashed: bool,
+    boot_count: u32,
+}
+
+impl SimNode {
+    /// Build a node with all devices implied by its topology.
+    pub fn new(hostname: impl Into<String>, topology: NodeTopology) -> Self {
+        let arch = topology.arch;
+        let mut devices: BTreeMap<DeviceType, Vec<SimDevice>> = BTreeMap::new();
+        let per_cpu = |dt: DeviceType| -> Vec<SimDevice> {
+            (0..topology.n_cpus())
+                .map(|c| SimDevice::new(dt, c.to_string(), arch))
+                .collect()
+        };
+        let per_socket = |dt: DeviceType| -> Vec<SimDevice> {
+            (0..topology.sockets)
+                .map(|s| SimDevice::new(dt, s.to_string(), arch))
+                .collect()
+        };
+        devices.insert(DeviceType::Cpu, per_cpu(DeviceType::Cpu));
+        devices.insert(DeviceType::Cpustat, per_cpu(DeviceType::Cpustat));
+        devices.insert(DeviceType::Imc, per_socket(DeviceType::Imc));
+        devices.insert(DeviceType::Qpi, per_socket(DeviceType::Qpi));
+        devices.insert(DeviceType::Cbo, per_socket(DeviceType::Cbo));
+        if arch.has_rapl() {
+            devices.insert(DeviceType::Rapl, per_socket(DeviceType::Rapl));
+        }
+        let mut mems = per_socket(DeviceType::Mem);
+        let mem_per_socket_kib = topology.memory_bytes / 1024 / topology.sockets as u64;
+        for m in &mut mems {
+            m.set_gauge("MemTotal", mem_per_socket_kib);
+        }
+        devices.insert(DeviceType::Mem, mems);
+        if topology.has_infiniband {
+            devices.insert(
+                DeviceType::Ib,
+                vec![SimDevice::new(DeviceType::Ib, "mlx4_0/1", arch)],
+            );
+        }
+        devices.insert(
+            DeviceType::Net,
+            vec![SimDevice::new(DeviceType::Net, "eth0", arch)],
+        );
+        if !topology.lustre_filesystems.is_empty() {
+            let per_fs = |dt: DeviceType| -> Vec<SimDevice> {
+                topology
+                    .lustre_filesystems
+                    .iter()
+                    .map(|fs| SimDevice::new(dt, fs.clone(), arch))
+                    .collect()
+            };
+            devices.insert(DeviceType::Llite, per_fs(DeviceType::Llite));
+            devices.insert(DeviceType::Mdc, per_fs(DeviceType::Mdc));
+            devices.insert(DeviceType::Osc, per_fs(DeviceType::Osc));
+            devices.insert(
+                DeviceType::Lnet,
+                vec![SimDevice::new(DeviceType::Lnet, "lnet", arch)],
+            );
+        }
+        if topology.mic_cards > 0 {
+            devices.insert(
+                DeviceType::Mic,
+                (0..topology.mic_cards)
+                    .map(|i| SimDevice::new(DeviceType::Mic, format!("mic{i}"), arch))
+                    .collect(),
+            );
+        }
+        SimNode {
+            hostname: hostname.into(),
+            topology,
+            devices,
+            processes: Vec::new(),
+            next_pid: 1000,
+            crashed: false,
+            boot_count: 1,
+        }
+    }
+
+    /// Device instances of a type (empty slice if the hardware is absent —
+    /// e.g. no Lustre mounts, no Phi, no IB).
+    pub fn devices(&self, dt: DeviceType) -> &[SimDevice] {
+        self.devices.get(&dt).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Current process table.
+    pub fn processes(&self) -> &[ProcessInfo] {
+        &self.processes
+    }
+
+    /// Whether the node has crashed (and not yet rebooted).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Number of times the node has booted.
+    pub fn boot_count(&self) -> u32 {
+        self.boot_count
+    }
+
+    /// Simulate a node failure: the node stops responding (advance becomes
+    /// a no-op and reads fail) until [`SimNode::reboot`].
+    pub fn crash(&mut self) {
+        self.crashed = true;
+        self.processes.clear();
+    }
+
+    /// Reboot after a crash: all counters reset to zero (as real hardware
+    /// counters do), the process table empties.
+    pub fn reboot(&mut self) {
+        for devs in self.devices.values_mut() {
+            for d in devs {
+                d.reset();
+            }
+        }
+        let mem_per_socket_kib =
+            self.topology.memory_bytes / 1024 / self.topology.sockets as u64;
+        if let Some(mems) = self.devices.get_mut(&DeviceType::Mem) {
+            for m in mems {
+                m.set_gauge("MemTotal", mem_per_socket_kib);
+            }
+        }
+        self.processes.clear();
+        self.crashed = false;
+        self.boot_count += 1;
+    }
+
+    /// Spawn an application process; returns its pid.
+    pub fn spawn_process(
+        &mut self,
+        comm: &str,
+        uid: u32,
+        threads: u32,
+        cpus_allowed: u64,
+    ) -> u32 {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.processes.push(ProcessInfo {
+            pid,
+            uid,
+            comm: comm.to_string(),
+            vm_size_kib: 40 << 10, // ~40 MB at startup
+            vm_peak_kib: 40 << 10,
+            vm_rss_kib: 8 << 10,
+            vm_hwm_kib: 8 << 10,
+            vm_lck_kib: 0,
+            vm_data_kib: 16 << 10,
+            vm_stk_kib: 8 << 10,
+            vm_exe_kib: 4 << 10,
+            threads,
+            cpus_allowed,
+            mems_allowed: (1u64 << self.topology.sockets) - 1,
+            utime_jiffies: 0,
+        });
+        pid
+    }
+
+    /// Terminate a process by pid. Returns true if it existed.
+    pub fn end_process(&mut self, pid: u32) -> bool {
+        let before = self.processes.len();
+        self.processes.retain(|p| p.pid != pid);
+        self.processes.len() != before
+    }
+
+    /// Terminate every process owned by `uid`.
+    pub fn end_processes_of(&mut self, uid: u32) {
+        self.processes.retain(|p| p.uid != uid);
+    }
+
+    /// Integrate `demand` over `dt`, advancing every counter on the node.
+    ///
+    /// A crashed node ignores the call.
+    pub fn advance(&mut self, dt: SimDuration, demand: &NodeDemand) {
+        if self.crashed || dt.is_zero() {
+            return;
+        }
+        let dt_s = dt.as_secs_f64();
+        let topo = self.topology.clone();
+        let arch = topo.arch;
+        
+        let active = demand.active_cores.min(topo.n_cores());
+        let user = demand.cpu_user_frac;
+        let sys = demand.cpu_sys_frac;
+        let iow = demand.cpu_iowait_frac;
+
+        // --- Core counters + /proc/stat accounting, per logical CPU ---
+        // Active cores are the first `active` physical cores; jobs run one
+        // hardware thread per core (typical HPC pinning).
+        let clock = arch.clock_hz() as f64;
+        // Cycles accrue whenever the core is busy (user or system); the
+        // demanded CPI relates retired instructions to those cycles, so
+        // metric-side CPI recovers the demand exactly.
+        let cycles_per_active_cpu = clock * (user + sys) * dt_s;
+        let inst_per_active_cpu = if active > 0 {
+            cycles_per_active_cpu / demand.cpi
+        } else {
+            0.0
+        };
+        // FP instruction decomposition: flops = N*((1-v) + v*w), where N is
+        // FP instructions/s and w the vector width in FLOPs.
+        let w = arch.vector_width_flops() as f64;
+        let v = demand.vector_frac;
+        let fp_inst_rate = if demand.flops_per_sec > 0.0 {
+            demand.flops_per_sec / ((1.0 - v) + v * w)
+        } else {
+            0.0
+        };
+        let fp_scalar_node = fp_inst_rate * (1.0 - v) * dt_s;
+        let fp_vector_node = fp_inst_rate * v * dt_s;
+        {
+            let cpus = self.devices.get_mut(&DeviceType::Cpu).expect("cpu devs");
+            for (c, dev) in cpus.iter_mut().enumerate() {
+                let core_active = topo.core_of_cpu(c) < active && c < topo.n_cores();
+                if !core_active {
+                    continue;
+                }
+                let an = active as f64;
+                dev.add("FIXED_CTR0", inst_per_active_cpu);
+                dev.add("FIXED_CTR1", clock * (user + sys) * dt_s);
+                dev.add("FIXED_CTR2", clock * (user + sys) * dt_s);
+                dev.add("FP_SCALAR", fp_scalar_node / an);
+                dev.add("FP_VECTOR", fp_vector_node / an);
+                let loads = inst_per_active_cpu * demand.loads_per_inst;
+                dev.add("LOAD_ALL", loads);
+                dev.add("LOAD_L1_HIT", loads * demand.l1_hit_frac);
+                if dev.schema().index_of("LOAD_L2_HIT").is_some() {
+                    dev.add("LOAD_L2_HIT", loads * demand.l2_hit_frac);
+                    dev.add("LOAD_LLC_HIT", loads * demand.llc_hit_frac);
+                }
+            }
+        }
+        {
+            let stats = self.devices.get_mut(&DeviceType::Cpustat).expect("cpustat");
+            let jiffies = dt_s * 100.0;
+            for (c, dev) in stats.iter_mut().enumerate() {
+                let core_active = topo.core_of_cpu(c) < active && c < topo.n_cores();
+                if core_active {
+                    dev.add("user", jiffies * user);
+                    dev.add("system", jiffies * sys);
+                    dev.add("iowait", jiffies * iow);
+                    dev.add("idle", jiffies * (1.0 - user - sys - iow).max(0.0));
+                } else {
+                    dev.add("system", jiffies * 0.002);
+                    dev.add("idle", jiffies * 0.998);
+                }
+            }
+        }
+
+        // --- Uncore: memory controller, QPI, LLC boxes (per socket) ---
+        let sockets = topo.sockets as f64;
+        let bytes = demand.mem_bw_bytes_per_sec * dt_s;
+        let cas_total = bytes / 64.0; // one CAS per 64 B cache line
+        {
+            let imcs = self.devices.get_mut(&DeviceType::Imc).expect("imc");
+            for dev in imcs.iter_mut() {
+                dev.add("CAS_READS", cas_total * (2.0 / 3.0) / sockets);
+                dev.add("CAS_WRITES", cas_total * (1.0 / 3.0) / sockets);
+                dev.add("CYCLES", clock * dt_s);
+            }
+        }
+        {
+            // Cross-socket traffic modelled as a fixed share of memory
+            // traffic; QPI moves 8-byte flits.
+            let qpis = self.devices.get_mut(&DeviceType::Qpi).expect("qpi");
+            let data_flits = bytes * 0.25 / 8.0 / sockets;
+            for dev in qpis.iter_mut() {
+                dev.add("G0_DATA_FLITS", data_flits);
+                dev.add("G0_NON_DATA_FLITS", data_flits * 0.5);
+            }
+        }
+        {
+            let total_loads =
+                inst_per_active_cpu * demand.loads_per_inst * active as f64;
+            let lookups =
+                total_loads * (1.0 - demand.l1_hit_frac - demand.l2_hit_frac).max(0.0);
+            let hits = total_loads * demand.llc_hit_frac;
+            let cbos = self.devices.get_mut(&DeviceType::Cbo).expect("cbo");
+            for dev in cbos.iter_mut() {
+                dev.add("LLC_LOOKUP", lookups / sockets);
+                dev.add("LLC_MISS", (lookups - hits).max(0.0) / sockets);
+            }
+        }
+
+        // --- RAPL energy (per socket) ---
+        if let Some(rapls) = self.devices.get_mut(&DeviceType::Rapl) {
+            // Simple linear power model per socket.
+            let busy = (user + sys) * active as f64 / topo.n_cores() as f64;
+            let pkg_w = 40.0 + 75.0 * busy;
+            let pp0_w = 25.0 + 65.0 * busy;
+            let bw_frac = (demand.mem_bw_bytes_per_sec / 5.0e10).min(1.0);
+            let dram_w = 6.0 + 14.0 * bw_frac;
+            let joules_to_units = 16384.0; // 2^14 units per joule
+            for dev in rapls.iter_mut() {
+                dev.add("MSR_PKG_ENERGY_STATUS", pkg_w * dt_s * joules_to_units);
+                dev.add("MSR_PP0_ENERGY_STATUS", pp0_w * dt_s * joules_to_units);
+                dev.add("MSR_DRAM_ENERGY_STATUS", dram_w * dt_s * joules_to_units);
+            }
+        }
+
+        // --- Memory gauges ---
+        {
+            let used_kib = (demand.mem_used_bytes / 1024).max(512 << 10);
+            let mems = self.devices.get_mut(&DeviceType::Mem).expect("mem");
+            let per_socket = used_kib / topo.sockets as u64;
+            for dev in mems.iter_mut() {
+                dev.set_gauge("MemUsed", per_socket);
+                dev.set_gauge("FilePages", per_socket / 5);
+                dev.set_gauge("AnonPages", per_socket * 7 / 10);
+            }
+        }
+
+        // --- Networks ---
+        if let Some(ibs) = self.devices.get_mut(&DeviceType::Ib) {
+            let ib_bytes = demand.ib_bytes_per_sec * dt_s;
+            let pkts = ib_bytes / demand.ib_pkt_size.max(16.0);
+            for dev in ibs.iter_mut() {
+                // IB data counters count 4-byte words.
+                dev.add("port_xmit_data", ib_bytes / 4.0);
+                dev.add("port_rcv_data", ib_bytes / 4.0);
+                dev.add("port_xmit_pkts", pkts);
+                dev.add("port_rcv_pkts", pkts);
+            }
+        }
+        {
+            let nets = self.devices.get_mut(&DeviceType::Net).expect("net");
+            let gbytes = demand.gige_bytes_per_sec * dt_s;
+            for dev in nets.iter_mut() {
+                dev.add("rx_bytes", gbytes / 2.0);
+                dev.add("tx_bytes", gbytes / 2.0);
+                dev.add("rx_packets", gbytes / 2.0 / 1448.0);
+                dev.add("tx_packets", gbytes / 2.0 / 1448.0);
+            }
+        }
+
+        // --- Lustre ---
+        let n_fs = self.devices(DeviceType::Llite).len();
+        let mut lnet_tx = 0.0f64;
+        let mut lnet_rx = 0.0f64;
+        let mut lnet_msgs = 0.0f64;
+        for fs_idx in 0..n_fs {
+            let ld = match demand.lustre.get(fs_idx) {
+                Some(ld) => ld.clone(),
+                None => continue,
+            };
+            {
+                let llites = self.devices.get_mut(&DeviceType::Llite).expect("llite");
+                let dev = &mut llites[fs_idx];
+                dev.add("read_bytes", ld.read_bytes_per_sec * dt_s);
+                dev.add("write_bytes", ld.write_bytes_per_sec * dt_s);
+                dev.add("open", ld.opens_per_sec * dt_s);
+                dev.add("close", ld.opens_per_sec * dt_s);
+                dev.add("getattr", ld.getattr_per_sec * dt_s);
+                dev.add("statfs", 0.01 * dt_s);
+                dev.add("seek", ld.osc_reqs_per_sec * 0.5 * dt_s);
+                dev.add("fsync", 0.001 * dt_s);
+            }
+            {
+                let mdcs = self.devices.get_mut(&DeviceType::Mdc).expect("mdc");
+                let dev = &mut mdcs[fs_idx];
+                let reqs = ld.mdc_reqs_per_sec * dt_s;
+                dev.add("reqs", reqs);
+                dev.add("wait", reqs * ld.mdc_wait_us);
+            }
+            {
+                let oscs = self.devices.get_mut(&DeviceType::Osc).expect("osc");
+                let dev = &mut oscs[fs_idx];
+                let reqs = ld.osc_reqs_per_sec * dt_s;
+                dev.add("reqs", reqs);
+                dev.add("wait", reqs * ld.osc_wait_us);
+                dev.add("read_bytes", ld.read_bytes_per_sec * dt_s);
+                dev.add("write_bytes", ld.write_bytes_per_sec * dt_s);
+            }
+            lnet_tx += ld.write_bytes_per_sec * dt_s;
+            lnet_rx += ld.read_bytes_per_sec * dt_s;
+            lnet_msgs += (ld.mdc_reqs_per_sec + ld.osc_reqs_per_sec) * dt_s;
+        }
+        if let Some(lnets) = self.devices.get_mut(&DeviceType::Lnet) {
+            for dev in lnets.iter_mut() {
+                // Metadata RPCs move small (~1 KiB) messages.
+                dev.add("tx_bytes", lnet_tx + lnet_msgs * 512.0);
+                dev.add("rx_bytes", lnet_rx + lnet_msgs * 512.0);
+                dev.add("tx_msgs", lnet_msgs + (lnet_tx / (1 << 20) as f64));
+                dev.add("rx_msgs", lnet_msgs + (lnet_rx / (1 << 20) as f64));
+            }
+        }
+
+        // --- Xeon Phi ---
+        if let Some(mics) = self.devices.get_mut(&DeviceType::Mic) {
+            // KNC SE10P: 61 cores × 4 hardware threads = 244 logical CPUs.
+            let mic_cpus = 244.0;
+            let jiffies = dt_s * 100.0 * mic_cpus;
+            for dev in mics.iter_mut() {
+                dev.add("user_sum", jiffies * demand.mic_user_frac);
+                dev.add("sys_sum", jiffies * 0.005);
+                dev.add(
+                    "idle_sum",
+                    jiffies * (1.0 - demand.mic_user_frac - 0.005).max(0.0),
+                );
+            }
+        }
+
+        // --- Process table ---
+        if !self.processes.is_empty() {
+            let n_app = self
+                .processes
+                .iter()
+                .filter(|p| p.uid >= 1000)
+                .count()
+                .max(1) as f64;
+            let rss_each = (demand.mem_used_bytes / 1024) / n_app as u64;
+            let cpu_jiffies_each =
+                dt_s * 100.0 * user * active as f64 / n_app;
+            for p in &mut self.processes {
+                if p.uid < 1000 {
+                    continue; // system daemons stay tiny
+                }
+                p.vm_rss_kib = rss_each;
+                p.vm_hwm_kib = p.vm_hwm_kib.max(rss_each);
+                p.vm_size_kib = rss_each + (64 << 10);
+                p.vm_peak_kib = p.vm_peak_kib.max(p.vm_size_kib);
+                p.vm_data_kib = rss_each * 8 / 10;
+                p.utime_jiffies += cpu_jiffies_each as u64;
+            }
+        }
+    }
+
+    /// Read a model-specific register of a logical CPU, as the collector
+    /// would through `/dev/cpu/<cpu>/msr`. Returns `None` for unknown
+    /// addresses, out-of-range CPUs, or a crashed node.
+    pub fn read_msr(&self, cpu: usize, addr: u32) -> Option<u64> {
+        if self.crashed || cpu >= self.topology.n_cpus() {
+            return None;
+        }
+        let cpu_dev = |ev: &str| self.devices(DeviceType::Cpu).get(cpu)?.read(ev);
+        match addr {
+            MSR_FIXED_CTR0 => cpu_dev("FIXED_CTR0"),
+            MSR_FIXED_CTR1 => cpu_dev("FIXED_CTR1"),
+            MSR_FIXED_CTR2 => cpu_dev("FIXED_CTR2"),
+            a if (MSR_PMC0..MSR_PMC0 + 8).contains(&a) => {
+                let prog_idx = (a - MSR_PMC0) as usize;
+                let dev = self.devices(DeviceType::Cpu).get(cpu)?;
+                // Programmable counters hold events 3.. of the schema.
+                let idx = 3 + prog_idx;
+                if idx < dev.schema().len() {
+                    Some(dev.read_all()[idx])
+                } else {
+                    None
+                }
+            }
+            MSR_PKG_ENERGY_STATUS | MSR_PP0_ENERGY_STATUS | MSR_DRAM_ENERGY_STATUS => {
+                let socket = self.topology.socket_of_cpu(cpu);
+                let dev = self.devices(DeviceType::Rapl).get(socket)?;
+                let ev = match addr {
+                    MSR_PKG_ENERGY_STATUS => "MSR_PKG_ENERGY_STATUS",
+                    MSR_PP0_ENERGY_STATUS => "MSR_PP0_ENERGY_STATUS",
+                    _ => "MSR_DRAM_ENERGY_STATUS",
+                };
+                dev.read(ev)
+            }
+            _ => None,
+        }
+    }
+
+    /// Read an uncore counter from (simulated) PCI configuration space.
+    /// `idx` is the counter index within the device's schema.
+    pub fn read_pci_counter(&self, socket: usize, dev: UncoreDev, idx: usize) -> Option<u64> {
+        if self.crashed {
+            return None;
+        }
+        let dt = match dev {
+            UncoreDev::Imc => DeviceType::Imc,
+            UncoreDev::Qpi => DeviceType::Qpi,
+            UncoreDev::Cbo => DeviceType::Cbo,
+        };
+        let d = self.devices(dt).get(socket)?;
+        d.read_all().get(idx).copied()
+    }
+
+    /// Direct mutable access to a device (used by tests and failure
+    /// injection).
+    pub fn device_mut(&mut self, dt: DeviceType, idx: usize) -> Option<&mut SimDevice> {
+        self.devices.get_mut(&dt)?.get_mut(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::LustreDemand;
+
+    fn busy_demand() -> NodeDemand {
+        NodeDemand {
+            active_cores: 16,
+            cpu_user_frac: 0.9,
+            cpu_sys_frac: 0.02,
+            cpi: 0.8,
+            flops_per_sec: 1e11,
+            vector_frac: 0.8,
+            mem_bw_bytes_per_sec: 4e10,
+            mem_used_bytes: 20 << 30,
+            ib_bytes_per_sec: 2e8,
+            lustre: vec![LustreDemand {
+                mdc_reqs_per_sec: 100.0,
+                mdc_wait_us: 500.0,
+                osc_reqs_per_sec: 50.0,
+                osc_wait_us: 2000.0,
+                opens_per_sec: 2.0,
+                getattr_per_sec: 20.0,
+                read_bytes_per_sec: 1e7,
+                write_bytes_per_sec: 5e6,
+            }],
+            ..NodeDemand::default()
+        }
+    }
+
+    #[test]
+    fn stampede_node_has_expected_devices() {
+        let n = SimNode::new("c401-101", NodeTopology::stampede());
+        assert_eq!(n.devices(DeviceType::Cpu).len(), 16);
+        assert_eq!(n.devices(DeviceType::Imc).len(), 2);
+        assert_eq!(n.devices(DeviceType::Rapl).len(), 2);
+        assert_eq!(n.devices(DeviceType::Llite).len(), 2);
+        assert_eq!(n.devices(DeviceType::Mic).len(), 1);
+        assert_eq!(n.devices(DeviceType::Ib).len(), 1);
+    }
+
+    #[test]
+    fn node_without_options_lacks_devices() {
+        let topo = NodeTopology {
+            has_infiniband: false,
+            mic_cards: 0,
+            lustre_filesystems: vec![],
+            ..NodeTopology::stampede()
+        };
+        let n = SimNode::new("c0-0", topo);
+        assert!(n.devices(DeviceType::Ib).is_empty());
+        assert!(n.devices(DeviceType::Mic).is_empty());
+        assert!(n.devices(DeviceType::Llite).is_empty());
+        assert!(n.devices(DeviceType::Lnet).is_empty());
+    }
+
+    #[test]
+    fn advance_accumulates_instructions_and_flops() {
+        let mut n = SimNode::new("c401-101", NodeTopology::stampede());
+        let d = busy_demand();
+        n.advance(SimDuration::from_secs(600), &d);
+        let cpu0 = &n.devices(DeviceType::Cpu)[0];
+        let inst = cpu0.read("FIXED_CTR0").unwrap();
+        // 2.7 GHz * (0.9 user + 0.02 sys) / 0.8 cpi * 600 s.
+        let expected = 2.7e9 * 0.92 / 0.8 * 600.0;
+        assert!((inst as f64 - expected).abs() / expected < 0.01, "inst={inst}");
+        // Node-wide FLOPs: scalar + 4*vector should equal 1e11 * 600.
+        let mut scalar = 0u64;
+        let mut vector = 0u64;
+        for c in n.devices(DeviceType::Cpu) {
+            scalar += c.read("FP_SCALAR").unwrap();
+            vector += c.read("FP_VECTOR").unwrap();
+        }
+        let flops = scalar as f64 + 4.0 * vector as f64;
+        let want = 1e11 * 600.0;
+        assert!((flops - want).abs() / want < 0.01, "flops={flops}");
+    }
+
+    #[test]
+    fn advance_tracks_lustre_and_ib() {
+        let mut n = SimNode::new("c401-101", NodeTopology::stampede());
+        n.advance(SimDuration::from_secs(100), &busy_demand());
+        let mdc = &n.devices(DeviceType::Mdc)[0];
+        assert_eq!(mdc.read("reqs"), Some(10_000));
+        assert_eq!(mdc.read("wait"), Some(5_000_000));
+        let ib = &n.devices(DeviceType::Ib)[0];
+        // 2e8 B/s * 100 s / 4 B per word = 5e9 words.
+        assert_eq!(ib.read("port_xmit_data"), Some(5_000_000_000));
+        // Second filesystem (work) untouched.
+        let mdc_work = &n.devices(DeviceType::Mdc)[1];
+        assert_eq!(mdc_work.read("reqs"), Some(0));
+    }
+
+    #[test]
+    fn idle_node_only_accrues_idle_jiffies() {
+        let mut n = SimNode::new("c1-1", NodeTopology::stampede());
+        n.advance(SimDuration::from_secs(60), &NodeDemand::idle());
+        let st = &n.devices(DeviceType::Cpustat)[0];
+        assert_eq!(st.read("user"), Some(0));
+        let idle = st.read("idle").unwrap();
+        assert!(idle >= 5900, "idle={idle}"); // ~59.88 s of jiffies
+    }
+
+    #[test]
+    fn msr_reads_match_device_state() {
+        let mut n = SimNode::new("c1-1", NodeTopology::stampede());
+        n.advance(SimDuration::from_secs(600), &busy_demand());
+        let via_msr = n.read_msr(0, MSR_FIXED_CTR0).unwrap();
+        let via_dev = n.devices(DeviceType::Cpu)[0].read("FIXED_CTR0").unwrap();
+        assert_eq!(via_msr, via_dev);
+        // PMC0 is FP_SCALAR (schema index 3).
+        assert_eq!(
+            n.read_msr(5, MSR_PMC0),
+            n.devices(DeviceType::Cpu)[5].read("FP_SCALAR")
+        );
+        // RAPL via any CPU of socket 1.
+        assert_eq!(
+            n.read_msr(8, MSR_PKG_ENERGY_STATUS),
+            n.devices(DeviceType::Rapl)[1].read("MSR_PKG_ENERGY_STATUS")
+        );
+        assert_eq!(n.read_msr(99, MSR_FIXED_CTR0), None);
+        assert_eq!(n.read_msr(0, 0xdead), None);
+    }
+
+    #[test]
+    fn crash_stops_everything_and_reboot_resets() {
+        let mut n = SimNode::new("c1-1", NodeTopology::stampede());
+        n.spawn_process("wrf.exe", 5000, 1, u64::MAX);
+        n.advance(SimDuration::from_secs(60), &busy_demand());
+        let before = n.devices(DeviceType::Cpu)[0].read("FIXED_CTR0").unwrap();
+        assert!(before > 0);
+        n.crash();
+        assert!(n.read_msr(0, MSR_FIXED_CTR0).is_none());
+        n.advance(SimDuration::from_secs(60), &busy_demand());
+        assert!(n.processes().is_empty());
+        n.reboot();
+        assert_eq!(n.boot_count(), 2);
+        assert_eq!(n.devices(DeviceType::Cpu)[0].read("FIXED_CTR0"), Some(0));
+        // MemTotal gauge restored after reboot.
+        assert!(n.devices(DeviceType::Mem)[0].read("MemTotal").unwrap() > 0);
+    }
+
+    #[test]
+    fn process_lifecycle_and_hwm() {
+        let mut n = SimNode::new("c1-1", NodeTopology::stampede());
+        let pid = n.spawn_process("wrf.exe", 5000, 16, 0xFFFF);
+        let mut d = busy_demand();
+        d.mem_used_bytes = 24 << 30;
+        n.advance(SimDuration::from_secs(60), &d);
+        let p = &n.processes()[0];
+        let high = p.vm_hwm_kib;
+        assert!(high > 20 << 20, "hwm={high}"); // > 20 GiB in KiB
+        // Memory drops; HWM must not.
+        d.mem_used_bytes = 1 << 30;
+        n.advance(SimDuration::from_secs(60), &d);
+        let p = &n.processes()[0];
+        assert!(p.vm_rss_kib < high);
+        assert_eq!(p.vm_hwm_kib, high);
+        assert!(p.utime_jiffies > 0);
+        assert!(n.end_process(pid));
+        assert!(!n.end_process(pid));
+    }
+
+    #[test]
+    fn rapl_wraps_within_an_hour() {
+        let mut n = SimNode::new("c1-1", NodeTopology::stampede());
+        let d = busy_demand();
+        // Full package power ≈ 109 W ⇒ raw units/s ≈ 1.79e6; the 32-bit
+        // register wraps every ~2400 s. Advance 2 h in 10 min steps and
+        // confirm the register reading stays below 2^32.
+        for _ in 0..12 {
+            n.advance(SimDuration::from_secs(600), &d);
+        }
+        let r = n.devices(DeviceType::Rapl)[0]
+            .read("MSR_PKG_ENERGY_STATUS")
+            .unwrap();
+        assert!(r < 1u64 << 32);
+        let total = n.devices(DeviceType::Rapl)[0].totals()[0];
+        assert!(total > 1u64 << 32, "total={total} should have wrapped");
+    }
+}

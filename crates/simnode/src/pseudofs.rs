@@ -1,0 +1,466 @@
+//! Procfs/sysfs-style text rendering.
+//!
+//! The real tacc_stats gathers most of its non-MSR data by parsing text
+//! files: `/proc/stat`, `/proc/meminfo` (per NUMA node), `/proc/net/dev`,
+//! Lustre's `stats` files, Infiniband sysfs counters, and per-process
+//! `/proc/<pid>/status`. To keep the collector honest, the simulated node
+//! renders the same file shapes, and the collector in `tacc-collect`
+//! genuinely parses them.
+//!
+//! [`NodeFs`] is a read-only view over a [`SimNode`] routing path lookups
+//! to renderers. A crashed node returns `None` for every path, exactly as
+//! an unreachable node would.
+
+use crate::node::SimNode;
+use crate::schema::DeviceType;
+
+/// Read-only pseudo-filesystem view of one node.
+pub struct NodeFs<'a> {
+    node: &'a SimNode,
+}
+
+impl<'a> NodeFs<'a> {
+    /// Wrap a node.
+    pub fn new(node: &'a SimNode) -> Self {
+        NodeFs { node }
+    }
+
+    /// The underlying node (for MSR/PCI raw access).
+    pub fn node(&self) -> &SimNode {
+        self.node
+    }
+
+    /// Read a file. Returns `None` if the path does not exist or the node
+    /// is down.
+    pub fn read(&self, path: &str) -> Option<String> {
+        if self.node.is_crashed() {
+            return None;
+        }
+        match path {
+            "/proc/cpuinfo" => Some(self.node.topology.render_cpuinfo()),
+            "/proc/stat" => Some(self.render_proc_stat()),
+            "/proc/net/dev" => Some(self.render_net_dev()),
+            "/proc/sys/lnet/stats" => self.render_lnet_stats(),
+            _ => self.read_routed(path),
+        }
+    }
+
+    /// List directory entries. Returns an empty vector for unknown paths
+    /// or a crashed node.
+    pub fn list(&self, dir: &str) -> Vec<String> {
+        if self.node.is_crashed() {
+            return Vec::new();
+        }
+        match dir {
+            "/proc" => self
+                .node
+                .processes()
+                .iter()
+                .map(|p| p.pid.to_string())
+                .collect(),
+            "/sys/devices/system/node" => (0..self.node.topology.sockets)
+                .map(|s| format!("node{s}"))
+                .collect(),
+            "/proc/fs/lustre/llite" => self
+                .node
+                .devices(DeviceType::Llite)
+                .iter()
+                .map(|d| format!("{}-ffff8800", d.instance))
+                .collect(),
+            "/proc/fs/lustre/mdc" => self
+                .node
+                .devices(DeviceType::Mdc)
+                .iter()
+                .map(|d| format!("{}-MDT0000-mdc-ffff8800", d.instance))
+                .collect(),
+            "/proc/fs/lustre/osc" => self
+                .node
+                .devices(DeviceType::Osc)
+                .iter()
+                .map(|d| format!("{}-OST0000-osc-ffff8800", d.instance))
+                .collect(),
+            "/sys/class/infiniband" => self
+                .node
+                .devices(DeviceType::Ib)
+                .iter()
+                .map(|d| d.instance.split('/').next().unwrap_or("hca0").to_string())
+                .collect(),
+            "/sys/class/mic" => self
+                .node
+                .devices(DeviceType::Mic)
+                .iter()
+                .map(|d| d.instance.clone())
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn read_routed(&self, path: &str) -> Option<String> {
+        // /sys/devices/system/node/node<N>/meminfo
+        if let Some(rest) = path.strip_prefix("/sys/devices/system/node/node") {
+            let (idx, tail) = rest.split_once('/')?;
+            if tail != "meminfo" {
+                return None;
+            }
+            let idx: usize = idx.parse().ok()?;
+            return self.render_numa_meminfo(idx);
+        }
+        // Lustre stats files.
+        if let Some(rest) = path.strip_prefix("/proc/fs/lustre/llite/") {
+            let inst = rest.strip_suffix("/stats")?.strip_suffix("-ffff8800")?;
+            return self.render_llite_stats(inst);
+        }
+        if let Some(rest) = path.strip_prefix("/proc/fs/lustre/mdc/") {
+            let inst = rest
+                .strip_suffix("/stats")?
+                .strip_suffix("-MDT0000-mdc-ffff8800")?;
+            return self.render_mdc_stats(inst);
+        }
+        if let Some(rest) = path.strip_prefix("/proc/fs/lustre/osc/") {
+            let inst = rest
+                .strip_suffix("/stats")?
+                .strip_suffix("-OST0000-osc-ffff8800")?;
+            return self.render_osc_stats(inst);
+        }
+        // Infiniband sysfs counters: .../<hca>/ports/<port>/counters/<name>
+        if let Some(rest) = path.strip_prefix("/sys/class/infiniband/") {
+            let mut parts = rest.split('/');
+            let hca = parts.next()?;
+            if parts.next()? != "ports" {
+                return None;
+            }
+            let port = parts.next()?;
+            if parts.next()? != "counters" {
+                return None;
+            }
+            let counter = parts.next()?;
+            if parts.next().is_some() {
+                return None;
+            }
+            let inst = format!("{hca}/{port}");
+            let dev = self
+                .node
+                .devices(DeviceType::Ib)
+                .iter()
+                .find(|d| d.instance == inst)?;
+            return dev.read(counter).map(|v| format!("{v}\n"));
+        }
+        // Xeon Phi utilization pseudo-file.
+        if let Some(rest) = path.strip_prefix("/sys/class/mic/") {
+            let card = rest.strip_suffix("/stats")?;
+            let dev = self
+                .node
+                .devices(DeviceType::Mic)
+                .iter()
+                .find(|d| d.instance == card)?;
+            let v = dev.read_all();
+            return Some(format!("user_sum {}\nsys_sum {}\nidle_sum {}\n", v[0], v[1], v[2]));
+        }
+        // Per-process files.
+        if let Some(rest) = path.strip_prefix("/proc/") {
+            let (pid, file) = rest.split_once('/')?;
+            let pid: u32 = pid.parse().ok()?;
+            let p = self.node.processes().iter().find(|p| p.pid == pid)?;
+            return match file {
+                "status" => Some(format!(
+                    "Name:\t{}\n\
+                     Uid:\t{uid}\t{uid}\t{uid}\t{uid}\n\
+                     VmPeak:\t{} kB\n\
+                     VmSize:\t{} kB\n\
+                     VmLck:\t{} kB\n\
+                     VmHWM:\t{} kB\n\
+                     VmRSS:\t{} kB\n\
+                     VmData:\t{} kB\n\
+                     VmStk:\t{} kB\n\
+                     VmExe:\t{} kB\n\
+                     Threads:\t{}\n\
+                     Cpus_allowed:\t{:x}\n\
+                     Mems_allowed:\t{:x}\n",
+                    p.comm,
+                    p.vm_peak_kib,
+                    p.vm_size_kib,
+                    p.vm_lck_kib,
+                    p.vm_hwm_kib,
+                    p.vm_rss_kib,
+                    p.vm_data_kib,
+                    p.vm_stk_kib,
+                    p.vm_exe_kib,
+                    p.threads,
+                    p.cpus_allowed,
+                    p.mems_allowed,
+                    uid = p.uid,
+                )),
+                "comm" => Some(format!("{}\n", p.comm)),
+                // Fields 1, 2, and 14 (utime) of /proc/<pid>/stat are what
+                // the collector needs; intermediate fields are zeroed.
+                "stat" => Some(format!(
+                    "{} ({}) R 0 0 0 0 0 0 0 0 0 0 {} 0 0 0 0 0 {} 0\n",
+                    p.pid, p.comm, p.utime_jiffies, p.threads
+                )),
+                _ => None,
+            };
+        }
+        None
+    }
+
+    fn render_proc_stat(&self) -> String {
+        let stats = self.node.devices(DeviceType::Cpustat);
+        let mut totals = [0u64; 5];
+        let mut body = String::new();
+        for dev in stats {
+            let v = dev.read_all();
+            for (t, val) in totals.iter_mut().zip(&v) {
+                *t += val;
+            }
+            body.push_str(&format!(
+                "cpu{} {} {} {} {} {}\n",
+                dev.instance, v[0], v[1], v[2], v[3], v[4]
+            ));
+        }
+        format!(
+            "cpu  {} {} {} {} {}\n{body}",
+            totals[0], totals[1], totals[2], totals[3], totals[4]
+        )
+    }
+
+    fn render_numa_meminfo(&self, node_idx: usize) -> Option<String> {
+        let dev = self.node.devices(DeviceType::Mem).get(node_idx)?;
+        let v = dev.read_all();
+        let (total, used, file, anon) = (v[0], v[1], v[2], v[3]);
+        Some(format!(
+            "Node {n} MemTotal:       {total} kB\n\
+             Node {n} MemFree:        {free} kB\n\
+             Node {n} MemUsed:        {used} kB\n\
+             Node {n} FilePages:      {file} kB\n\
+             Node {n} AnonPages:      {anon} kB\n",
+            n = node_idx,
+            free = total.saturating_sub(used),
+        ))
+    }
+
+    fn render_net_dev(&self) -> String {
+        let mut out = String::from(
+            "Inter-|   Receive                                                |  Transmit\n \
+             face |bytes    packets errs drop fifo frame compressed multicast|bytes    packets errs drop fifo colls carrier compressed\n",
+        );
+        for dev in self.node.devices(DeviceType::Net) {
+            let v = dev.read_all(); // rx_bytes rx_packets tx_bytes tx_packets
+            out.push_str(&format!(
+                "{:>6}: {} {} 0 0 0 0 0 0 {} {} 0 0 0 0 0 0\n",
+                dev.instance, v[0], v[1], v[2], v[3]
+            ));
+        }
+        out
+    }
+
+    fn render_llite_stats(&self, inst: &str) -> Option<String> {
+        let dev = self
+            .node
+            .devices(DeviceType::Llite)
+            .iter()
+            .find(|d| d.instance == inst)?;
+        let v = dev.read_all();
+        // Schema order: read_bytes write_bytes open close getattr statfs seek fsync
+        Some(format!(
+            "snapshot_time             0.0 secs.usecs\n\
+             read_bytes                {rb_n} samples [bytes] 0 1048576 {rb}\n\
+             write_bytes               {wb_n} samples [bytes] 0 1048576 {wb}\n\
+             open                      {open} samples [regs]\n\
+             close                     {close} samples [regs]\n\
+             getattr                   {getattr} samples [regs]\n\
+             statfs                    {statfs} samples [regs]\n\
+             seek                      {seek} samples [regs]\n\
+             fsync                     {fsync} samples [regs]\n",
+            rb_n = v[0] / (1 << 20),
+            rb = v[0],
+            wb_n = v[1] / (1 << 20),
+            wb = v[1],
+            open = v[2],
+            close = v[3],
+            getattr = v[4],
+            statfs = v[5],
+            seek = v[6],
+            fsync = v[7],
+        ))
+    }
+
+    fn render_mdc_stats(&self, inst: &str) -> Option<String> {
+        let dev = self
+            .node
+            .devices(DeviceType::Mdc)
+            .iter()
+            .find(|d| d.instance == inst)?;
+        let v = dev.read_all(); // reqs wait
+        Some(format!(
+            "snapshot_time             0.0 secs.usecs\n\
+             req_waittime              {reqs} samples [usec] 1 100000 {wait}\n\
+             req_active                {reqs} samples [reqs] 1 16 {reqs}\n",
+            reqs = v[0],
+            wait = v[1],
+        ))
+    }
+
+    fn render_osc_stats(&self, inst: &str) -> Option<String> {
+        let dev = self
+            .node
+            .devices(DeviceType::Osc)
+            .iter()
+            .find(|d| d.instance == inst)?;
+        let v = dev.read_all(); // reqs wait read_bytes write_bytes
+        Some(format!(
+            "snapshot_time             0.0 secs.usecs\n\
+             req_waittime              {reqs} samples [usec] 1 100000 {wait}\n\
+             read_bytes                {rb_n} samples [bytes] 0 1048576 {rb}\n\
+             write_bytes               {wb_n} samples [bytes] 0 1048576 {wb}\n",
+            reqs = v[0],
+            wait = v[1],
+            rb_n = v[2] / (1 << 20),
+            rb = v[2],
+            wb_n = v[3] / (1 << 20),
+            wb = v[3],
+        ))
+    }
+
+    fn render_lnet_stats(&self) -> Option<String> {
+        let dev = self.node.devices(DeviceType::Lnet).first()?;
+        let v = dev.read_all(); // tx_bytes rx_bytes tx_msgs rx_msgs
+        // Real format: msgs_alloc msgs_max errors send_count recv_count
+        //              route_count drop_count send_length recv_length
+        //              route_length drop_length
+        Some(format!("0 0 0 {} {} 0 0 {} {} 0 0\n", v[2], v[3], v[0], v[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeTopology;
+    use crate::workload::{LustreDemand, NodeDemand};
+    use crate::SimDuration;
+
+    fn active_node() -> SimNode {
+        let mut n = SimNode::new("c401-101", NodeTopology::stampede());
+        n.spawn_process("wrf.exe", 5000, 16, 0xFFFF);
+        let d = NodeDemand {
+            active_cores: 16,
+            cpu_user_frac: 0.8,
+            flops_per_sec: 1e10,
+            mem_bw_bytes_per_sec: 1e9,
+            mem_used_bytes: 4 << 30,
+            ib_bytes_per_sec: 1e7,
+            gige_bytes_per_sec: 1e4,
+            lustre: vec![LustreDemand {
+                mdc_reqs_per_sec: 10.0,
+                mdc_wait_us: 100.0,
+                osc_reqs_per_sec: 4.0,
+                osc_wait_us: 900.0,
+                opens_per_sec: 1.0,
+                getattr_per_sec: 3.0,
+                read_bytes_per_sec: 1e6,
+                write_bytes_per_sec: 2e6,
+            }],
+            ..NodeDemand::default()
+        };
+        n.advance(SimDuration::from_secs(100), &d);
+        n
+    }
+
+    #[test]
+    fn proc_stat_shape() {
+        let n = active_node();
+        let s = NodeFs::new(&n).read("/proc/stat").unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 17); // aggregate + 16 cpus
+        assert!(lines[0].starts_with("cpu  "));
+        assert!(lines[1].starts_with("cpu0 "));
+        // Aggregate equals sum of per-cpu user jiffies.
+        let agg: u64 = lines[0].split_whitespace().nth(1).unwrap().parse().unwrap();
+        let sum: u64 = lines[1..]
+            .iter()
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(agg, sum);
+        assert!(agg > 0);
+    }
+
+    #[test]
+    fn numa_meminfo_lists_and_reads() {
+        let n = active_node();
+        let fs = NodeFs::new(&n);
+        assert_eq!(fs.list("/sys/devices/system/node"), vec!["node0", "node1"]);
+        let s = fs.read("/sys/devices/system/node/node0/meminfo").unwrap();
+        assert!(s.contains("MemTotal:"));
+        assert!(s.contains("MemUsed:"));
+        assert!(fs.read("/sys/devices/system/node/node5/meminfo").is_none());
+    }
+
+    #[test]
+    fn lustre_stats_files() {
+        let n = active_node();
+        let fs = NodeFs::new(&n);
+        let dirs = fs.list("/proc/fs/lustre/llite");
+        assert_eq!(dirs, vec!["scratch-ffff8800", "work-ffff8800"]);
+        let s = fs
+            .read("/proc/fs/lustre/llite/scratch-ffff8800/stats")
+            .unwrap();
+        assert!(s.contains("open"), "{s}");
+        assert!(s.contains("write_bytes"));
+        let mdc = fs
+            .read("/proc/fs/lustre/mdc/scratch-MDT0000-mdc-ffff8800/stats")
+            .unwrap();
+        assert!(mdc.contains("req_waittime              1000 samples"), "{mdc}");
+        let lnet = fs.read("/proc/sys/lnet/stats").unwrap();
+        assert_eq!(lnet.split_whitespace().count(), 11);
+    }
+
+    #[test]
+    fn ib_counters_are_individual_files() {
+        let n = active_node();
+        let fs = NodeFs::new(&n);
+        assert_eq!(fs.list("/sys/class/infiniband"), vec!["mlx4_0"]);
+        let xmit = fs
+            .read("/sys/class/infiniband/mlx4_0/ports/1/counters/port_xmit_data")
+            .unwrap();
+        // 1e7 B/s * 100 s / 4 = 2.5e8 words.
+        assert_eq!(xmit.trim().parse::<u64>().unwrap(), 250_000_000);
+        assert!(fs
+            .read("/sys/class/infiniband/mlx4_0/ports/1/counters/nonsense")
+            .is_none());
+    }
+
+    #[test]
+    fn process_files() {
+        let n = active_node();
+        let fs = NodeFs::new(&n);
+        let pids = fs.list("/proc");
+        assert_eq!(pids.len(), 1);
+        let pid = &pids[0];
+        let status = fs.read(&format!("/proc/{pid}/status")).unwrap();
+        assert!(status.contains("Name:\twrf.exe"));
+        assert!(status.contains("VmHWM:"));
+        assert!(status.contains("Threads:\t16"));
+        let comm = fs.read(&format!("/proc/{pid}/comm")).unwrap();
+        assert_eq!(comm.trim(), "wrf.exe");
+        let stat = fs.read(&format!("/proc/{pid}/stat")).unwrap();
+        let utime: u64 = stat.split_whitespace().nth(13).unwrap().parse().unwrap();
+        assert!(utime > 0);
+    }
+
+    #[test]
+    fn crashed_node_reads_nothing() {
+        let mut n = active_node();
+        n.crash();
+        let fs = NodeFs::new(&n);
+        assert!(fs.read("/proc/stat").is_none());
+        assert!(fs.list("/proc").is_empty());
+    }
+
+    #[test]
+    fn unknown_paths_are_none() {
+        let n = active_node();
+        let fs = NodeFs::new(&n);
+        assert!(fs.read("/does/not/exist").is_none());
+        assert!(fs.read("/proc/99999/status").is_none());
+        assert!(fs.list("/nope").is_empty());
+    }
+}

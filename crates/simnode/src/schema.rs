@@ -1,0 +1,477 @@
+//! Device types and event schemas.
+//!
+//! tacc_stats organizes everything it collects into *device types* (cpu,
+//! imc, ib, llite, …), each with a fixed *schema*: an ordered list of named
+//! events with units and register widths. Raw stats files carry the schema
+//! in their header (lines starting with `!`), and every later record line
+//! is a vector of values in schema order. This module is the shared
+//! vocabulary: the simulated devices populate values in schema order, and
+//! the collector parses/serializes against the same schemas.
+//!
+//! The set of device types mirrors §III-B of the paper: core MSR counters,
+//! uncore (IMC / QPI / CBo) counters from PCI config space, RAPL energy,
+//! Xeon Phi, procfs process data, plus the devices supported since 2013
+//! (CPU time accounting, memory, Infiniband, Ethernet, Lustre llite / MDC /
+//! OSC / lnet).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unit attached to an event, used when converting counter deltas into
+/// the rates of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// Dimensionless event count.
+    Events,
+    /// Bytes.
+    Bytes,
+    /// Kibibytes (procfs memory fields).
+    KiB,
+    /// 4-byte words (Infiniband `port_*_data` counters count 32-bit words).
+    Words4,
+    /// CPU scheduler ticks (USER_HZ = 100 jiffies per second).
+    Jiffies,
+    /// Microseconds.
+    Micros,
+    /// RAPL energy units (2^-14 J ≈ 61 µJ each).
+    EnergyUnits,
+    /// Core clock cycles.
+    Cycles,
+    /// Instructions retired.
+    Instructions,
+    /// Floating point operations.
+    Flops,
+}
+
+impl Unit {
+    /// Multiplier converting one unit into its SI base (bytes, seconds,
+    /// joules, or plain counts).
+    pub fn to_base(self) -> f64 {
+        match self {
+            Unit::Events | Unit::Cycles | Unit::Instructions | Unit::Flops => 1.0,
+            Unit::Bytes => 1.0,
+            Unit::KiB => 1024.0,
+            Unit::Words4 => 4.0,
+            Unit::Jiffies => 0.01,
+            Unit::Micros => 1e-6,
+            Unit::EnergyUnits => 1.0 / 16384.0,
+        }
+    }
+
+    /// Short name used in schema lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            Unit::Events => "E",
+            Unit::Bytes => "B",
+            Unit::KiB => "KB",
+            Unit::Words4 => "W4",
+            Unit::Jiffies => "CS",
+            Unit::Micros => "US",
+            Unit::EnergyUnits => "EU",
+            Unit::Cycles => "C",
+            Unit::Instructions => "I",
+            Unit::Flops => "F",
+        }
+    }
+
+    /// Parse a schema-line unit label.
+    pub fn parse(s: &str) -> Option<Unit> {
+        Some(match s {
+            "E" => Unit::Events,
+            "B" => Unit::Bytes,
+            "KB" => Unit::KiB,
+            "W4" => Unit::Words4,
+            "CS" => Unit::Jiffies,
+            "US" => Unit::Micros,
+            "EU" => Unit::EnergyUnits,
+            "C" => Unit::Cycles,
+            "I" => Unit::Instructions,
+            "F" => Unit::Flops,
+            _ => return None,
+        })
+    }
+}
+
+/// How an event's value behaves over time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Monotonically increasing register of a given bit width. Deltas are
+    /// meaningful; rollover must be corrected by width.
+    Counter,
+    /// Instantaneous snapshot (e.g. `MemUsed`). §IV-A: "All counters used
+    /// to compute the metrics in Table I, aside from those used to derive
+    /// MemUsage, are cumulative."
+    Gauge,
+}
+
+/// A single event in a device schema.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventDesc {
+    /// Event name, e.g. `FIXED_CTR0` or `port_xmit_data`.
+    pub name: String,
+    /// Unit of the value.
+    pub unit: Unit,
+    /// Counter vs gauge.
+    pub kind: EventKind,
+    /// Register width in bits (64 for procfs-style values).
+    pub width: u32,
+}
+
+impl EventDesc {
+    /// Cumulative counter event.
+    pub fn counter(name: &str, unit: Unit, width: u32) -> Self {
+        EventDesc {
+            name: name.to_string(),
+            unit,
+            kind: EventKind::Counter,
+            width,
+        }
+    }
+
+    /// Gauge (snapshot) event.
+    pub fn gauge(name: &str, unit: Unit) -> Self {
+        EventDesc {
+            name: name.to_string(),
+            unit,
+            kind: EventKind::Gauge,
+            width: 64,
+        }
+    }
+}
+
+/// An ordered set of events for one device type.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Events, in the order values appear in record lines.
+    pub events: Vec<EventDesc>,
+}
+
+impl Schema {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the schema has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Index of an event by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.events.iter().position(|e| e.name == name)
+    }
+
+    /// Render the schema as a raw-stats header payload:
+    /// `name,unit,kind,width name,unit,kind,width …`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let kind = match e.kind {
+                EventKind::Counter => "C",
+                EventKind::Gauge => "G",
+            };
+            out.push_str(&format!("{},{},{},{}", e.name, e.unit.label(), kind, e.width));
+        }
+        out
+    }
+
+    /// Parse a schema rendered by [`Schema::render`].
+    pub fn parse(s: &str) -> Option<Schema> {
+        let mut events = Vec::new();
+        for tok in s.split_whitespace() {
+            let mut parts = tok.split(',');
+            let name = parts.next()?;
+            let unit = Unit::parse(parts.next()?)?;
+            let kind = match parts.next()? {
+                "C" => EventKind::Counter,
+                "G" => EventKind::Gauge,
+                _ => return None,
+            };
+            let width: u32 = parts.next()?.parse().ok()?;
+            if parts.next().is_some() || name.is_empty() {
+                return None;
+            }
+            events.push(EventDesc {
+                name: name.to_string(),
+                unit,
+                kind,
+                width,
+            });
+        }
+        Some(Schema { events })
+    }
+}
+
+/// The device types TACC Stats monitors (§III-B plus Table I of Ref. [3]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DeviceType {
+    /// Core hardware counters per logical CPU (fixed + programmable MSRs).
+    Cpu,
+    /// Integrated memory controller (uncore, per socket).
+    Imc,
+    /// QPI link layer (uncore, per socket).
+    Qpi,
+    /// Last-level-cache coherence boxes (uncore, per socket, aggregated).
+    Cbo,
+    /// Running-average-power-limit energy counters (per socket).
+    Rapl,
+    /// CPU time accounting from `/proc/stat` (per logical CPU).
+    Cpustat,
+    /// Node memory from `/proc/meminfo` (per NUMA node).
+    Mem,
+    /// Infiniband HCA port counters.
+    Ib,
+    /// Ethernet device counters from `/proc/net/dev`.
+    Net,
+    /// Lustre client (llite) per-filesystem statistics.
+    Llite,
+    /// Lustre metadata-client statistics.
+    Mdc,
+    /// Lustre object-storage-client statistics.
+    Osc,
+    /// Lustre networking (lnet) statistics.
+    Lnet,
+    /// Xeon Phi coprocessor utilization, accessed from the host.
+    Mic,
+    /// Per-process information from procfs (special: structured records).
+    Ps,
+}
+
+impl DeviceType {
+    /// All device types, in canonical raw-file order.
+    pub const ALL: [DeviceType; 15] = [
+        DeviceType::Cpu,
+        DeviceType::Imc,
+        DeviceType::Qpi,
+        DeviceType::Cbo,
+        DeviceType::Rapl,
+        DeviceType::Cpustat,
+        DeviceType::Mem,
+        DeviceType::Ib,
+        DeviceType::Net,
+        DeviceType::Llite,
+        DeviceType::Mdc,
+        DeviceType::Osc,
+        DeviceType::Lnet,
+        DeviceType::Mic,
+        DeviceType::Ps,
+    ];
+
+    /// Type name used in raw-stats files.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceType::Cpu => "cpu",
+            DeviceType::Imc => "imc",
+            DeviceType::Qpi => "qpi",
+            DeviceType::Cbo => "cbo",
+            DeviceType::Rapl => "rapl",
+            DeviceType::Cpustat => "cpustat",
+            DeviceType::Mem => "mem",
+            DeviceType::Ib => "ib",
+            DeviceType::Net => "net",
+            DeviceType::Llite => "llite",
+            DeviceType::Mdc => "mdc",
+            DeviceType::Osc => "osc",
+            DeviceType::Lnet => "lnet",
+            DeviceType::Mic => "mic",
+            DeviceType::Ps => "ps",
+        }
+    }
+
+    /// Inverse of [`DeviceType::name`].
+    pub fn parse(s: &str) -> Option<DeviceType> {
+        DeviceType::ALL.iter().copied().find(|d| d.name() == s)
+    }
+
+    /// The schema of this device type on the given architecture.
+    ///
+    /// Core-counter schemas vary with the architecture (number of
+    /// programmable counters, AVX availability); everything else is
+    /// architecture-independent.
+    pub fn schema(self, arch: crate::topology::CpuArch) -> Schema {
+        use EventDesc as E;
+        let events = match self {
+            DeviceType::Cpu => {
+                let mut v = vec![
+                    E::counter("FIXED_CTR0", Unit::Instructions, 48), // instructions retired
+                    E::counter("FIXED_CTR1", Unit::Cycles, 48),       // core clock cycles
+                    E::counter("FIXED_CTR2", Unit::Cycles, 48),       // reference cycles
+                    E::counter("FP_SCALAR", Unit::Flops, 48),
+                    E::counter("FP_VECTOR", Unit::Flops, 48),
+                    E::counter("LOAD_ALL", Unit::Events, 48),
+                    E::counter("LOAD_L1_HIT", Unit::Events, 48),
+                ];
+                if arch.programmable_counters() >= 8 {
+                    v.push(E::counter("LOAD_L2_HIT", Unit::Events, 48));
+                    v.push(E::counter("LOAD_LLC_HIT", Unit::Events, 48));
+                }
+                v
+            }
+            DeviceType::Imc => vec![
+                E::counter("CAS_READS", Unit::Events, 48),
+                E::counter("CAS_WRITES", Unit::Events, 48),
+                E::counter("CYCLES", Unit::Cycles, 48),
+            ],
+            DeviceType::Qpi => vec![
+                E::counter("G0_DATA_FLITS", Unit::Events, 48),
+                E::counter("G0_NON_DATA_FLITS", Unit::Events, 48),
+            ],
+            DeviceType::Cbo => vec![
+                E::counter("LLC_LOOKUP", Unit::Events, 48),
+                E::counter("LLC_MISS", Unit::Events, 48),
+            ],
+            DeviceType::Rapl => vec![
+                E::counter("MSR_PKG_ENERGY_STATUS", Unit::EnergyUnits, 32),
+                E::counter("MSR_PP0_ENERGY_STATUS", Unit::EnergyUnits, 32),
+                E::counter("MSR_DRAM_ENERGY_STATUS", Unit::EnergyUnits, 32),
+            ],
+            DeviceType::Cpustat => vec![
+                E::counter("user", Unit::Jiffies, 64),
+                E::counter("nice", Unit::Jiffies, 64),
+                E::counter("system", Unit::Jiffies, 64),
+                E::counter("idle", Unit::Jiffies, 64),
+                E::counter("iowait", Unit::Jiffies, 64),
+            ],
+            DeviceType::Mem => vec![
+                E::gauge("MemTotal", Unit::KiB),
+                E::gauge("MemUsed", Unit::KiB),
+                E::gauge("FilePages", Unit::KiB),
+                E::gauge("AnonPages", Unit::KiB),
+            ],
+            DeviceType::Ib => vec![
+                E::counter("port_xmit_data", Unit::Words4, 64),
+                E::counter("port_rcv_data", Unit::Words4, 64),
+                E::counter("port_xmit_pkts", Unit::Events, 64),
+                E::counter("port_rcv_pkts", Unit::Events, 64),
+            ],
+            DeviceType::Net => vec![
+                E::counter("rx_bytes", Unit::Bytes, 64),
+                E::counter("rx_packets", Unit::Events, 64),
+                E::counter("tx_bytes", Unit::Bytes, 64),
+                E::counter("tx_packets", Unit::Events, 64),
+            ],
+            DeviceType::Llite => vec![
+                E::counter("read_bytes", Unit::Bytes, 64),
+                E::counter("write_bytes", Unit::Bytes, 64),
+                E::counter("open", Unit::Events, 64),
+                E::counter("close", Unit::Events, 64),
+                E::counter("getattr", Unit::Events, 64),
+                E::counter("statfs", Unit::Events, 64),
+                E::counter("seek", Unit::Events, 64),
+                E::counter("fsync", Unit::Events, 64),
+            ],
+            DeviceType::Mdc => vec![
+                E::counter("reqs", Unit::Events, 64),
+                E::counter("wait", Unit::Micros, 64),
+            ],
+            DeviceType::Osc => vec![
+                E::counter("reqs", Unit::Events, 64),
+                E::counter("wait", Unit::Micros, 64),
+                E::counter("read_bytes", Unit::Bytes, 64),
+                E::counter("write_bytes", Unit::Bytes, 64),
+            ],
+            DeviceType::Lnet => vec![
+                E::counter("tx_bytes", Unit::Bytes, 64),
+                E::counter("rx_bytes", Unit::Bytes, 64),
+                E::counter("tx_msgs", Unit::Events, 64),
+                E::counter("rx_msgs", Unit::Events, 64),
+            ],
+            DeviceType::Mic => vec![
+                E::counter("user_sum", Unit::Jiffies, 64),
+                E::counter("sys_sum", Unit::Jiffies, 64),
+                E::counter("idle_sum", Unit::Jiffies, 64),
+            ],
+            // The ps device is structured (per-process records), but it
+            // still has a numeric schema for the per-process value vector.
+            DeviceType::Ps => vec![
+                E::gauge("VmSize", Unit::KiB),
+                E::gauge("VmHWM", Unit::KiB),
+                E::gauge("VmRSS", Unit::KiB),
+                E::gauge("VmLck", Unit::KiB),
+                E::gauge("VmData", Unit::KiB),
+                E::gauge("VmStk", Unit::KiB),
+                E::gauge("VmExe", Unit::KiB),
+                E::gauge("Threads", Unit::Events),
+                E::counter("utime", Unit::Jiffies, 64),
+                E::gauge("Cpus_allowed", Unit::Events),
+                E::gauge("Mems_allowed", Unit::Events),
+            ],
+        };
+        Schema { events }
+    }
+}
+
+impl fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::CpuArch;
+
+    #[test]
+    fn device_type_name_roundtrip() {
+        for d in DeviceType::ALL {
+            assert_eq!(DeviceType::parse(d.name()), Some(d));
+        }
+        assert_eq!(DeviceType::parse("bogus"), None);
+    }
+
+    #[test]
+    fn schema_render_parse_roundtrip() {
+        for d in DeviceType::ALL {
+            for arch in [CpuArch::SandyBridge, CpuArch::Haswell, CpuArch::Nehalem] {
+                let s = d.schema(arch);
+                let rendered = s.render();
+                let parsed = Schema::parse(&rendered).expect("parse");
+                assert_eq!(parsed, s, "schema roundtrip for {d} on {arch:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_schema_varies_by_arch() {
+        // Nehalem has 4 programmable counters: no L2/LLC hit events.
+        let nhm = DeviceType::Cpu.schema(CpuArch::Nehalem);
+        let snb = DeviceType::Cpu.schema(CpuArch::SandyBridge);
+        assert_eq!(nhm.len(), 7);
+        assert_eq!(snb.len(), 9);
+        assert!(nhm.index_of("LOAD_L2_HIT").is_none());
+        assert!(snb.index_of("LOAD_L2_HIT").is_some());
+    }
+
+    #[test]
+    fn rapl_counters_are_32_bit() {
+        let s = DeviceType::Rapl.schema(CpuArch::SandyBridge);
+        assert!(s.events.iter().all(|e| e.width == 32));
+        assert!(s.events.iter().all(|e| e.kind == EventKind::Counter));
+    }
+
+    #[test]
+    fn mem_is_gauge() {
+        let s = DeviceType::Mem.schema(CpuArch::SandyBridge);
+        assert!(s.events.iter().all(|e| e.kind == EventKind::Gauge));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(Unit::Words4.to_base(), 4.0);
+        assert_eq!(Unit::Jiffies.to_base(), 0.01);
+        assert!((Unit::EnergyUnits.to_base() - 6.103515625e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schema_parse_rejects_garbage() {
+        assert!(Schema::parse("name-only").is_none());
+        assert!(Schema::parse("a,B,C,64,extra").is_none());
+        assert!(Schema::parse("a,XX,C,64").is_none());
+        assert!(Schema::parse("a,B,Q,64").is_none());
+    }
+}

@@ -1,0 +1,25 @@
+//! # tacc-tsdb — tagged time-series database (OpenTSDB substitute)
+//!
+//! §VI-A of the paper: "we are importing data into the time-series
+//! database OpenTSDB. The data in this database is organized into
+//! time-series with each series labeled by a tuple of tags, where a tag
+//! in our setup consists of a host name, device type, device name, and
+//! event name. The time-series can be aggregated along any subset of
+//! these tags and their values."
+//!
+//! This crate implements exactly that: series keyed by the 4-tuple
+//! ([`SeriesKey`]), wildcard tag filters ([`TagFilter`]), aggregation
+//! across matching series with downsampling ([`TsDb::aggregate`]), and
+//! the correlation query the section motivates ("a particular user's
+//! metadata requests … could be related to other users' increased Lustre
+//! operation wait times") via [`stats::pearson`] over aligned buckets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod series;
+pub mod stats;
+pub mod store;
+
+pub use series::{SeriesKey, TagFilter};
+pub use store::{Aggregation, DataPoint, TsDb};

@@ -1,0 +1,117 @@
+//! Series keys and tag filters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The 4-tuple of tags labelling every series (§VI-A): host name, device
+/// type, device name, and event name.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SeriesKey {
+    /// Host name, e.g. `c401-0001`.
+    pub host: String,
+    /// Device type, e.g. `mdc`.
+    pub dev_type: String,
+    /// Device (instance) name, e.g. `scratch`.
+    pub device: String,
+    /// Event name, e.g. `reqs`.
+    pub event: String,
+}
+
+impl SeriesKey {
+    /// Shorthand constructor.
+    pub fn new(host: &str, dev_type: &str, device: &str, event: &str) -> SeriesKey {
+        SeriesKey {
+            host: host.to_string(),
+            dev_type: dev_type.to_string(),
+            device: device.to_string(),
+            event: event.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{}.{}:{}",
+            self.dev_type, self.device, self.event, self.host
+        )
+    }
+}
+
+/// A filter over series keys: `None` on a tag means "any value"
+/// (aggregate along that tag).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TagFilter {
+    /// Required host (None = all hosts).
+    pub host: Option<String>,
+    /// Required device type.
+    pub dev_type: Option<String>,
+    /// Required device name.
+    pub device: Option<String>,
+    /// Required event name.
+    pub event: Option<String>,
+}
+
+impl TagFilter {
+    /// Match every series.
+    pub fn any() -> TagFilter {
+        TagFilter::default()
+    }
+
+    /// Restrict to a host.
+    pub fn host(mut self, h: &str) -> Self {
+        self.host = Some(h.to_string());
+        self
+    }
+
+    /// Restrict to a device type.
+    pub fn dev_type(mut self, d: &str) -> Self {
+        self.dev_type = Some(d.to_string());
+        self
+    }
+
+    /// Restrict to a device name.
+    pub fn device(mut self, d: &str) -> Self {
+        self.device = Some(d.to_string());
+        self
+    }
+
+    /// Restrict to an event name.
+    pub fn event(mut self, e: &str) -> Self {
+        self.event = Some(e.to_string());
+        self
+    }
+
+    /// Whether `key` satisfies the filter.
+    pub fn matches(&self, key: &SeriesKey) -> bool {
+        fn ok(want: &Option<String>, have: &str) -> bool {
+            want.as_deref().map(|w| w == have).unwrap_or(true)
+        }
+        ok(&self.host, &key.host)
+            && ok(&self.dev_type, &key.dev_type)
+            && ok(&self.device, &key.device)
+            && ok(&self.event, &key.event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_matching() {
+        let k = SeriesKey::new("c1", "mdc", "scratch", "reqs");
+        assert!(TagFilter::any().matches(&k));
+        assert!(TagFilter::any().dev_type("mdc").event("reqs").matches(&k));
+        assert!(!TagFilter::any().dev_type("osc").matches(&k));
+        assert!(!TagFilter::any().host("c2").matches(&k));
+        assert!(TagFilter::any().device("scratch").matches(&k));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let k = SeriesKey::new("c1", "mdc", "scratch", "reqs");
+        assert_eq!(k.to_string(), "mdc.scratch.reqs:c1");
+    }
+}

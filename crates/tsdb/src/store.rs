@@ -1,0 +1,284 @@
+//! The time-series store: insertion, range queries, aggregation,
+//! downsampling.
+
+use crate::series::{SeriesKey, TagFilter};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// One timestamped value (seconds since the Unix epoch).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DataPoint {
+    /// Unix seconds.
+    pub t: u64,
+    /// Value.
+    pub v: f64,
+}
+
+/// How to combine values from different series that land in the same
+/// downsample bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Sum across series (e.g. cluster-wide metadata request rate).
+    Sum,
+    /// Mean across contributing points.
+    Avg,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+}
+
+#[derive(Default)]
+struct Inner {
+    series: BTreeMap<SeriesKey, Vec<DataPoint>>,
+}
+
+/// Thread-safe tagged time-series database.
+#[derive(Default)]
+pub struct TsDb {
+    inner: RwLock<Inner>,
+}
+
+impl TsDb {
+    /// New empty database.
+    pub fn new() -> TsDb {
+        TsDb::default()
+    }
+
+    /// Insert one point. Out-of-order inserts are tolerated (kept
+    /// sorted).
+    pub fn insert(&self, key: SeriesKey, t: u64, v: f64) {
+        let mut inner = self.inner.write();
+        let pts = inner.series.entry(key).or_default();
+        match pts.last() {
+            Some(last) if last.t > t => {
+                let idx = pts.partition_point(|p| p.t <= t);
+                pts.insert(idx, DataPoint { t, v });
+            }
+            _ => pts.push(DataPoint { t, v }),
+        }
+    }
+
+    /// Number of series stored.
+    pub fn n_series(&self) -> usize {
+        self.inner.read().series.len()
+    }
+
+    /// Total points stored.
+    pub fn n_points(&self) -> usize {
+        self.inner.read().series.values().map(Vec::len).sum()
+    }
+
+    /// Keys matching a filter.
+    pub fn keys(&self, filter: &TagFilter) -> Vec<SeriesKey> {
+        self.inner
+            .read()
+            .series
+            .keys()
+            .filter(|k| filter.matches(k))
+            .cloned()
+            .collect()
+    }
+
+    /// Raw points of one series within `[t0, t1)`.
+    pub fn range(&self, key: &SeriesKey, t0: u64, t1: u64) -> Vec<DataPoint> {
+        let inner = self.inner.read();
+        inner
+            .series
+            .get(key)
+            .map(|pts| {
+                let lo = pts.partition_point(|p| p.t < t0);
+                let hi = pts.partition_point(|p| p.t < t1);
+                pts[lo..hi].to_vec()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Aggregate all series matching `filter` over `[t0, t1)`, bucketed
+    /// into `bucket_secs`-wide windows aligned to `t0`. Buckets with no
+    /// data are omitted. This is OpenTSDB's "aggregate along any subset
+    /// of tags": the tags left `None` in the filter are the ones summed
+    /// over.
+    pub fn aggregate(
+        &self,
+        filter: &TagFilter,
+        agg: Aggregation,
+        t0: u64,
+        t1: u64,
+        bucket_secs: u64,
+    ) -> Vec<DataPoint> {
+        assert!(bucket_secs > 0, "bucket width must be positive");
+        let inner = self.inner.read();
+        // bucket index → (sum, count, max, min)
+        let mut buckets: BTreeMap<u64, (f64, usize, f64, f64)> = BTreeMap::new();
+        for (key, pts) in &inner.series {
+            if !filter.matches(key) {
+                continue;
+            }
+            let lo = pts.partition_point(|p| p.t < t0);
+            let hi = pts.partition_point(|p| p.t < t1);
+            for p in &pts[lo..hi] {
+                let b = (p.t - t0) / bucket_secs;
+                let e = buckets
+                    .entry(b)
+                    .or_insert((0.0, 0, f64::NEG_INFINITY, f64::INFINITY));
+                e.0 += p.v;
+                e.1 += 1;
+                e.2 = e.2.max(p.v);
+                e.3 = e.3.min(p.v);
+            }
+        }
+        buckets
+            .into_iter()
+            .map(|(b, (sum, n, max, min))| DataPoint {
+                t: t0 + b * bucket_secs,
+                v: match agg {
+                    Aggregation::Sum => sum,
+                    Aggregation::Avg => sum / n as f64,
+                    Aggregation::Max => max,
+                    Aggregation::Min => min,
+                },
+            })
+            .collect()
+    }
+
+    /// Align two aggregated series on their common buckets and return the
+    /// paired values — the input to a §VI-A interference correlation.
+    pub fn aligned(
+        &self,
+        a: (&TagFilter, Aggregation),
+        b: (&TagFilter, Aggregation),
+        t0: u64,
+        t1: u64,
+        bucket_secs: u64,
+    ) -> Vec<(f64, f64)> {
+        let sa = self.aggregate(a.0, a.1, t0, t1, bucket_secs);
+        let sb = self.aggregate(b.0, b.1, t0, t1, bucket_secs);
+        let mb: BTreeMap<u64, f64> = sb.into_iter().map(|p| (p.t, p.v)).collect();
+        sa.into_iter()
+            .filter_map(|p| mb.get(&p.t).map(|v| (p.v, *v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key(host: &str, event: &str) -> SeriesKey {
+        SeriesKey::new(host, "mdc", "scratch", event)
+    }
+
+    #[test]
+    fn insert_and_range() {
+        let db = TsDb::new();
+        for t in [100u64, 200, 300, 400] {
+            db.insert(key("c1", "reqs"), t, t as f64);
+        }
+        let pts = db.range(&key("c1", "reqs"), 150, 350);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].t, 200);
+        assert_eq!(db.n_series(), 1);
+        assert_eq!(db.n_points(), 4);
+    }
+
+    #[test]
+    fn out_of_order_insert_keeps_sorted() {
+        let db = TsDb::new();
+        db.insert(key("c1", "reqs"), 300, 3.0);
+        db.insert(key("c1", "reqs"), 100, 1.0);
+        db.insert(key("c1", "reqs"), 200, 2.0);
+        let pts = db.range(&key("c1", "reqs"), 0, 1000);
+        let ts: Vec<u64> = pts.iter().map(|p| p.t).collect();
+        assert_eq!(ts, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn aggregate_sums_across_hosts() {
+        // "aggregated along any subset of these tags": leave host
+        // unspecified to sum the per-host series.
+        let db = TsDb::new();
+        for host in ["c1", "c2", "c3"] {
+            db.insert(key(host, "reqs"), 100, 10.0);
+            db.insert(key(host, "reqs"), 700, 20.0);
+        }
+        db.insert(key("c1", "wait"), 100, 999.0); // different event: excluded
+        let f = TagFilter::any().dev_type("mdc").event("reqs");
+        let series = db.aggregate(&f, Aggregation::Sum, 0, 1000, 600);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0], DataPoint { t: 0, v: 30.0 });
+        assert_eq!(series[1], DataPoint { t: 600, v: 60.0 });
+    }
+
+    #[test]
+    fn aggregate_avg_max_min() {
+        let db = TsDb::new();
+        db.insert(key("c1", "reqs"), 10, 1.0);
+        db.insert(key("c2", "reqs"), 20, 3.0);
+        let f = TagFilter::any().event("reqs");
+        assert_eq!(
+            db.aggregate(&f, Aggregation::Avg, 0, 100, 100)[0].v,
+            2.0
+        );
+        assert_eq!(db.aggregate(&f, Aggregation::Max, 0, 100, 100)[0].v, 3.0);
+        assert_eq!(db.aggregate(&f, Aggregation::Min, 0, 100, 100)[0].v, 1.0);
+    }
+
+    #[test]
+    fn empty_buckets_are_omitted() {
+        let db = TsDb::new();
+        db.insert(key("c1", "reqs"), 0, 1.0);
+        db.insert(key("c1", "reqs"), 1200, 1.0);
+        let f = TagFilter::any();
+        let s = db.aggregate(&f, Aggregation::Sum, 0, 1800, 600);
+        let ts: Vec<u64> = s.iter().map(|p| p.t).collect();
+        assert_eq!(ts, vec![0, 1200]);
+    }
+
+    #[test]
+    fn aligned_pairs_common_buckets_only() {
+        let db = TsDb::new();
+        db.insert(key("c1", "reqs"), 0, 5.0);
+        db.insert(key("c1", "reqs"), 600, 7.0);
+        db.insert(key("c1", "wait"), 600, 70.0);
+        db.insert(key("c1", "wait"), 1200, 80.0);
+        let fa = TagFilter::any().event("reqs");
+        let fb = TagFilter::any().event("wait");
+        let pairs = db.aligned(
+            (&fa, Aggregation::Sum),
+            (&fb, Aggregation::Sum),
+            0,
+            1800,
+            600,
+        );
+        assert_eq!(pairs, vec![(7.0, 70.0)]);
+    }
+
+    proptest! {
+        /// Sum aggregation is linear: the sum over all hosts equals the
+        /// sum of per-host aggregates, bucket by bucket.
+        #[test]
+        fn sum_aggregation_is_linear(
+            pts in proptest::collection::vec((0u64..3, 0u64..3600, -1e6f64..1e6), 1..80)
+        ) {
+            let db = TsDb::new();
+            for (h, t, v) in &pts {
+                db.insert(key(&format!("c{h}"), "reqs"), *t, *v);
+            }
+            let all = db.aggregate(&TagFilter::any(), Aggregation::Sum, 0, 3600, 600);
+            let mut per_host: BTreeMap<u64, f64> = BTreeMap::new();
+            for h in 0..3u64 {
+                let f = TagFilter::any().host(&format!("c{h}"));
+                for p in db.aggregate(&f, Aggregation::Sum, 0, 3600, 600) {
+                    *per_host.entry(p.t).or_default() += p.v;
+                }
+            }
+            prop_assert_eq!(all.len(), per_host.len());
+            for p in all {
+                let want = per_host[&p.t];
+                prop_assert!((p.v - want).abs() <= 1e-9 * (1.0 + want.abs()));
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The §VI-C shared-node scheme.
+//!
+//! On shared nodes, an LD_PRELOAD shim signals tacc_statsd at every
+//! process start and end; each signal triggers a collection, so every
+//! process gets at least two data points. The daemon can hold one
+//! pending signal while a ~0.09 s collection runs; further signals in
+//! that window are missed until the next collection.
+//!
+//! This example replays (a) the paper's simultaneous-start race and
+//! (b) a high-churn stream, reporting capture rates and the overhead
+//! growth the paper predicts ("if large numbers of processes are
+//! continually started and ended the overhead will naturally increase
+//! from the 0.02% level").
+//!
+//! Run with: `cargo run --release --example shared_nodes`
+
+use std::sync::Arc;
+use tacc_stats::broker::Broker;
+use tacc_stats::collect::archive::Archive;
+use tacc_stats::collect::consumer::StatsConsumer;
+use tacc_stats::collect::daemon::{LocalPublisher, SignalOutcome, TaccStatsd};
+use tacc_stats::collect::discovery::{discover, BuildOptions};
+use tacc_stats::collect::engine::Sampler;
+use tacc_stats::scheduler::procevents::{
+    generate_churn, simultaneous_start_scenario, ChurnConfig, ProcEventKind,
+};
+use tacc_stats::simnode::pseudofs::NodeFs;
+use tacc_stats::simnode::topology::NodeTopology;
+use tacc_stats::simnode::{SimDuration, SimNode, SimTime};
+
+fn daemon_on(node: &SimNode, broker: &Broker, start: SimTime) -> TaccStatsd {
+    let fs = NodeFs::new(node);
+    let cfg = discover(&fs, BuildOptions::default()).expect("discover");
+    let sampler = Sampler::new(&node.hostname, &cfg);
+    TaccStatsd::new(
+        sampler,
+        SimDuration::from_mins(10),
+        "stats",
+        Box::new(LocalPublisher(broker.clone())),
+        start,
+    )
+}
+
+fn main() {
+    let t0 = SimTime::from_secs(1_443_657_600);
+
+    // ---- (a) The paper's race scenario. ----
+    println!("== §VI-C race: two simultaneous starts + one more in the busy window ==\n");
+    let mut node = SimNode::new("c555-0001", NodeTopology::stampede());
+    let broker = Broker::new();
+    broker.declare("stats");
+    let mut daemon = daemon_on(&node, &broker, t0);
+    // Prime the daemon's interval sampling before the events arrive.
+    {
+        let fs = NodeFs::new(&node);
+        daemon.tick(&fs, t0);
+    }
+    for ev in simultaneous_start_scenario(t0 + SimDuration::from_secs(30)) {
+        // The daemon's sleep loop runs up to the event instant (draining
+        // any pending signal once the busy window has passed).
+        {
+            let fs = NodeFs::new(&node);
+            daemon.tick(&fs, ev.time);
+        }
+        match ev.kind {
+            ProcEventKind::Start => {
+                node.spawn_process(&ev.comm, ev.uid, 1, u64::MAX);
+            }
+            ProcEventKind::End => {
+                let pid_of = node
+                    .processes()
+                    .iter()
+                    .find(|p| p.comm == ev.comm)
+                    .map(|p| p.pid);
+                if let Some(pid) = pid_of {
+                    node.end_process(pid);
+                }
+            }
+        }
+        let outcome = {
+            let fs = NodeFs::new(&node);
+            daemon.signal(&fs, ev.time, &ev.mark())
+        };
+        println!(
+            "  t+{:>6.3}s {:<22} → {:?}",
+            ev.time.duration_since(t0).as_secs_f64(),
+            ev.mark(),
+            outcome
+        );
+    }
+    println!(
+        "\n  Process 1 collected immediately; process 2 occupies the one-slot buffer;"
+    );
+    println!("  process 3, arriving inside the ~0.09 s window with the slot full, is");
+    println!("  missed until the next collection — exactly the paper's policy.\n");
+
+    // ---- (b) Churn sweep: capture rate + overhead growth. ----
+    println!("== Process churn sweep (1 h, varying start/stop rate) ==\n");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "procs/hour", "collected", "queued", "missed", "capture", "overhead"
+    );
+    for n_processes in [20usize, 100, 500, 2000, 8000] {
+        let mut node = SimNode::new("c555-0002", NodeTopology::stampede());
+        let broker = Broker::new();
+        broker.declare("stats");
+        let archive = Arc::new(Archive::new());
+        let mut consumer = StatsConsumer::new(&broker, "stats", Arc::clone(&archive)).unwrap();
+        let mut daemon = daemon_on(&node, &broker, t0);
+        let events = generate_churn(ChurnConfig {
+            seed: n_processes as u64,
+            start: t0,
+            span: SimDuration::from_hours(1),
+            n_processes,
+            mean_lifetime: SimDuration::from_secs(90),
+            n_jobs: 3,
+        });
+        let (mut collected, mut queued, mut missed) = (0u64, 0u64, 0u64);
+        let mut last = t0;
+        for ev in &events {
+            // Daemon sleep loop runs between events.
+            if ev.time > last {
+                let fs = NodeFs::new(&node);
+                daemon.tick(&fs, ev.time);
+                last = ev.time;
+            }
+            match ev.kind {
+                ProcEventKind::Start => {
+                    node.spawn_process(&ev.comm, ev.uid, 1, u64::MAX);
+                }
+                ProcEventKind::End => {
+                    let pid_of = node
+                        .processes()
+                        .iter()
+                        .find(|p| p.comm == ev.comm)
+                        .map(|p| p.pid);
+                    if let Some(pid) = pid_of {
+                        node.end_process(pid);
+                    }
+                }
+            }
+            let fs = NodeFs::new(&node);
+            match daemon.signal(&fs, ev.time, &ev.mark()) {
+                SignalOutcome::Collected => collected += 1,
+                SignalOutcome::Queued => queued += 1,
+                SignalOutcome::Missed => missed += 1,
+            }
+        }
+        consumer.drain(last);
+        let total = events.len() as u64;
+        let capture = 100.0 * (collected + queued) as f64 / total as f64;
+        let overhead = daemon
+            .sampler()
+            .account()
+            .overhead_fraction(SimDuration::from_hours(1));
+        println!(
+            "{:>12} {:>10} {:>10} {:>10} {:>11.1}% {:>11.4}%",
+            n_processes,
+            collected,
+            queued,
+            missed,
+            capture,
+            overhead * 100.0
+        );
+    }
+    println!(
+        "\nAt the paper's baseline (10-min interval, no churn) overhead is ~0.015%;"
+    );
+    println!("per-event collections push it up with churn, as §VI-C predicts.\n");
+
+    // ---- (c) Per-job attribution on a shared node. ----
+    println!("== Shared-node attribution: two pinned jobs on one node ==\n");
+    let mut node = SimNode::new("c555-0003", NodeTopology::stampede());
+    let broker = Broker::new();
+    broker.declare("stats");
+    let archive = Arc::new(Archive::new());
+    let mut consumer = StatsConsumer::new(&broker, "stats", Arc::clone(&archive)).unwrap();
+    let mut daemon = daemon_on(&node, &broker, t0);
+    // Job 100 (uid 6000) pinned to socket 0 (cores 0-7), job 200
+    // (uid 6001) to socket 1 (cores 8-15) — the cgroup pinning §VI-C
+    // says makes core-level data reliable.
+    for i in 0..4u32 {
+        node.spawn_process("app100.x", 6000, 1, 0x00FF);
+        let _ = i;
+    }
+    for _ in 0..4u32 {
+        node.spawn_process("app200.x", 6001, 1, 0xFF00);
+    }
+    use tacc_stats::simnode::workload::NodeDemand;
+    let demand = NodeDemand {
+        active_cores: 16,
+        cpu_user_frac: 0.7,
+        mem_used_bytes: 12 << 30,
+        ..NodeDemand::default()
+    };
+    daemon.set_jobs(vec!["100".to_string(), "200".to_string()]);
+    for k in 0..=6u64 {
+        if k > 0 {
+            node.advance(SimDuration::from_mins(10), &demand);
+        }
+        let fs = NodeFs::new(&node);
+        daemon.tick(&fs, t0 + SimDuration::from_mins(10 * k));
+    }
+    consumer.drain(t0 + SimDuration::from_hours(1));
+    let raw = archive.parse_all();
+    let samples: Vec<_> = raw.iter().flat_map(|rf| rf.samples.iter().cloned()).collect();
+    let uid_to_job = std::collections::HashMap::from([
+        (6000u32, "100".to_string()),
+        (6001u32, "200".to_string()),
+    ]);
+    let usage = tacc_stats::metrics::shared::attribute(&samples, &uid_to_job);
+    println!("{}", tacc_stats::metrics::shared::render(&usage));
+}

@@ -1,0 +1,113 @@
+//! Integration tests for the auxiliary paper features: XALT environment
+//! tracking (§IV-B), MemUsage validation against procfs HWM (§IV-A), and
+//! the rise-vs-drop catastrophe signatures (§V-A).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tacc_stats::core::config::{Mode, SystemConfig};
+use tacc_stats::core::MonitoringSystem;
+use tacc_stats::jobdb::Query;
+use tacc_stats::metrics::ingest::JOBS_TABLE;
+use tacc_stats::metrics::memcheck::validate_mem_usage;
+use tacc_stats::portal::search::SearchSpec;
+use tacc_stats::scheduler::job::{JobRequest, QueueName};
+use tacc_stats::simnode::apps::AppModel;
+use tacc_stats::simnode::topology::NodeTopology;
+use tacc_stats::simnode::{SimDuration, SimTime};
+
+fn t0() -> SimTime {
+    SimTime::from_secs(tacc_stats::simnode::clock::Q4_2015_START_SECS)
+}
+
+fn request(seed: u64, model: AppModel, runtime_mins: u64) -> JobRequest {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = NodeTopology::stampede();
+    let app = model.instantiate(&mut rng, 1, topo.n_cores(), &topo);
+    JobRequest {
+        user: format!("user{seed:04}"),
+        uid: 5000 + seed as u32,
+        account: "TG-F".to_string(),
+        job_name: "feat".to_string(),
+        queue: QueueName::Normal,
+        n_nodes: 1,
+        wayness: topo.n_cores(),
+        runtime: SimDuration::from_mins(runtime_mins),
+        will_fail: false,
+        idle_nodes: 0,
+        app,
+    }
+}
+
+/// §IV-B: XALT records each job's modules and libraries; disabled
+/// plugin records nothing.
+#[test]
+fn xalt_records_job_environments() {
+    let mut sys = MonitoringSystem::new(SystemConfig::small(2, Mode::daemon()));
+    sys.enqueue_jobs(vec![
+        (t0(), request(1, AppModel::wrf(), 30)),
+        (t0(), request(2, AppModel::namd(), 30)),
+    ]);
+    sys.run_until(t0() + SimDuration::from_hours(1));
+    // Jobs get ids 3000, 3001.
+    let wrf_env = sys.xalt().lookup(3000).expect("wrf env recorded");
+    assert!(wrf_env.modules.iter().any(|m| m.starts_with("netcdf")));
+    assert!(sys.xalt().render(3001).contains("fftw3"));
+    // Audit query across the whole run.
+    assert_eq!(sys.xalt().jobs_with_module("intel/").len(), 2);
+
+    // Disabled plugin (§IV-B: "only available if the XALT plugin is
+    // enabled").
+    let mut cfg = SystemConfig::small(1, Mode::daemon());
+    cfg.enable_xalt = false;
+    let mut sys2 = MonitoringSystem::new(cfg);
+    sys2.enqueue_jobs(vec![(t0(), request(3, AppModel::wrf(), 20))]);
+    sys2.run_until(t0() + SimDuration::from_hours(1));
+    assert!(sys2.xalt().lookup(3000).is_none());
+    assert!(sys2.xalt().render(3000).contains("not enabled"));
+}
+
+/// §IV-A: MemUsage snapshots agree with procfs VmHWM for steady jobs in
+/// the full pipeline.
+#[test]
+fn mem_validation_through_pipeline() {
+    let mut sys = MonitoringSystem::new(SystemConfig::small(1, Mode::daemon()));
+    sys.enqueue_jobs(vec![(t0(), request(4, AppModel::quantum_espresso(), 60))]);
+    sys.run_until(t0() + SimDuration::from_hours(2));
+    let raw = sys.archive().parse_all();
+    let samples: Vec<_> = raw
+        .iter()
+        .flat_map(|rf| rf.samples.iter().cloned())
+        .filter(|s| s.jobids.contains(&"3000".to_string()))
+        .collect();
+    assert!(samples.len() >= 2);
+    let v = validate_mem_usage(&samples, 5004);
+    assert!(v.hwm_gb > 1.0, "hwm {}", v.hwm_gb);
+    // Steady app: snapshot underestimate small.
+    assert!(v.underestimate_frac() < 0.2, "{v:?}");
+}
+
+/// §V-A: compile-then-run and failing jobs both trip the catastrophe
+/// threshold but carry opposite flags.
+#[test]
+fn rise_and_drop_signatures_distinguished() {
+    let mut sys = MonitoringSystem::new(SystemConfig::small(2, Mode::daemon()));
+    let mut fail_req = request(5, AppModel::failing(), 120);
+    fail_req.will_fail = true;
+    sys.enqueue_jobs(vec![
+        (t0(), fail_req),
+        (t0(), request(6, AppModel::compile_then_run(), 120)),
+    ]);
+    sys.run_until(t0() + SimDuration::from_hours(3));
+    let table = sys.db().table(JOBS_TABLE).unwrap();
+    let all = SearchSpec::default().run(table).unwrap();
+    assert_eq!(all.len(), 2);
+    let drops = all.flagged_with("SuddenDrop");
+    let rises = all.flagged_with("SuddenRise");
+    assert_eq!(drops.len(), 1, "failing job flags SuddenDrop");
+    assert_eq!(rises.len(), 1, "compile job flags SuddenRise");
+    // The drop belongs to the failed job.
+    let status_idx = table.schema().index_of("status").unwrap();
+    assert_eq!(drops[0].get(status_idx).as_str(), Some("failed"));
+    let cat = Query::new(table).max("catastrophe").unwrap().unwrap();
+    assert!(cat < 0.1, "both jobs catastrophic: max {cat}");
+}

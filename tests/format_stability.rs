@@ -1,0 +1,79 @@
+//! Format-stability golden tests.
+//!
+//! The raw-stats format is the system's on-disk contract: tools written
+//! against archived data must keep working across releases. These tests
+//! pin the exact byte layout (a golden file checked in as a constant)
+//! and the parse of it, so accidental format drift fails CI rather than
+//! silently corrupting archives.
+
+use tacc_stats::collect::record::RawFile;
+use tacc_stats::simnode::schema::DeviceType;
+use tacc_stats::simnode::topology::CpuArch;
+
+/// A hand-written raw file in the v2.1 format: header, schemas, two
+/// record groups with marks, device lines, and a ps line.
+const GOLDEN: &str = "\
+$tacc_stats 2.1
+$hostname c401-0042
+$arch sandybridge
+!net rx_bytes,B,C,64 rx_packets,E,C,64 tx_bytes,B,C,64 tx_packets,E,C,64
+!mdc reqs,E,C,64 wait,US,C,64
+!ps VmSize,KB,G,64 VmHWM,KB,G,64 VmRSS,KB,G,64 VmLck,KB,G,64 VmData,KB,G,64 VmStk,KB,G,64 VmExe,KB,G,64 Threads,E,G,64 utime,CS,C,64 Cpus_allowed,E,G,64 Mems_allowed,E,G,64
+1443657600 3001
+%begin 3001
+mdc scratch 12 4800
+net eth0 1000 10 2000 20
+ps 1001 wrf.exe 5000 40960 8192 8192 0 16384 8192 4096 16 0 65535 3
+1443658200 3001,3002
+mdc scratch 6012 2404800
+net eth0 51000 510 52000 520
+";
+
+#[test]
+fn golden_file_parses_to_expected_structure() {
+    let rf = RawFile::parse(GOLDEN).expect("golden file must parse");
+    assert_eq!(rf.header.hostname, "c401-0042");
+    assert_eq!(rf.header.arch, CpuArch::SandyBridge);
+    assert_eq!(rf.header.schemas.len(), 3);
+    assert_eq!(rf.samples.len(), 2);
+
+    let s0 = &rf.samples[0];
+    assert_eq!(s0.time.as_secs(), 1_443_657_600);
+    assert_eq!(s0.jobids, vec!["3001"]);
+    assert_eq!(s0.marks, vec!["begin 3001"]);
+    assert_eq!(s0.device(DeviceType::Mdc, "scratch"), Some(&[12u64, 4800][..]));
+    assert_eq!(s0.processes.len(), 1);
+    assert_eq!(s0.processes[0].comm, "wrf.exe");
+    assert_eq!(s0.processes[0].values[9], 65535, "Cpus_allowed");
+
+    let s1 = &rf.samples[1];
+    assert_eq!(s1.jobids, vec!["3001", "3002"], "shared-node job list");
+    // Deltas across the two samples give the expected rates:
+    // (6012-12)/600 s = 10 req/s.
+    let reqs0 = s0.device(DeviceType::Mdc, "scratch").unwrap()[0];
+    let reqs1 = s1.device(DeviceType::Mdc, "scratch").unwrap()[0];
+    assert_eq!((reqs1 - reqs0) / 600, 10);
+}
+
+#[test]
+fn golden_file_rerenders_byte_identical() {
+    let rf = RawFile::parse(GOLDEN).expect("parse");
+    let rendered = rf.render();
+    assert_eq!(
+        rendered, GOLDEN,
+        "render(parse(golden)) must be byte-identical — format drift!"
+    );
+}
+
+#[test]
+fn current_schemas_match_golden_layout() {
+    // The ps schema written by today's collector must match the golden
+    // file's column layout (11 values: 8 memory/thread gauges + utime +
+    // 2 affinity masks).
+    let ps = DeviceType::Ps.schema(CpuArch::SandyBridge);
+    assert_eq!(ps.len(), 11);
+    assert_eq!(ps.events[8].name, "utime");
+    assert_eq!(ps.events[9].name, "Cpus_allowed");
+    let mdc = DeviceType::Mdc.schema(CpuArch::SandyBridge);
+    assert_eq!(mdc.render(), "reqs,E,C,64 wait,US,C,64");
+}

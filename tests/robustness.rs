@@ -1,0 +1,138 @@
+//! Robustness property tests: the parsers never panic on hostile input,
+//! and the scheduler never violates its allocation invariants under
+//! random workloads.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use tacc_stats::collect::record::RawFile;
+use tacc_stats::jobdb::Database;
+use tacc_stats::scheduler::job::{JobRequest, JobStatus, QueueName};
+use tacc_stats::scheduler::sched::{SchedEvent, Scheduler};
+use tacc_stats::simnode::apps::AppModel;
+use tacc_stats::simnode::schema::Schema;
+use tacc_stats::simnode::topology::NodeTopology;
+use tacc_stats::simnode::{SimDuration, SimTime};
+
+proptest! {
+    /// The raw-stats parser returns Ok or Err on *any* input — it never
+    /// panics (the consumer feeds it whatever arrives off the network).
+    #[test]
+    fn rawfile_parse_never_panics(input in ".{0,400}") {
+        let _ = RawFile::parse(&input);
+    }
+
+    /// Same with line-structured junk that *looks* like the format.
+    #[test]
+    fn rawfile_parse_survives_format_shaped_junk(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just("$tacc_stats 2.1".to_string()),
+                Just("$hostname h".to_string()),
+                Just("$arch sandybridge".to_string()),
+                Just("!mdc reqs,E,C,64 wait,US,C,64".to_string()),
+                Just("1443657600 3001".to_string()),
+                Just("mdc scratch 1 2".to_string()),
+                Just("mdc scratch 1".to_string()),
+                Just("%begin 3001".to_string()),
+                Just("ps 1 x 2 3".to_string()),
+                "[a-z0-9 .$!%-]{0,40}",
+            ],
+            0..25,
+        )
+    ) {
+        let text = lines.join("\n");
+        let _ = RawFile::parse(&text);
+    }
+
+    /// The database parser likewise never panics.
+    #[test]
+    fn database_parse_never_panics(input in ".{0,400}") {
+        let _ = Database::parse(&input);
+    }
+
+    /// The schema parser never panics.
+    #[test]
+    fn schema_parse_never_panics(input in ".{0,200}") {
+        let _ = Schema::parse(&input);
+    }
+
+    /// Scheduler invariants under random submission streams:
+    /// * a node is never allocated to two running jobs at once,
+    /// * every started job eventually ends,
+    /// * queue waits are non-negative and starts respect submission.
+    #[test]
+    fn scheduler_never_double_allocates(
+        jobs in proptest::collection::vec((1usize..6, 60u64..4000, 0u64..5000), 1..40),
+        n_nodes in 4usize..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let topo = NodeTopology::stampede();
+        let mut sched = Scheduler::new(n_nodes, 0);
+        let mut submissions: Vec<(u64, JobRequest)> = jobs
+            .iter()
+            .map(|(n, runtime, submit)| {
+                let n = (*n).min(n_nodes);
+                let app = AppModel::python().instantiate(&mut rng, n, 16, &topo);
+                (
+                    *submit,
+                    JobRequest {
+                        user: "p".into(),
+                        uid: 5000,
+                        account: "TG".into(),
+                        job_name: "p".into(),
+                        queue: QueueName::Normal,
+                        n_nodes: n,
+                        wayness: 16,
+                        runtime: SimDuration::from_secs(*runtime),
+                        will_fail: false,
+                        idle_nodes: 0,
+                        app,
+                    },
+                )
+            })
+            .collect();
+        submissions.sort_by_key(|(t, _)| *t);
+        let total = submissions.len();
+        let mut iter = submissions.into_iter().peekable();
+        let mut started = 0usize;
+        let mut ended = 0usize;
+        let mut t = 0u64;
+        // Step until drained (bounded: total work is finite).
+        for _ in 0..100_000 {
+            while iter.peek().map(|(st, _)| *st <= t).unwrap_or(false) {
+                let (_, req) = iter.next().unwrap();
+                sched.submit(req, SimTime::from_secs(t));
+            }
+            for ev in sched.step(SimTime::from_secs(t)) {
+                match ev {
+                    SchedEvent::Started(_) => started += 1,
+                    SchedEvent::Ended(_) => ended += 1,
+                }
+            }
+            // Invariant: no node hosts two running jobs.
+            let mut owner: HashMap<usize, u64> = HashMap::new();
+            for j in sched.running() {
+                prop_assert!(j.start.as_secs() >= j.submit.as_secs());
+                for node in &j.nodes {
+                    prop_assert!(
+                        owner.insert(*node, j.id).is_none(),
+                        "node {node} double-allocated at t={t}"
+                    );
+                    prop_assert!(*node < n_nodes);
+                }
+            }
+            if iter.peek().is_none() && sched.queued() == 0 && sched.running().next().is_none() {
+                break;
+            }
+            t += 60;
+        }
+        prop_assert_eq!(started, total, "all jobs must start");
+        prop_assert_eq!(ended, total, "all jobs must end");
+        for j in sched.drain_finished() {
+            prop_assert_eq!(j.status, JobStatus::Completed);
+            prop_assert!(j.end >= j.start);
+        }
+    }
+}
