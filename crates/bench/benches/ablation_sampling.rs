@@ -52,12 +52,7 @@ fn record_trajectory() -> (HostHeader, Vec<Sample>) {
         node.advance(step, &d);
         if minute % 10 == 0 {
             let fs = NodeFs::new(&node);
-            samples.push(sampler.sample(
-                &fs,
-                SimTime::from_secs(minute * 60),
-                &["1".into()],
-                &[],
-            ));
+            samples.push(sampler.sample(&fs, SimTime::from_secs(minute * 60), &["1".into()], &[]));
         }
     }
     (sampler.header().clone(), samples)

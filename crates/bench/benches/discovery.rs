@@ -39,7 +39,10 @@ fn bench(c: &mut Criterion) {
         let collectors = build_collectors(&cfg);
         let dts = cfg.device_types();
         report_row(
-            &format!("{:?} ({} cpus, HT {})", arch, cfg.n_cpus, cfg.hyperthreading),
+            &format!(
+                "{:?} ({} cpus, HT {})",
+                arch, cfg.n_cpus, cfg.hyperthreading
+            ),
             "auto-detected",
             &format!(
                 "{} collectors, RAPL {}",

@@ -38,13 +38,22 @@ fn build_population() -> Database {
         }
         let interior = (runtime / 10).clamp(3, 30) as usize;
         let metrics = simulate_job(&job, &topo, interior);
-        ingest_job(&mut db, &job, &metrics, &rules, topo.memory_bytes as f64 / 1e9);
+        ingest_job(
+            &mut db,
+            &job,
+            &metrics,
+            &rules,
+            topo.memory_bytes as f64 / 1e9,
+        );
     }
     db
 }
 
 fn bench(c: &mut Criterion) {
-    report_header("E4 / Fig. 4", "WRF query histograms (runtime, nodes, wait, metadata)");
+    report_header(
+        "E4 / Fig. 4",
+        "WRF query histograms (runtime, nodes, wait, metadata)",
+    );
     let db = build_population();
     let table = db.table(JOBS_TABLE).unwrap();
     let wrf = SearchSpec {
@@ -60,7 +69,11 @@ fn bench(c: &mut Criterion) {
     // The outlier panel: the top decade holds only the bad user's jobs.
     let md = wrf.column("MetaDataRate");
     let outliers = md.iter().filter(|v| **v > 100_000.0).count();
-    let bulk_max = md.iter().cloned().filter(|v| *v < 100_000.0).fold(0.0, f64::max);
+    let bulk_max = md
+        .iter()
+        .cloned()
+        .filter(|v| *v < 100_000.0)
+        .fold(0.0, f64::max);
     report_row(
         "metadata outlier jobs (>1e5 req/s)",
         "visible outliers",
@@ -69,7 +82,10 @@ fn bench(c: &mut Criterion) {
     report_row(
         "outlier / bulk-peak ratio",
         "orders of magnitude",
-        &format!("{:.0}x", md.iter().cloned().fold(0.0, f64::max) / bulk_max.max(1.0)),
+        &format!(
+            "{:.0}x",
+            md.iter().cloned().fold(0.0, f64::max) / bulk_max.max(1.0)
+        ),
     );
     assert!(outliers >= 3);
     assert!(md.iter().cloned().fold(0.0, f64::max) / bulk_max.max(1.0) > 10.0);
@@ -90,13 +106,7 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.bench_function("flagged_sublist", |b| {
-        b.iter(|| {
-            SearchSpec::default()
-                .run(table)
-                .unwrap()
-                .flagged()
-                .len()
-        })
+        b.iter(|| SearchSpec::default().run(table).unwrap().flagged().len())
     });
     g.finish();
 }

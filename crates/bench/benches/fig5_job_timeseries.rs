@@ -15,7 +15,10 @@ use tacc_simnode::apps::AppModel;
 use tacc_simnode::SimDuration;
 
 fn bench(c: &mut Criterion) {
-    report_header("E5 / Fig. 5", "per-node time series of the metadata-storm WRF job");
+    report_header(
+        "E5 / Fig. 5",
+        "per-node time series of the metadata-storm WRF job",
+    );
     let mut sys = MonitoringSystem::new(SystemConfig::small(4, Mode::daemon()));
     let mut req = request(5, AppModel::wrf_metadata_storm(), 4, 180);
     req.user = "user9999".to_string();

@@ -72,12 +72,7 @@ fn bench(c: &mut Criterion) {
         if interval_ms == 600_000 {
             baseline_600 = ov;
         }
-        println!(
-            "  {:>10}ms {:>14} {:>11.4}%",
-            interval_ms,
-            n,
-            ov * 100.0
-        );
+        println!("  {:>10}ms {:>14} {:>11.4}%", interval_ms, n, ov * 100.0);
     }
     report_row(
         "\n  overhead at the paper's 10-min interval",

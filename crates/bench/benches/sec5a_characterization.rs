@@ -17,10 +17,7 @@ use tacc_metrics::ingest::JOBS_TABLE;
 const N_JOBS: usize = 3000;
 
 fn bench(c: &mut Criterion) {
-    report_header(
-        "E6–E9 / §V-A",
-        "population characterization searches",
-    );
+    report_header("E6–E9 / §V-A", "population characterization searches");
     println!(
         "  population: {N_JOBS} jobs (scaled from the paper's 404,002; proportions preserved)\n"
     );
@@ -30,13 +27,25 @@ fn bench(c: &mut Criterion) {
     let total = t.len() as f64;
     let pct = |n: usize| format!("{:.1}%", 100.0 * n as f64 / total);
 
-    let mic = Query::new(t).filter_kw("MIC_Usage__gt", 0.01).count().unwrap();
+    let mic = Query::new(t)
+        .filter_kw("MIC_Usage__gt", 0.01)
+        .count()
+        .unwrap();
     report_row("jobs using MIC > 1% of CPU time", "1.3%", &pct(mic));
-    let v1 = Query::new(t).filter_kw("VecPercent__gt", 1.0).count().unwrap();
+    let v1 = Query::new(t)
+        .filter_kw("VecPercent__gt", 1.0)
+        .count()
+        .unwrap();
     report_row("jobs > 1% vectorized", "52%", &pct(v1));
-    let v50 = Query::new(t).filter_kw("VecPercent__gt", 50.0).count().unwrap();
+    let v50 = Query::new(t)
+        .filter_kw("VecPercent__gt", 50.0)
+        .count()
+        .unwrap();
     report_row("jobs > 50% vectorized", "25%", &pct(v50));
-    let mem = Query::new(t).filter_kw("MemUsage__gt", 20.0).count().unwrap();
+    let mem = Query::new(t)
+        .filter_kw("MemUsage__gt", 20.0)
+        .count()
+        .unwrap();
     report_row("jobs using > 20 GB of 32 GB", "3%", &pct(mem));
     let idle = Query::new(t).filter_kw("idle__lt", 0.05).count().unwrap();
     report_row("jobs with idle nodes", ">2%", &pct(idle));
@@ -62,10 +71,22 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("all_five_characterization_searches", |b| {
         b.iter(|| {
-            let a = Query::new(t).filter_kw("MIC_Usage__gt", 0.01).count().unwrap();
-            let b_ = Query::new(t).filter_kw("VecPercent__gt", 1.0).count().unwrap();
-            let c_ = Query::new(t).filter_kw("VecPercent__gt", 50.0).count().unwrap();
-            let d = Query::new(t).filter_kw("MemUsage__gt", 20.0).count().unwrap();
+            let a = Query::new(t)
+                .filter_kw("MIC_Usage__gt", 0.01)
+                .count()
+                .unwrap();
+            let b_ = Query::new(t)
+                .filter_kw("VecPercent__gt", 1.0)
+                .count()
+                .unwrap();
+            let c_ = Query::new(t)
+                .filter_kw("VecPercent__gt", 50.0)
+                .count()
+                .unwrap();
+            let d = Query::new(t)
+                .filter_kw("MemUsage__gt", 20.0)
+                .count()
+                .unwrap();
             let e = Query::new(t).filter_kw("idle__lt", 0.05).count().unwrap();
             a + b_ + c_ + d + e
         })

@@ -43,7 +43,13 @@ fn wrf_population(n: u64) -> Database {
         }
         let interior = (runtime / 10).clamp(3, 24) as usize;
         let metrics = simulate_job(&job, &topo, interior);
-        ingest_job(&mut db, &job, &metrics, &rules, topo.memory_bytes as f64 / 1e9);
+        ingest_job(
+            &mut db,
+            &job,
+            &metrics,
+            &rules,
+            topo.memory_bytes as f64 / 1e9,
+        );
     }
     db
 }
@@ -62,12 +68,21 @@ fn bench(c: &mut Criterion) {
     let p_md = popn.avg("MetaDataRate").unwrap().unwrap();
     let b_oc = bad.avg("LLiteOpenClose").unwrap().unwrap();
     let p_oc = popn.avg("LLiteOpenClose").unwrap().unwrap();
-    report_row("CPU_Usage (user / population)", "67% / 80%",
-        &format!("{:.0}% / {:.0}%", b_cpu * 100.0, p_cpu * 100.0));
-    report_row("MetaDataRate (user / population)", "563,905 / 3,870",
-        &format!("{b_md:.0} / {p_md:.0}"));
-    report_row("LLiteOpenClose (user / population)", "30,884 / 2",
-        &format!("{b_oc:.0} / {p_oc:.0}"));
+    report_row(
+        "CPU_Usage (user / population)",
+        "67% / 80%",
+        &format!("{:.0}% / {:.0}%", b_cpu * 100.0, p_cpu * 100.0),
+    );
+    report_row(
+        "MetaDataRate (user / population)",
+        "563,905 / 3,870",
+        &format!("{b_md:.0} / {p_md:.0}"),
+    );
+    report_row(
+        "LLiteOpenClose (user / population)",
+        "30,884 / 2",
+        &format!("{b_oc:.0} / {p_oc:.0}"),
+    );
     // Shape assertions: degraded CPU, metadata rate ~2 orders above the
     // population, open/close ~4 orders above.
     assert!(b_cpu < p_cpu);

@@ -17,7 +17,10 @@ use tacc_tsdb::stats::pearson;
 use tacc_tsdb::{Aggregation, TagFilter};
 
 fn bench(c: &mut Criterion) {
-    report_header("E13 / §VI-A", "cross-job interference via the time-series DB");
+    report_header(
+        "E13 / §VI-A",
+        "cross-job interference via the time-series DB",
+    );
     let mut cfg = SystemConfig::small(6, Mode::daemon());
     cfg.enable_tsdb = true;
     let mut sys = MonitoringSystem::new(cfg);
@@ -41,7 +44,13 @@ fn bench(c: &mut Criterion) {
     let reqs = TagFilter::any().dev_type("mdc").event("reqs");
     let wait = TagFilter::any().dev_type("mdc").event("wait");
     let (ts, te) = (t0().as_secs(), t0().as_secs() + 3 * 3600);
-    let pairs = tsdb.aligned((&reqs, Aggregation::Sum), (&wait, Aggregation::Sum), ts, te, 600);
+    let pairs = tsdb.aligned(
+        (&reqs, Aggregation::Sum),
+        (&wait, Aggregation::Sum),
+        ts,
+        te,
+        600,
+    );
     let r = pearson(&pairs).unwrap();
     report_row(
         "corr(cluster MDC reqs, cluster MDC wait)",
@@ -56,7 +65,11 @@ fn bench(c: &mut Criterion) {
         .max_by(|a, b| a.v.total_cmp(&b.v))
         .map(|p| (p.t - ts) / 3600)
         .unwrap();
-    report_row("hour containing the request peak", "storm hour (2nd)", &format!("hour {}", peak_t + 1));
+    report_row(
+        "hour containing the request peak",
+        "storm hour (2nd)",
+        &format!("hour {}", peak_t + 1),
+    );
     assert_eq!(peak_t, 1);
     println!();
 
@@ -66,8 +79,13 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("aligned_correlation_query", |b| {
         b.iter(|| {
-            let pairs =
-                tsdb.aligned((&reqs, Aggregation::Sum), (&wait, Aggregation::Sum), ts, te, 600);
+            let pairs = tsdb.aligned(
+                (&reqs, Aggregation::Sum),
+                (&wait, Aggregation::Sum),
+                ts,
+                te,
+                600,
+            );
             pearson(&pairs)
         })
     });

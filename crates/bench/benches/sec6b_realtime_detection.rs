@@ -15,7 +15,10 @@ use tacc_simnode::apps::AppModel;
 use tacc_simnode::SimDuration;
 
 fn bench(c: &mut Criterion) {
-    report_header("E14 / §VI-B", "automated real-time detection and suspension");
+    report_header(
+        "E14 / §VI-B",
+        "automated real-time detection and suspension",
+    );
 
     // Daemon mode: detection latency.
     let mut sys = MonitoringSystem::new(SystemConfig::small(2, Mode::daemon()));
@@ -73,14 +76,17 @@ fn bench(c: &mut Criterion) {
     let raw = feeder.archive().parse_all();
     let samples: Vec<_> = raw
         .iter()
-        .flat_map(|rf| rf.samples.iter().map(move |s| (rf.header.clone(), s.clone())))
+        .flat_map(|rf| {
+            rf.samples
+                .iter()
+                .map(move |s| (rf.header.clone(), s.clone()))
+        })
         .collect();
     println!("  analyzer replay set: {} samples", samples.len());
     let mut g = c.benchmark_group("sec6b");
     g.bench_function("analyzer_observe_per_sample", |b| {
         b.iter(|| {
-            let mut analyzer =
-                tacc_core::online::OnlineAnalyzer::new(OnlineConfig::default());
+            let mut analyzer = tacc_core::online::OnlineAnalyzer::new(OnlineConfig::default());
             let mut n = 0;
             for (h, s) in &samples {
                 n += analyzer.observe(s.time.time(), h, s).len();

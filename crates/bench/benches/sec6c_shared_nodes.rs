@@ -78,7 +78,10 @@ fn churn_run(n_processes: usize) -> (u64, u64, u64, f64) {
 }
 
 fn bench(c: &mut Criterion) {
-    report_header("E15 / §VI-C", "shared-node scheme: capture and overhead vs churn");
+    report_header(
+        "E15 / §VI-C",
+        "shared-node scheme: capture and overhead vs churn",
+    );
     println!(
         "  {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "procs/hour", "collected", "queued", "missed", "capture", "overhead"
@@ -102,11 +105,17 @@ fn bench(c: &mut Criterion) {
     // increase the overhead" but churn does; overhead must grow
     // monotonically with churn, starting near the 0.02% baseline.
     assert!(overheads.windows(2).all(|w| w[1] > w[0]));
-    assert!(overheads[0] < 0.005, "low churn near baseline: {}", overheads[0]);
+    assert!(
+        overheads[0] < 0.005,
+        "low churn near baseline: {}",
+        overheads[0]
+    );
     // Low churn: nothing missed (paper: two simultaneous processes are
     // handled correctly).
     let (_, _, missed_low, _) = churn_run(50);
-    println!("\n  low-churn missed signals: {missed_low} (paper: only bursts >2 in 0.09 s are missed)");
+    println!(
+        "\n  low-churn missed signals: {missed_low} (paper: only bursts >2 in 0.09 s are missed)"
+    );
     assert_eq!(missed_low, 0);
     println!();
 

@@ -7,8 +7,9 @@
 //! and TCP), the raw-file codec, and the database scan, and print the
 //! implied cluster capacity.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
 use tacc_bench::{report_header, report_row};
 use tacc_broker::tcp::{BrokerClient, BrokerServer};
 use tacc_broker::Broker;
@@ -19,7 +20,6 @@ use tacc_simnode::pseudofs::NodeFs;
 use tacc_simnode::topology::NodeTopology;
 use tacc_simnode::workload::NodeDemand;
 use tacc_simnode::{SimDuration, SimNode, SimTime};
-use std::time::Duration;
 
 fn sample_message() -> String {
     let mut node = SimNode::new("c401-0001", NodeTopology::stampede());
@@ -44,7 +44,10 @@ fn sample_message() -> String {
 
 fn bench(c: &mut Criterion) {
     let msg = sample_message();
-    report_header("ablation", "substrate throughput (cluster-scale feasibility)");
+    report_header(
+        "ablation",
+        "substrate throughput (cluster-scale feasibility)",
+    );
     report_row(
         "one daemon message (full node sample)",
         "-",

@@ -3,6 +3,7 @@
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -98,6 +99,9 @@ struct BrokerInner {
 #[derive(Clone, Default)]
 pub struct Broker {
     inner: Arc<Mutex<BrokerInner>>,
+    /// Outage flag: while set, publishes fail and consumers receive
+    /// nothing, but queue contents survive (an orderly broker restart).
+    stopped: Arc<AtomicBool>,
 }
 
 impl Broker {
@@ -123,6 +127,9 @@ impl Broker {
     /// if the queue has not been declared (message dropped — matching
     /// AMQP's behaviour for unroutable messages on a default exchange).
     pub fn publish(&self, queue: &str, routing_key: &str, payload: Bytes) -> bool {
+        if self.stopped.load(Ordering::Acquire) {
+            return false;
+        }
         let Some(q) = self.queue(queue) else {
             return false;
         };
@@ -150,7 +157,38 @@ impl Broker {
             inner.next_consumer_id += 1;
             inner.next_consumer_id
         };
-        Some(Consumer { id, queue: q })
+        Some(Consumer {
+            id,
+            queue: q,
+            stopped: Arc::clone(&self.stopped),
+        })
+    }
+
+    /// Take the broker down: publishes fail and consumers receive
+    /// nothing until [`Broker::restart`]. Queue contents — ready and
+    /// in-flight messages alike — are preserved (an orderly shutdown,
+    /// not a data-loss event). Idempotent.
+    pub fn stop(&self) {
+        self.stopped.store(true, Ordering::Release);
+        // Wake blocked getters so they observe the outage promptly.
+        let inner = self.inner.lock();
+        for q in inner.queues.values() {
+            q.nonempty.notify_all();
+        }
+    }
+
+    /// Bring the broker back up after [`Broker::stop`]. Idempotent.
+    pub fn restart(&self) {
+        self.stopped.store(false, Ordering::Release);
+        let inner = self.inner.lock();
+        for q in inner.queues.values() {
+            q.nonempty.notify_all();
+        }
+    }
+
+    /// Is the broker currently stopped?
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::Acquire)
     }
 
     /// Snapshot of broker statistics.
@@ -179,7 +217,9 @@ impl Broker {
 
     /// Depth of one queue (0 if it does not exist).
     pub fn depth(&self, queue: &str) -> usize {
-        self.queue(queue).map(|q| q.inner.lock().ready.len()).unwrap_or(0)
+        self.queue(queue)
+            .map(|q| q.inner.lock().ready.len())
+            .unwrap_or(0)
     }
 }
 
@@ -191,15 +231,21 @@ impl Broker {
 pub struct Consumer {
     id: u64,
     queue: Arc<Queue>,
+    stopped: Arc<AtomicBool>,
 }
 
 impl Consumer {
-    /// Pop the next message, blocking up to `timeout`. `None` on timeout.
+    /// Pop the next message, blocking up to `timeout`. `None` on timeout
+    /// or while the broker is stopped (messages are retained for after
+    /// the restart).
     pub fn get(&self, timeout: Duration) -> Option<Delivery> {
+        if self.stopped.load(Ordering::Acquire) {
+            return None;
+        }
         let mut inner = self.queue.inner.lock();
         if inner.ready.is_empty() {
             let deadline = std::time::Instant::now() + timeout;
-            while inner.ready.is_empty() {
+            while inner.ready.is_empty() && !self.stopped.load(Ordering::Acquire) {
                 if self
                     .queue
                     .nonempty
@@ -209,6 +255,9 @@ impl Consumer {
                     break;
                 }
             }
+        }
+        if self.stopped.load(Ordering::Acquire) {
+            return None;
         }
         let d = inner.ready.pop_front()?;
         inner.delivered += 1;
@@ -424,6 +473,48 @@ mod tests {
         for (_, v) in per_key {
             assert!(v.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn stopped_broker_rejects_publishes_and_hides_messages() {
+        let b = Broker::new();
+        b.declare("q");
+        b.publish("q", "n", payload("before"));
+        let c = b.consume("q").unwrap();
+        b.stop();
+        assert!(b.is_stopped());
+        assert!(!b.publish("q", "n", payload("during")), "publish must fail");
+        assert!(c.try_get().is_none(), "no deliveries during outage");
+        b.stop(); // idempotent
+        b.restart();
+        b.restart(); // idempotent
+                     // Pre-outage contents survived; publishes work again.
+        let d = c.try_get().unwrap();
+        assert_eq!(d.payload, payload("before"));
+        assert!(c.ack(d.tag));
+        assert!(b.publish("q", "n", payload("after")));
+        assert_eq!(b.depth("q"), 1);
+        let q = &b.stats().queues["q"];
+        assert_eq!(q.published, 2, "rejected publish must not be counted");
+    }
+
+    #[test]
+    fn stop_wakes_blocked_getters() {
+        let b = Broker::new();
+        b.declare("q");
+        let c = b.consume("q").unwrap();
+        let b2 = b.clone();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            b2.stop();
+        });
+        let start = std::time::Instant::now();
+        assert!(c.get(Duration::from_secs(5)).is_none());
+        assert!(
+            start.elapsed() < Duration::from_secs(4),
+            "stop must wake the waiter"
+        );
+        t.join().unwrap();
     }
 
     #[test]

@@ -12,9 +12,10 @@
 
 use crate::queue::{Broker, Consumer, Delivery};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -74,21 +75,36 @@ pub struct BrokerServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
 }
 
 impl BrokerServer {
     /// Start serving `broker` on `127.0.0.1:<ephemeral port>`.
     pub fn start(broker: Broker) -> io::Result<BrokerServer> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
+        Self::start_on(broker, "127.0.0.1:0".parse().expect("static addr"))
+    }
+
+    /// Start serving `broker` on a specific address — what a restarted
+    /// broker does to come back on the port its clients remember. Note
+    /// the rebind can fail with `AddrInUse` while connections the *old*
+    /// server closed first linger in TIME_WAIT; clients that disconnect
+    /// before the old server goes away avoid that.
+    pub fn start_on(broker: Broker, addr: SocketAddr) -> io::Result<BrokerServer> {
+        let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let broker2 = broker.clone();
+        let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let conns2 = Arc::clone(&conns);
         let accept_thread = std::thread::spawn(move || {
             while !stop2.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
+                        if let Ok(clone) = stream.try_clone() {
+                            conns2.lock().push(clone);
+                        }
                         let broker = broker2.clone();
                         std::thread::spawn(move || {
                             let _ = serve_connection(stream, broker);
@@ -106,6 +122,7 @@ impl BrokerServer {
             addr,
             stop,
             accept_thread: Some(accept_thread),
+            conns,
         })
     }
 
@@ -123,6 +140,11 @@ impl BrokerServer {
 impl Drop for BrokerServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        // Sever live connections so a "dead" server really is dead —
+        // clients see errors and enter their reconnect loop.
+        for conn in self.conns.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -196,21 +218,93 @@ fn serve_connection(mut stream: TcpStream, broker: Broker) -> io::Result<()> {
 }
 
 /// Client side of the TCP broker protocol.
+///
+/// The client remembers the server address and transparently reconnects
+/// with capped exponential backoff when the connection breaks — the
+/// node-side resilience a daemon needs across broker restarts. A
+/// request retried after a half-completed exchange (request written,
+/// response lost) may be applied twice server-side; publishes are
+/// therefore at-least-once, and the consumer's sequence-number dedup is
+/// what makes the pipeline exactly-once overall.
 pub struct BrokerClient {
-    stream: TcpStream,
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    base_backoff: Duration,
+    max_backoff: Duration,
+    backoff: Duration,
+    max_attempts: u32,
 }
 
 impl BrokerClient {
-    /// Connect to a [`BrokerServer`].
+    /// Connect to a [`BrokerServer`] with default reconnect parameters
+    /// (3 attempts, 10 ms base backoff capped at 200 ms).
     pub fn connect(addr: SocketAddr) -> io::Result<BrokerClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(BrokerClient { stream })
+        Self::connect_with(
+            addr,
+            Duration::from_millis(10),
+            Duration::from_millis(200),
+            3,
+        )
+    }
+
+    /// Connect with explicit reconnect backoff parameters.
+    pub fn connect_with(
+        addr: SocketAddr,
+        base_backoff: Duration,
+        max_backoff: Duration,
+        max_attempts: u32,
+    ) -> io::Result<BrokerClient> {
+        assert!(max_attempts >= 1);
+        let mut client = BrokerClient {
+            addr,
+            stream: None,
+            base_backoff,
+            max_backoff,
+            backoff: base_backoff,
+            max_attempts,
+        };
+        client.ensure_stream()?;
+        Ok(client)
+    }
+
+    /// Drop the current connection (the next request reconnects). Lets
+    /// tests and orderly shutdowns close client-side first.
+    pub fn disconnect(&mut self) {
+        self.stream = None;
+    }
+
+    fn ensure_stream(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
     }
 
     fn roundtrip(&mut self, op: u8, body: &[u8]) -> io::Result<(u8, Bytes)> {
-        write_frame(&mut self.stream, op, body)?;
-        read_frame(&mut self.stream)
+        let mut last_err: io::Error = io::ErrorKind::NotConnected.into();
+        for attempt in 0..self.max_attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff);
+                self.backoff = (self.backoff * 2).min(self.max_backoff);
+            }
+            let result = self.ensure_stream().and_then(|stream| {
+                write_frame(stream, op, body)?;
+                read_frame(stream)
+            });
+            match result {
+                Ok(frame) => {
+                    self.backoff = self.base_backoff;
+                    return Ok(frame);
+                }
+                Err(e) => {
+                    self.stream = None;
+                    last_err = e;
+                }
+            }
+        }
+        Err(last_err)
     }
 
     /// Declare a queue.
@@ -340,6 +434,57 @@ mod tests {
         let d = redelivered.expect("message must be redelivered");
         assert!(d.redelivered);
         assert_eq!(&d.payload[..], b"precious");
+    }
+
+    #[test]
+    fn client_reconnects_after_server_restart_on_same_port() {
+        let broker = Broker::new();
+        broker.declare("stats");
+        let server = BrokerServer::start(broker.clone()).unwrap();
+        let addr = server.addr();
+        let mut client = BrokerClient::connect_with(
+            addr,
+            Duration::from_millis(5),
+            Duration::from_millis(40),
+            4,
+        )
+        .unwrap();
+        client.publish("stats", "n", b"before-outage").unwrap();
+
+        // Orderly client-side close first (avoids server-side TIME_WAIT
+        // on the listen port), then the server goes away entirely.
+        client.disconnect();
+        drop(server);
+        assert!(
+            client.publish("stats", "n", b"during-outage").is_err(),
+            "publish must fail while the server is down"
+        );
+
+        // Broker process comes back on the same port; the same client
+        // object reconnects transparently.
+        let mut restarted = None;
+        for _ in 0..40 {
+            match BrokerServer::start_on(broker.clone(), addr) {
+                Ok(s) => {
+                    restarted = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+        let server2 = restarted.expect("rebind on the original port");
+        client.publish("stats", "n", b"after-restart").unwrap();
+        assert_eq!(server2.broker().stats().queues["stats"].published, 2);
+        assert_eq!(server2.broker().depth("stats"), 2);
+    }
+
+    #[test]
+    fn dropping_server_severs_live_connections() {
+        let server = BrokerServer::start(Broker::new()).unwrap();
+        let mut c = BrokerClient::connect(server.addr()).unwrap();
+        c.declare("q").unwrap();
+        drop(server);
+        assert!(c.declare("q").is_err());
     }
 
     #[test]

@@ -155,11 +155,7 @@ impl Archive {
             let host = host_entry.file_name().to_string_lossy().into_owned();
             for day_entry in std::fs::read_dir(host_entry.path())? {
                 let day_entry = day_entry?;
-                let Ok(day_secs) = day_entry
-                    .file_name()
-                    .to_string_lossy()
-                    .parse::<u64>()
-                else {
+                let Ok(day_secs) = day_entry.file_name().to_string_lossy().parse::<u64>() else {
                     continue;
                 };
                 let text = std::fs::read_to_string(day_entry.path())?;
@@ -194,7 +190,10 @@ mod tests {
 
     fn tiny_file_text(host: &str, t: u64) -> String {
         let mut schemas = BTreeMap::new();
-        schemas.insert(DeviceType::Mdc, DeviceType::Mdc.schema(CpuArch::SandyBridge));
+        schemas.insert(
+            DeviceType::Mdc,
+            DeviceType::Mdc.schema(CpuArch::SandyBridge),
+        );
         let h = HostHeader {
             hostname: host.to_string(),
             arch: CpuArch::SandyBridge,
@@ -243,8 +242,20 @@ mod tests {
     fn appending_samples_extends_file() {
         let a = Archive::new();
         let day = SimTime::from_secs(0);
-        a.append("c1", day, &tiny_file_text("c1", 600), &[], SimTime::from_secs(600));
-        a.append("c1", day, "1200 -\nmdc scratch 9 900\n", &[], SimTime::from_secs(1200));
+        a.append(
+            "c1",
+            day,
+            &tiny_file_text("c1", 600),
+            &[],
+            SimTime::from_secs(600),
+        );
+        a.append(
+            "c1",
+            day,
+            "1200 -\nmdc scratch 9 900\n",
+            &[],
+            SimTime::from_secs(1200),
+        );
         let parsed = a.parse("c1", day).unwrap().unwrap();
         assert_eq!(parsed.samples.len(), 2);
         assert_eq!(parsed.samples[1].devices[0].values, vec![9, 900]);
@@ -262,10 +273,7 @@ mod tests {
                 SimTime::from_secs(t + 1),
             );
         }
-        let dir = std::env::temp_dir().join(format!(
-            "tacc-archive-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("tacc-archive-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let written = a.write_to_dir(&dir).unwrap();

@@ -193,7 +193,7 @@ impl Collector for CpustatCollector {
             return Vec::new();
         };
         let mut out = Vec::new();
-        for line in text.lines() {
+        for line in complete_lines(&text) {
             // Per-CPU lines are "cpu<N> user nice system idle iowait …";
             // skip the aggregate "cpu " line.
             let Some(rest) = line.strip_prefix("cpu") else {
@@ -258,6 +258,18 @@ impl Collector for MemCollector {
     }
 }
 
+/// Lines of `text` known to be complete. Every pseudo-file the node
+/// renders ends with a newline, so a read cut off mid-file leaves the
+/// final line without one; parsing that fragment would turn a truncated
+/// counter like `12345` into a plausible-looking `123`. The fragment is
+/// dropped instead — an absent reading, never a wrong one.
+fn complete_lines(text: &str) -> std::str::Lines<'_> {
+    match text.rfind('\n') {
+        Some(i) => text[..i + 1].lines(),
+        None => "".lines(),
+    }
+}
+
 /// Ethernet counters from `/proc/net/dev`.
 pub struct NetCollector;
 
@@ -271,7 +283,7 @@ impl Collector for NetCollector {
             return Vec::new();
         };
         let mut out = Vec::new();
-        for line in text.lines().skip(2) {
+        for line in complete_lines(&text).skip(2) {
             let Some((iface, rest)) = line.split_once(':') else {
                 continue;
             };
@@ -285,11 +297,7 @@ impl Collector for NetCollector {
                 .collect();
             // Fields: rx_bytes rx_packets … (8 rx fields) tx_bytes tx_packets …
             if f.len() >= 10 {
-                out.push(rec(
-                    DeviceType::Net,
-                    iface,
-                    vec![f[0], f[1], f[8], f[9]],
-                ));
+                out.push(rec(DeviceType::Net, iface, vec![f[0], f[1], f[8], f[9]]));
             }
         }
         out
@@ -316,9 +324,12 @@ impl Collector for IbCollector {
                 "port_xmit_pkts",
                 "port_rcv_pkts",
             ] {
-                let path =
-                    format!("/sys/class/infiniband/{hca}/ports/{port}/counters/{counter}");
-                match fs.read(&path).and_then(|t| t.trim().parse().ok()) {
+                let path = format!("/sys/class/infiniband/{hca}/ports/{port}/counters/{counter}");
+                match fs
+                    .read(&path)
+                    .filter(|t| t.ends_with('\n')) // truncated value is no value
+                    .and_then(|t| t.trim().parse().ok())
+                {
                     Some(v) => values.push(v),
                     None => {
                         ok = false;
@@ -340,7 +351,7 @@ impl Collector for IbCollector {
 /// `read_bytes 4 samples [bytes] 0 1048576 4194304` (count, min, max, sum).
 fn parse_lustre_stats(text: &str) -> Vec<(String, u64, u64)> {
     let mut out = Vec::new();
-    for line in text.lines() {
+    for line in complete_lines(text) {
         let toks: Vec<&str> = line.split_whitespace().collect();
         if toks.len() < 4 || toks[0] == "snapshot_time" {
             continue;
@@ -366,6 +377,16 @@ fn lustre_lookup(stats: &[(String, u64, u64)], name: &str) -> (u64, u64) {
         .unwrap_or((0, 0))
 }
 
+/// Are all `names` present in a parsed stats file? A truncated read can
+/// cut the tail lines off; reporting those counters as zero would be
+/// indistinguishable from real idle, so an incomplete file makes the
+/// collector report the device *absent* for this sample instead.
+fn lustre_complete(stats: &[(String, u64, u64)], names: &[&str]) -> bool {
+    names
+        .iter()
+        .all(|n| stats.iter().any(|(have, _, _)| have == n))
+}
+
 /// Lustre client (llite) statistics per filesystem.
 pub struct LliteCollector;
 
@@ -382,6 +403,21 @@ impl Collector for LliteCollector {
             };
             let fsname = dir.split('-').next().unwrap_or(&dir).to_string();
             let stats = parse_lustre_stats(&text);
+            if !lustre_complete(
+                &stats,
+                &[
+                    "read_bytes",
+                    "write_bytes",
+                    "open",
+                    "close",
+                    "getattr",
+                    "statfs",
+                    "seek",
+                    "fsync",
+                ],
+            ) {
+                continue;
+            }
             let values = vec![
                 lustre_lookup(&stats, "read_bytes").1,
                 lustre_lookup(&stats, "write_bytes").1,
@@ -414,6 +450,9 @@ impl Collector for MdcCollector {
             };
             let fsname = dir.split('-').next().unwrap_or(&dir).to_string();
             let stats = parse_lustre_stats(&text);
+            if !lustre_complete(&stats, &["req_waittime"]) {
+                continue;
+            }
             let (reqs, wait) = lustre_lookup(&stats, "req_waittime");
             out.push(rec(DeviceType::Mdc, fsname, vec![reqs, wait]));
         }
@@ -437,6 +476,9 @@ impl Collector for OscCollector {
             };
             let fsname = dir.split('-').next().unwrap_or(&dir).to_string();
             let stats = parse_lustre_stats(&text);
+            if !lustre_complete(&stats, &["req_waittime", "read_bytes", "write_bytes"]) {
+                continue;
+            }
             let (reqs, wait) = lustre_lookup(&stats, "req_waittime");
             let values = vec![
                 reqs,
@@ -462,6 +504,9 @@ impl Collector for LnetCollector {
         let Some(text) = fs.read("/proc/sys/lnet/stats") else {
             return Vec::new();
         };
+        if !text.ends_with('\n') {
+            return Vec::new(); // truncated single-line file
+        }
         let f: Vec<u64> = text
             .split_whitespace()
             .filter_map(|t| t.parse().ok())
@@ -471,11 +516,7 @@ impl Collector for LnetCollector {
         if f.len() < 9 {
             return Vec::new();
         }
-        vec![rec(
-            DeviceType::Lnet,
-            "lnet",
-            vec![f[7], f[8], f[3], f[4]],
-        )]
+        vec![rec(DeviceType::Lnet, "lnet", vec![f[7], f[8], f[3], f[4]])]
     }
 }
 
@@ -496,7 +537,7 @@ impl Collector for MicCollector {
             let mut user = 0u64;
             let mut sys = 0u64;
             let mut idle = 0u64;
-            for line in text.lines() {
+            for line in complete_lines(&text) {
                 let mut toks = line.split_whitespace();
                 let (Some(k), Some(v)) = (toks.next(), toks.next()) else {
                     continue;
@@ -534,8 +575,7 @@ impl PsCollector {
             };
             let mut comm = String::new();
             let mut uid = 0u32;
-            let mut fields: std::collections::HashMap<&str, u64> =
-                std::collections::HashMap::new();
+            let mut fields: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
             for line in status.lines() {
                 let Some((key, val)) = line.split_once(':') else {
                     continue;
@@ -554,16 +594,10 @@ impl PsCollector {
                         fields.insert("Threads", val.parse().unwrap_or(0));
                     }
                     "Cpus_allowed" => {
-                        fields.insert(
-                            "Cpus_allowed",
-                            u64::from_str_radix(val, 16).unwrap_or(0),
-                        );
+                        fields.insert("Cpus_allowed", u64::from_str_radix(val, 16).unwrap_or(0));
                     }
                     "Mems_allowed" => {
-                        fields.insert(
-                            "Mems_allowed",
-                            u64::from_str_radix(val, 16).unwrap_or(0),
-                        );
+                        fields.insert("Mems_allowed", u64::from_str_radix(val, 16).unwrap_or(0));
                     }
                     k if k.starts_with("Vm") => {
                         let n = val
@@ -664,10 +698,7 @@ mod tests {
         assert!(recs.iter().all(|r| r.values.len() == 9));
         assert!(recs[0].values[0] > 0, "instructions should be nonzero");
         // Matches ground truth.
-        assert_eq!(
-            recs[3].values,
-            n.devices(DeviceType::Cpu)[3].read_all(),
-        );
+        assert_eq!(recs[3].values, n.devices(DeviceType::Cpu)[3].read_all(),);
     }
 
     #[test]
@@ -805,7 +836,9 @@ mod tests {
         let mut n = running_node();
         n.crash();
         let fs = NodeFs::new(&n);
-        assert!(CpuCollector::new(16, CpuArch::SandyBridge).collect(&fs).is_empty());
+        assert!(CpuCollector::new(16, CpuArch::SandyBridge)
+            .collect(&fs)
+            .is_empty());
         assert!(CpustatCollector.collect(&fs).is_empty());
         assert!(PsCollector.collect_ps(&fs).is_empty());
     }

@@ -7,7 +7,7 @@
 
 use crate::archive::Archive;
 use crate::record::{RawFile, Sample};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 use tacc_broker::{Broker, Consumer};
@@ -15,16 +15,38 @@ use tacc_simnode::SimTime;
 
 /// Drains a broker queue into the archive and hands each sample to an
 /// optional online callback.
+///
+/// At-least-once hardening: messages carrying a `$seq` header are
+/// deduplicated per host (replays after a lost acknowledgement are
+/// counted and skipped, never archived twice) and arrival gaps in the
+/// per-host sequence are detected. Unparseable payloads are routed to a
+/// configured dead-letter queue with their original routing key rather
+/// than being silently discarded.
 pub struct StatsConsumer {
     consumer: Consumer,
     queue_name: String,
+    broker: Broker,
     archive: Arc<Archive>,
     /// `(host, day)` pairs whose archive file already has a header.
     headered: HashSet<(String, u64)>,
-    /// Messages processed.
+    /// Per-host sequence numbers already archived.
+    seen: HashMap<String, HashSet<u64>>,
+    /// Per-host highest sequence number seen.
+    max_seq: HashMap<String, u64>,
+    dead_letter: Option<String>,
+    /// Messages processed (unique — duplicates excluded).
     pub received: u64,
-    /// Messages that failed to parse (counted, acked, dropped).
+    /// Messages that failed to parse (counted, acked, dead-lettered if
+    /// a dead-letter queue is configured, otherwise dropped).
     pub parse_failures: u64,
+    /// Redelivered duplicates skipped by sequence-number dedup.
+    pub duplicates: u64,
+    /// Unparseable messages republished to the dead-letter queue.
+    pub dead_lettered: u64,
+    /// Arrival-order gaps observed in per-host sequences (a message
+    /// arrived with seq > expected; the missing ones may still arrive
+    /// later via replay).
+    pub gap_events: u64,
 }
 
 impl StatsConsumer {
@@ -33,10 +55,17 @@ impl StatsConsumer {
         Some(StatsConsumer {
             consumer: broker.consume(queue)?,
             queue_name: queue.to_string(),
+            broker: broker.clone(),
             archive,
             headered: HashSet::new(),
+            seen: HashMap::new(),
+            max_seq: HashMap::new(),
+            dead_letter: None,
             received: 0,
             parse_failures: 0,
+            duplicates: 0,
+            dead_lettered: 0,
+            gap_events: 0,
         })
     }
 
@@ -45,44 +74,100 @@ impl StatsConsumer {
         &self.queue_name
     }
 
+    /// Route unparseable payloads to `queue` (declared here if absent)
+    /// instead of dropping them after counting.
+    pub fn set_dead_letter(&mut self, queue: &str) {
+        self.broker.declare(queue);
+        self.dead_letter = Some(queue.to_string());
+    }
+
+    /// The configured dead-letter queue, if any.
+    pub fn dead_letter(&self) -> Option<&str> {
+        self.dead_letter.as_deref()
+    }
+
+    /// Has this host's sequence number been archived?
+    pub fn has_seen(&self, host: &str, seq: u64) -> bool {
+        self.seen.get(host).is_some_and(|s| s.contains(&seq))
+    }
+
+    /// Sequence numbers below the host's high-water mark that never
+    /// arrived — the candidates for dropped/lost classification.
+    pub fn missing(&self, host: &str) -> Vec<u64> {
+        let Some(seen) = self.seen.get(host) else {
+            return Vec::new();
+        };
+        let max = self.max_seq.get(host).copied().unwrap_or(0);
+        (0..=max).filter(|s| !seen.contains(s)).collect()
+    }
+
+    fn reject(&mut self, delivery: &tacc_broker::Delivery) {
+        self.parse_failures += 1;
+        if let Some(dlq) = &self.dead_letter {
+            // Keep the original routing key so operators can trace the
+            // poison message back to its producer.
+            if self
+                .broker
+                .publish(dlq, &delivery.routing_key, delivery.payload.clone())
+            {
+                self.dead_lettered += 1;
+            }
+        }
+        self.consumer.ack(delivery.tag);
+    }
+
     /// Process at most one message. `now` is the (simulated) arrival
     /// time used for data-availability latency accounting. Returns the
     /// hostname and sample if a message was processed.
     pub fn poll_once(&mut self, now: SimTime, timeout: Duration) -> Option<(String, Sample)> {
-        let delivery = self.consumer.get(timeout)?;
-        let text = match std::str::from_utf8(&delivery.payload) {
-            Ok(t) => t,
-            Err(_) => {
-                self.parse_failures += 1;
-                self.consumer.ack(delivery.tag);
-                return None;
+        // Rejected and duplicate messages are consumed without yielding a
+        // sample; keep pulling so one poison message can't stall a drain.
+        loop {
+            let delivery = self.consumer.get(timeout)?;
+            let rf = match std::str::from_utf8(&delivery.payload)
+                .ok()
+                .and_then(|text| RawFile::parse(text).ok())
+            {
+                Some(rf) => rf,
+                None => {
+                    self.reject(&delivery);
+                    continue;
+                }
+            };
+            let host = rf.header.hostname.clone();
+            if let Some(seq) = rf.seq {
+                let seen = self.seen.entry(host.clone()).or_default();
+                if !seen.insert(seq) {
+                    // At-least-once replay after a lost ack: already
+                    // archived, skip.
+                    self.duplicates += 1;
+                    self.consumer.ack(delivery.tag);
+                    continue;
+                }
+                let expected = self.max_seq.get(&host).map(|m| m + 1).unwrap_or(0);
+                if seq > expected {
+                    self.gap_events += 1;
+                }
+                let max = self.max_seq.entry(host.clone()).or_insert(0);
+                *max = (*max).max(seq);
             }
-        };
-        let rf = match RawFile::parse(text) {
-            Ok(rf) => rf,
-            Err(_) => {
-                self.parse_failures += 1;
-                self.consumer.ack(delivery.tag);
-                return None;
+            let mut last = None;
+            for sample in rf.samples {
+                let t = sample.time.time();
+                let day = t.start_of_day();
+                let key = (host.clone(), day.as_secs());
+                let mut text = String::new();
+                if self.headered.insert(key) && !self.archive.has_file(&host, day) {
+                    text.push_str(&rf.header.render());
+                }
+                text.push_str(&RawFile::render_sample(&sample));
+                self.archive.append(&host, day, &text, &[t], now);
+                last = Some(sample);
             }
-        };
-        let host = rf.header.hostname.clone();
-        let mut last = None;
-        for sample in rf.samples {
-            let t = sample.time.time();
-            let day = t.start_of_day();
-            let key = (host.clone(), day.as_secs());
-            let mut text = String::new();
-            if self.headered.insert(key) && !self.archive.has_file(&host, day) {
-                text.push_str(&rf.header.render());
-            }
-            text.push_str(&RawFile::render_sample(&sample));
-            self.archive.append(&host, day, &text, &[t], now);
-            last = Some(sample);
+            self.consumer.ack(delivery.tag);
+            self.received += 1;
+            return last.map(|s| (host, s));
         }
-        self.consumer.ack(delivery.tag);
-        self.received += 1;
-        last.map(|s| (host, s))
     }
 
     /// Drain everything currently queued; returns the processed samples.
@@ -137,9 +222,16 @@ mod tests {
         assert_eq!(consumer.received, 3);
         let lat = archive.latency_stats();
         assert_eq!(lat.count, 3);
-        assert!(lat.max_secs <= 1.0, "real-time latency, got {}", lat.max_secs);
+        assert!(
+            lat.max_secs <= 1.0,
+            "real-time latency, got {}",
+            lat.max_secs
+        );
         // Archived file parses and holds all three samples under day 0.
-        let rf = archive.parse("c401-0001", SimTime::from_secs(0)).unwrap().unwrap();
+        let rf = archive
+            .parse("c401-0001", SimTime::from_secs(0))
+            .unwrap()
+            .unwrap();
         assert_eq!(rf.samples.len(), 3);
     }
 
@@ -164,7 +256,9 @@ mod tests {
         let (_node, _d, broker, archive) = setup();
         broker.publish("stats", "x", bytes::Bytes::from_static(b"not a raw file"));
         let mut consumer = StatsConsumer::new(&broker, "stats", archive).unwrap();
-        assert!(consumer.poll_once(SimTime::from_secs(0), Duration::from_millis(5)).is_none());
+        assert!(consumer
+            .poll_once(SimTime::from_secs(0), Duration::from_millis(5))
+            .is_none());
         assert_eq!(consumer.parse_failures, 1);
         // Message was acked, not redelivered.
         assert_eq!(broker.stats().queues["stats"].in_flight, 0);
@@ -175,5 +269,84 @@ mod tests {
     fn missing_queue_yields_none() {
         let broker = Broker::new();
         assert!(StatsConsumer::new(&broker, "ghost", Arc::new(Archive::new())).is_none());
+    }
+
+    #[test]
+    fn unparseable_messages_route_to_dead_letter_queue() {
+        let (_node, _d, broker, archive) = setup();
+        let mut consumer = StatsConsumer::new(&broker, "stats", archive).unwrap();
+        consumer.set_dead_letter("stats.dead_letter");
+        broker.publish(
+            "stats",
+            "c401-0007",
+            bytes::Bytes::from_static(b"not a raw file"),
+        );
+        broker.publish(
+            "stats",
+            "c401-0008",
+            bytes::Bytes::from_static(b"\xff\xfe binary"),
+        );
+        consumer.drain(SimTime::from_secs(0));
+        assert_eq!(consumer.parse_failures, 2);
+        assert_eq!(consumer.dead_lettered, 2);
+        assert_eq!(
+            broker.depth("stats"),
+            0,
+            "poison messages acked off the main queue"
+        );
+        assert_eq!(broker.depth("stats.dead_letter"), 2);
+        // Source routing key is preserved for tracing.
+        let dlq = broker.consume("stats.dead_letter").unwrap();
+        let d1 = dlq.try_get().unwrap();
+        assert_eq!(d1.routing_key, "c401-0007");
+        assert_eq!(&d1.payload[..], b"not a raw file");
+        let d2 = dlq.try_get().unwrap();
+        assert_eq!(d2.routing_key, "c401-0008");
+    }
+
+    #[test]
+    fn duplicate_sequence_numbers_are_archived_once() {
+        let (node, mut d, broker, archive) = setup();
+        let fs = NodeFs::new(&node);
+        let mut consumer = StatsConsumer::new(&broker, "stats", Arc::clone(&archive)).unwrap();
+        d.tick(&fs, SimTime::from_secs(0)); // seq 0
+                                            // Simulate an ack-loss replay: the exact message is delivered
+                                            // again.
+        let c = broker.consume("stats").unwrap();
+        let orig = c.try_get().unwrap();
+        broker.publish("stats", &orig.routing_key, orig.payload.clone());
+        c.nack(orig.tag); // put the original back too
+        drop(c);
+        consumer.drain(SimTime::from_secs(1));
+        assert_eq!(consumer.received, 1, "one unique message");
+        assert_eq!(consumer.duplicates, 1, "the replay was recognised");
+        assert!(consumer.has_seen("c401-0001", 0));
+        let rf = archive
+            .parse("c401-0001", SimTime::from_secs(0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(rf.samples.len(), 1, "no double archiving");
+    }
+
+    #[test]
+    fn sequence_gaps_are_detected() {
+        let (node, mut d, broker, archive) = setup();
+        let fs = NodeFs::new(&node);
+        let mut consumer = StatsConsumer::new(&broker, "stats", archive).unwrap();
+        d.tick(&fs, SimTime::from_secs(0)); // seq 0
+        consumer.drain(SimTime::from_secs(1));
+        assert_eq!(consumer.gap_events, 0);
+        // Drop seqs 1 and 2 on the floor (collect while the broker is
+        // down), then let seq 3 through.
+        broker.stop();
+        d.tick(&fs, SimTime::from_secs(1200)); // seqs 1,2 spooled
+        broker.restart();
+        // Wipe the spool so 1 and 2 genuinely never arrive.
+        d.on_crash();
+        d.on_reboot(SimTime::from_secs(1800));
+        d.tick(&fs, SimTime::from_secs(1800)); // seq 3
+        consumer.drain(SimTime::from_secs(1801));
+        assert_eq!(consumer.gap_events, 1);
+        assert_eq!(consumer.missing("c401-0001"), vec![1, 2]);
     }
 }

@@ -171,6 +171,14 @@ impl CronCollector {
         }
     }
 
+    /// Node reboot at `now`: resume the sampling schedule from the
+    /// present. The window the node spent dead is not backfilled.
+    pub fn skip_to(&mut self, now: SimTime) {
+        if self.next_sample < now {
+            self.next_sample = now;
+        }
+    }
+
     /// Node failure: everything not yet synced to the archive is lost.
     /// Returns the number of samples lost.
     pub fn on_crash(&mut self) -> usize {
@@ -255,7 +263,10 @@ mod tests {
         drive(&mut node, &mut cron, &archive, 0, 86_400 + 5 * 3600, 600);
         // Day-0 log must now be in the archive.
         assert!(archive.has_file("c401-0001", SimTime::from_secs(0)));
-        let parsed = archive.parse("c401-0001", SimTime::from_secs(0)).unwrap().unwrap();
+        let parsed = archive
+            .parse("c401-0001", SimTime::from_secs(0))
+            .unwrap()
+            .unwrap();
         assert_eq!(parsed.samples.len(), 144, "one day of 10-min samples");
         // Latency: collected throughout day 0, available at 04:00 day 1 →
         // mean ~16.2 h, max ~28 h.
@@ -286,7 +297,10 @@ mod tests {
         assert_eq!(cron.unsynced_samples(), 0);
         // Continue after reboot; the archive only ever sees post-crash data.
         drive(&mut node, &mut cron, &archive, 7200, 86_400 + 5 * 3600, 600);
-        let parsed = archive.parse("c401-0001", SimTime::from_secs(0)).unwrap().unwrap();
+        let parsed = archive
+            .parse("c401-0001", SimTime::from_secs(0))
+            .unwrap()
+            .unwrap();
         assert!(
             parsed.samples.len() < 144,
             "crash should have cost samples: {}",
@@ -296,10 +310,61 @@ mod tests {
     }
 
     #[test]
+    fn crash_at_rotation_boundary_counts_every_sample_exactly_once() {
+        let (mut node, mut cron, archive) = setup();
+        // Drive to the exact rotation instant of day 2: the tick at
+        // t = 172800 rotates the day-1 log into the pending queue and
+        // then collects the boundary sample into the fresh day-2 log.
+        drive(&mut node, &mut cron, &archive, 0, 2 * 86_400, 600);
+        let collections = cron.sampler().account().collections as usize;
+        assert_eq!(collections, 289, "samples at 0..=172800 step 600");
+        let archived = archive.total_samples();
+        assert_eq!(archived, 144, "day 0 synced at 04:00 of day 1");
+        // Crash exactly at the rotation instant. The pending day-1 log
+        // and the just-collected boundary sample are lost — once each.
+        let lost = cron.on_crash();
+        assert_eq!(lost, 145, "pending day-1 log (144) + the boundary sample");
+        assert_eq!(
+            archived + lost,
+            collections,
+            "no sample double-counted or double-lost at the boundary"
+        );
+        // Reboot half an hour later: the schedule resumes from the
+        // present, so the dead window is neither backfilled nor re-lost.
+        let reboot_at = 2 * 86_400 + 1800;
+        cron.skip_to(SimTime::from_secs(reboot_at));
+        drive(
+            &mut node,
+            &mut cron,
+            &archive,
+            reboot_at,
+            3 * 86_400 + 5 * 3600,
+            600,
+        );
+        let day2 = archive
+            .parse("c401-0001", SimTime::from_secs(2 * 86_400))
+            .unwrap()
+            .unwrap();
+        assert_eq!(day2.samples[0].time.as_secs(), reboot_at);
+        assert_eq!(
+            archive.total_samples() + cron.unsynced_samples() + lost,
+            cron.sampler().account().collections as usize,
+            "conservation holds after recovery too"
+        );
+    }
+
+    #[test]
     fn sync_happens_once_per_day() {
         let (mut node, mut cron, archive) = setup();
         // Two full days.
-        drive(&mut node, &mut cron, &archive, 0, 2 * 86_400 + 5 * 3600, 600);
+        drive(
+            &mut node,
+            &mut cron,
+            &archive,
+            0,
+            2 * 86_400 + 5 * 3600,
+            600,
+        );
         let keys = archive.keys();
         assert_eq!(keys.len(), 2, "one file per day: {keys:?}");
     }

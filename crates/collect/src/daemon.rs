@@ -10,6 +10,19 @@
 //! sample) and published to the broker queue with the hostname as the
 //! routing key.
 //!
+//! **Delivery semantics.** Every collected sample is stamped with a
+//! per-host monotonically increasing sequence number. A publish that
+//! fails (broker outage, network drop) lands in a bounded node-local
+//! [`Spool`] and is replayed in order — with exponential backoff and
+//! per-host jitter — once the broker answers again. While the spool is
+//! non-empty, *new* samples are also spooled rather than published, so
+//! messages from one host always reach the broker in sequence order.
+//! Spool overflow evicts the oldest message into an accounted ledger; a
+//! node crash wipes the spool (it lives in volatile memory) into
+//! [`TaccStatsd::lost_seqs`]. Publishes are therefore at-least-once and
+//! never silently lost: every sequence number is eventually classified
+//! delivered, dropped (evicted), or lost (crash-wiped).
+//!
 //! The §VI-C shared-node scheme also lands here: process start/stop
 //! signals ([`TaccStatsd::signal`]) trigger extra collections. "At
 //! present, up to one signal can be captured while another signal is
@@ -19,6 +32,7 @@
 
 use crate::engine::Sampler;
 use crate::record::RawFile;
+use crate::spool::{Spool, SpoolConfig};
 use bytes::Bytes;
 use tacc_broker::Broker;
 use tacc_simnode::pseudofs::NodeFs;
@@ -26,16 +40,17 @@ use tacc_simnode::{SimDuration, SimTime};
 
 /// Where the daemon publishes samples.
 pub trait Publisher: Send {
-    /// Publish one rendered message. Returns `false` on failure (broker
-    /// unreachable / queue missing).
-    fn publish(&mut self, queue: &str, routing_key: &str, payload: Bytes) -> bool;
+    /// Publish one rendered message carrying sequence number `seq`.
+    /// Returns `false` on failure (broker unreachable / queue missing /
+    /// message or acknowledgement lost in the network).
+    fn publish(&mut self, queue: &str, routing_key: &str, seq: u64, payload: Bytes) -> bool;
 }
 
 /// In-process broker transport (the default for simulations).
 pub struct LocalPublisher(pub Broker);
 
 impl Publisher for LocalPublisher {
-    fn publish(&mut self, queue: &str, routing_key: &str, payload: Bytes) -> bool {
+    fn publish(&mut self, queue: &str, routing_key: &str, _seq: u64, payload: Bytes) -> bool {
         self.0.publish(queue, routing_key, payload)
     }
 }
@@ -44,7 +59,7 @@ impl Publisher for LocalPublisher {
 pub struct TcpPublisher(pub tacc_broker::tcp::BrokerClient);
 
 impl Publisher for TcpPublisher {
-    fn publish(&mut self, queue: &str, routing_key: &str, payload: Bytes) -> bool {
+    fn publish(&mut self, queue: &str, routing_key: &str, _seq: u64, payload: Bytes) -> bool {
         self.0.publish(queue, routing_key, &payload).is_ok()
     }
 }
@@ -71,7 +86,12 @@ pub struct TaccStatsd {
     next_sample: SimTime,
     jobids: Vec<String>,
     pending_signal: Option<String>,
-    /// Messages successfully published.
+    seq: u64,
+    spool: Spool,
+    lost_seqs: Vec<u64>,
+    /// Samples collected (each consumed one sequence number).
+    pub collected: u64,
+    /// Messages successfully published (first attempts + replays).
     pub published: u64,
     /// Publish failures (broker unreachable).
     pub publish_failures: u64,
@@ -81,7 +101,7 @@ pub struct TaccStatsd {
 
 impl TaccStatsd {
     /// New daemon publishing to `queue`, sampling every `interval`,
-    /// starting at `start`.
+    /// starting at `start`, with the default spool configuration.
     pub fn new(
         sampler: Sampler,
         interval: SimDuration,
@@ -89,6 +109,13 @@ impl TaccStatsd {
         publisher: Box<dyn Publisher>,
         start: SimTime,
     ) -> TaccStatsd {
+        let jitter_seed = sampler
+            .header()
+            .hostname
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+            });
         TaccStatsd {
             sampler,
             interval,
@@ -97,6 +124,10 @@ impl TaccStatsd {
             next_sample: start,
             jobids: Vec::new(),
             pending_signal: None,
+            seq: 0,
+            spool: Spool::new(SpoolConfig::default(), jitter_seed),
+            lost_seqs: Vec::new(),
+            collected: 0,
             published: 0,
             publish_failures: 0,
             missed_signals: 0,
@@ -108,19 +139,105 @@ impl TaccStatsd {
         &self.sampler
     }
 
+    /// The spool (replay backlog and eviction ledger).
+    pub fn spool(&self) -> &Spool {
+        &self.spool
+    }
+
+    /// Sequence numbers wiped from the spool by node crashes — data
+    /// definitively lost, in order.
+    pub fn lost_seqs(&self) -> &[u64] {
+        &self.lost_seqs
+    }
+
+    /// The next sequence number to be assigned (== samples collected).
+    pub fn next_seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Replace the spool configuration. Panics if messages are already
+    /// spooled (reconfigure before the run, not during an outage).
+    pub fn set_spool_config(&mut self, cfg: SpoolConfig, jitter_seed: u64) {
+        assert!(
+            self.spool.is_empty() && self.spool.evicted().is_empty(),
+            "cannot reconfigure a non-empty spool"
+        );
+        self.spool = Spool::new(cfg, jitter_seed);
+    }
+
+    /// Swap the transport (e.g. for fault-injecting publishers).
+    pub fn set_publisher(&mut self, publisher: Box<dyn Publisher>) {
+        self.publisher = publisher;
+    }
+
     /// Update the set of jobs running on this node.
     pub fn set_jobs(&mut self, jobids: Vec<String>) {
         self.jobids = jobids;
     }
 
+    /// Node crash: the in-memory spool is wiped. Returns how many
+    /// spooled messages were lost; their sequence numbers are appended
+    /// to [`TaccStatsd::lost_seqs`].
+    pub fn on_crash(&mut self) -> usize {
+        self.pending_signal = None;
+        let wiped = self.spool.wipe();
+        let n = wiped.len();
+        self.lost_seqs.extend(wiped);
+        n
+    }
+
+    /// Node reboot at `now`: the daemon restarts its sleep loop from
+    /// the present — it must not backfill samples for the time it was
+    /// dead.
+    pub fn on_reboot(&mut self, now: SimTime) {
+        self.next_sample = now;
+    }
+
     fn collect_and_publish(&mut self, fs: &NodeFs<'_>, now: SimTime, marks: &[String]) {
         let sample = self.sampler.sample(fs, now, &self.jobids, marks);
-        let msg = RawFile::render_message(self.sampler.header(), &sample);
+        let seq = self.seq;
+        self.seq += 1;
+        self.collected += 1;
+        let msg = RawFile::render_message_with_seq(self.sampler.header(), &sample, seq);
         let host = self.sampler.header().hostname.clone();
-        if self.publisher.publish(&self.queue, &host, Bytes::from(msg)) {
+        let payload = Bytes::from(msg);
+        if !self.spool.is_empty() {
+            // Earlier messages are still waiting: spool behind them so
+            // the per-host sequence order is preserved on the wire.
+            if let Some(evicted) = self.spool.push(seq, payload) {
+                debug_assert!(evicted < seq);
+            }
+            self.try_replay(now);
+        } else if self
+            .publisher
+            .publish(&self.queue, &host, seq, payload.clone())
+        {
             self.published += 1;
         } else {
             self.publish_failures += 1;
+            self.spool.push(seq, payload);
+            self.spool.on_failure(now);
+        }
+    }
+
+    /// Replay spooled messages in order while the backoff schedule
+    /// allows and publishes keep succeeding.
+    fn try_replay(&mut self, now: SimTime) {
+        let host = self.sampler.header().hostname.clone();
+        while self.spool.ready(now) {
+            let (seq, payload) = {
+                let front = self.spool.front().expect("ready implies non-empty");
+                (front.seq, front.payload.clone())
+            };
+            if self.publisher.publish(&self.queue, &host, seq, payload) {
+                self.spool.pop();
+                self.spool.on_success();
+                self.published += 1;
+            } else {
+                self.publish_failures += 1;
+                self.spool.on_failure(now);
+                break;
+            }
         }
     }
 
@@ -147,9 +264,11 @@ impl TaccStatsd {
         }
     }
 
-    /// Sleep-loop body: fire any due interval collections and drain a
-    /// pending signal once the busy window has passed.
+    /// Sleep-loop body: replay any spooled backlog that is due, fire
+    /// due interval collections, and drain a pending signal once the
+    /// busy window has passed.
     pub fn tick(&mut self, fs: &NodeFs<'_>, now: SimTime) {
+        self.try_replay(now);
         // Pending signal processed as soon as the previous collection
         // finishes.
         if let Some(mark) = self.pending_signal.take() {
@@ -201,19 +320,25 @@ mod tests {
             d.tick(&fs, SimTime::from_secs(t));
         }
         assert_eq!(d.published, 4);
+        assert_eq!(d.collected, 4);
         assert_eq!(broker.depth("stats"), 4);
-        // Messages are self-contained parseable raw files.
+        // Messages are self-contained parseable raw files with
+        // monotonically increasing sequence numbers.
         let c = broker.consume("stats").unwrap();
-        let msg = c.get(Duration::from_millis(10)).unwrap();
-        let rf = RawFile::parse(std::str::from_utf8(&msg.payload).unwrap()).unwrap();
-        assert_eq!(rf.header.hostname, "c401-0001");
-        assert_eq!(rf.samples.len(), 1);
-        assert_eq!(rf.samples[0].jobids, vec!["3001"]);
-        assert_eq!(msg.routing_key, "c401-0001");
+        for want_seq in 0..4u64 {
+            let msg = c.get(Duration::from_millis(10)).unwrap();
+            let rf = RawFile::parse(std::str::from_utf8(&msg.payload).unwrap()).unwrap();
+            assert_eq!(rf.header.hostname, "c401-0001");
+            assert_eq!(rf.seq, Some(want_seq));
+            assert_eq!(rf.samples.len(), 1);
+            assert_eq!(rf.samples[0].jobids, vec!["3001"]);
+            assert_eq!(msg.routing_key, "c401-0001");
+            c.ack(msg.tag);
+        }
     }
 
     #[test]
-    fn publish_failure_counted_when_queue_missing() {
+    fn publish_failure_spools_instead_of_dropping() {
         let node = SimNode::new("c401-0001", NodeTopology::stampede());
         let fs = NodeFs::new(&node);
         let cfg = discover(&fs, BuildOptions::default()).unwrap();
@@ -223,12 +348,92 @@ mod tests {
             sampler,
             SimDuration::from_mins(10),
             "stats",
-            Box::new(LocalPublisher(broker)),
+            Box::new(LocalPublisher(broker.clone())),
             SimTime::from_secs(0),
         );
         d.tick(&fs, SimTime::from_secs(0));
         assert_eq!(d.published, 0);
         assert_eq!(d.publish_failures, 1);
+        assert_eq!(d.spool().len(), 1, "failed publish must be spooled");
+        // Once the queue exists, the backlog replays in order on the
+        // next tick past the backoff.
+        broker.declare("stats");
+        d.tick(&fs, SimTime::from_secs(600));
+        assert_eq!(d.published, 2, "spooled + new interval sample");
+        assert!(d.spool().is_empty());
+        let c = broker.consume("stats").unwrap();
+        let first = c.get(Duration::from_millis(10)).unwrap();
+        let rf = RawFile::parse(std::str::from_utf8(&first.payload).unwrap()).unwrap();
+        assert_eq!(
+            rf.seq,
+            Some(0),
+            "replayed message arrives before newer ones"
+        );
+    }
+
+    #[test]
+    fn spool_replay_respects_backoff() {
+        let node = SimNode::new("c401-0001", NodeTopology::stampede());
+        let fs = NodeFs::new(&node);
+        let cfg = discover(&fs, BuildOptions::default()).unwrap();
+        let sampler = Sampler::new("c401-0001", &cfg);
+        let broker = Broker::new();
+        broker.declare("stats");
+        broker.stop();
+        let mut d = TaccStatsd::new(
+            sampler,
+            SimDuration::from_mins(10),
+            "stats",
+            Box::new(LocalPublisher(broker.clone())),
+            SimTime::from_secs(0),
+        );
+        // Several failed collections pile up the backoff.
+        d.tick(&fs, SimTime::from_secs(0));
+        d.tick(&fs, SimTime::from_secs(600));
+        assert_eq!(d.spool().len(), 2);
+        let failures_before = d.publish_failures;
+        // Broker returns, but the next attempt is not due yet at +1 s.
+        broker.restart();
+        let next = d.spool().next_attempt();
+        assert!(next > SimTime::from_secs(600));
+        d.tick(&fs, SimTime::from_secs(601));
+        // (601 is within backoff unless jitter made it due — tolerate
+        // both, but after the scheduled attempt everything drains.)
+        let drain_at = next + SimDuration::from_secs(1);
+        d.tick(&fs, drain_at);
+        assert!(d.spool().is_empty());
+        assert!(d.publish_failures >= failures_before);
+        assert_eq!(d.collected, 2);
+        assert_eq!(d.published, 2, "both spooled messages replayed");
+    }
+
+    #[test]
+    fn crash_wipes_spool_into_lost_ledger() {
+        let node = SimNode::new("c401-0001", NodeTopology::stampede());
+        let fs = NodeFs::new(&node);
+        let cfg = discover(&fs, BuildOptions::default()).unwrap();
+        let sampler = Sampler::new("c401-0001", &cfg);
+        let broker = Broker::new(); // queue missing: all publishes fail
+        let mut d = TaccStatsd::new(
+            sampler,
+            SimDuration::from_mins(10),
+            "stats",
+            Box::new(LocalPublisher(broker)),
+            SimTime::from_secs(0),
+        );
+        d.tick(&fs, SimTime::from_secs(1200)); // seqs 0,1,2 spooled
+        assert_eq!(d.spool().len(), 3);
+        let lost = d.on_crash();
+        assert_eq!(lost, 3);
+        assert_eq!(d.lost_seqs(), &[0, 1, 2]);
+        assert!(d.spool().is_empty());
+        // Reboot resumes sampling from the present, not the past.
+        d.on_reboot(SimTime::from_secs(4000));
+        d.tick(&fs, SimTime::from_secs(4000));
+        assert_eq!(
+            d.collected, 4,
+            "exactly one post-reboot sample, no backfill"
+        );
     }
 
     #[test]
@@ -292,7 +497,11 @@ mod tests {
         {
             let fs = NodeFs::new(&node);
             assert_eq!(
-                d.signal(&fs, SimTime::from_secs(10), &format!("procstart {pid} short.x")),
+                d.signal(
+                    &fs,
+                    SimTime::from_secs(10),
+                    &format!("procstart {pid} short.x")
+                ),
                 SignalOutcome::Collected
             );
         }
@@ -300,7 +509,11 @@ mod tests {
         {
             let fs = NodeFs::new(&node);
             assert_eq!(
-                d.signal(&fs, SimTime::from_secs(11), &format!("procend {pid} short.x")),
+                d.signal(
+                    &fs,
+                    SimTime::from_secs(11),
+                    &format!("procend {pid} short.x")
+                ),
                 SignalOutcome::Collected
             );
         }

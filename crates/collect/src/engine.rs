@@ -16,7 +16,9 @@
 use crate::collectors::{Collector, PsCollector};
 use crate::discovery::{build_collectors, NodeConfig};
 use crate::record::{HostHeader, Sample, SimTimeRepr};
+use std::collections::HashMap;
 use tacc_simnode::pseudofs::NodeFs;
+use tacc_simnode::schema::DeviceType;
 use tacc_simnode::{SimDuration, SimTime};
 
 /// Fixed per-collection setup cost (process wake-up, file opens) in the
@@ -84,6 +86,10 @@ pub struct Sampler {
     ps: PsCollector,
     account: OverheadAccount,
     busy_until: SimTime,
+    /// Most instances ever observed per device type — the yardstick a
+    /// degraded sample is measured against.
+    baseline: HashMap<DeviceType, usize>,
+    degraded_reads: u64,
 }
 
 impl Sampler {
@@ -95,6 +101,8 @@ impl Sampler {
             ps: PsCollector,
             account: OverheadAccount::default(),
             busy_until: SimTime::EPOCH,
+            baseline: HashMap::new(),
+            degraded_reads: 0,
         }
     }
 
@@ -118,6 +126,39 @@ impl Sampler {
     /// collection's busy window.
     pub fn is_busy(&self, now: SimTime) -> bool {
         now < self.busy_until
+    }
+
+    /// Device instances that vanished from a sample relative to the
+    /// best-ever inventory (cumulative). A pseudofs read failure — file
+    /// missing or truncated mid-line — never aborts collection; the
+    /// affected device is simply absent from that sample and counted
+    /// here so degradation is visible rather than silent.
+    pub fn degraded_reads(&self) -> u64 {
+        self.degraded_reads
+    }
+
+    /// Compare this sample's device inventory against the baseline:
+    /// count shortfalls, then ratchet the baseline up with anything new.
+    fn account_degradation(&mut self, devices: &[crate::record::DeviceRecord]) {
+        // A totally empty sample is a crashed node, not a degraded read;
+        // node outages are accounted separately.
+        if devices.is_empty() {
+            return;
+        }
+        let mut counts: HashMap<DeviceType, usize> = HashMap::new();
+        for d in devices {
+            *counts.entry(d.dev_type).or_insert(0) += 1;
+        }
+        for (dt, &base) in &self.baseline {
+            let have = counts.get(dt).copied().unwrap_or(0);
+            if have < base {
+                self.degraded_reads += (base - have) as u64;
+            }
+        }
+        for (dt, have) in counts {
+            let e = self.baseline.entry(dt).or_insert(0);
+            *e = (*e).max(have);
+        }
     }
 
     /// Simulated cost of one collection given what was read.
@@ -146,6 +187,7 @@ impl Sampler {
             devices.extend(c.collect(fs));
         }
         let processes = self.ps.collect_ps(fs);
+        self.account_degradation(&devices);
         let cost = Self::cost_model(devices.len(), processes.len());
         self.account.busy = self.account.busy + cost;
         self.account.collections += 1;
@@ -288,6 +330,66 @@ mod tests {
         s.sample(&fs, t0, &[], &[]);
         assert!(s.is_busy(t0 + SimDuration::from_millis(10)));
         assert!(!s.is_busy(t0 + SimDuration::from_secs(1)));
+    }
+
+    #[test]
+    fn failed_reads_degrade_gracefully() {
+        use tacc_simnode::faults::{ReadFault, ReadFaultMode};
+        let mut node = SimNode::new("c401-0001", NodeTopology::stampede());
+        let mut s = sampler_for(&node);
+        {
+            let fs = NodeFs::new(&node);
+            s.sample(&fs, SimTime::from_secs(0), &[], &[]);
+        }
+        assert_eq!(s.degraded_reads(), 0, "healthy sample sets the baseline");
+        let n_llite = NodeFs::new(&node).list("/proc/fs/lustre/llite").len();
+        assert!(n_llite >= 2, "stampede mounts scratch and work");
+
+        // Missing file: the scratch llite stats vanish.
+        node.set_read_faults(vec![ReadFault {
+            prefix: "/proc/fs/lustre/llite/scratch".to_string(),
+            mode: ReadFaultMode::Missing,
+        }]);
+        let sample = {
+            let fs = NodeFs::new(&node);
+            s.sample(&fs, SimTime::from_secs(600), &[], &[])
+        };
+        let llite: Vec<_> = sample
+            .devices
+            .iter()
+            .filter(|d| d.dev_type == DeviceType::Llite)
+            .collect();
+        assert_eq!(
+            llite.len(),
+            n_llite - 1,
+            "faulted device absent, rest intact"
+        );
+        assert!(llite.iter().all(|d| d.instance != "scratch"));
+        assert_eq!(s.degraded_reads(), 1);
+        assert!(!sample.devices.is_empty(), "sampling continued");
+
+        // Truncated read: the mdc stats lose their tail; the collector
+        // must report the device absent, not fabricate zeros.
+        node.set_read_faults(vec![ReadFault {
+            prefix: "/proc/fs/lustre/mdc/scratch".to_string(),
+            mode: ReadFaultMode::Truncated,
+        }]);
+        let sample = {
+            let fs = NodeFs::new(&node);
+            s.sample(&fs, SimTime::from_secs(1200), &[], &[])
+        };
+        assert!(sample
+            .devices
+            .iter()
+            .filter(|d| d.dev_type == DeviceType::Mdc)
+            .all(|d| d.instance != "scratch"));
+        assert_eq!(s.degraded_reads(), 2);
+
+        // Faults cleared: back to the full inventory, counter holds.
+        node.set_read_faults(Vec::new());
+        let fs = NodeFs::new(&node);
+        s.sample(&fs, SimTime::from_secs(1800), &[], &[]);
+        assert_eq!(s.degraded_reads(), 2);
     }
 
     #[test]

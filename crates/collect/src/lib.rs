@@ -38,6 +38,7 @@ pub mod daemon;
 pub mod discovery;
 pub mod engine;
 pub mod record;
+pub mod spool;
 
 pub use archive::Archive;
 pub use engine::Sampler;

@@ -144,6 +144,11 @@ impl HostHeader {
 pub struct RawFile {
     /// Host identity and schemas.
     pub header: HostHeader,
+    /// Per-host message sequence number (daemon-mode messages only;
+    /// cron-mode log files have none). Monotonically increasing per
+    /// host, it is what lets the consumer deduplicate at-least-once
+    /// redeliveries and detect gaps.
+    pub seq: Option<u64>,
     /// Timestamped record groups, in collection order.
     pub samples: Vec<Sample>,
 }
@@ -159,7 +164,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "raw-stats parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "raw-stats parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -170,6 +179,7 @@ impl RawFile {
     pub fn new(header: HostHeader) -> RawFile {
         RawFile {
             header,
+            seq: None,
             samples: Vec::new(),
         }
     }
@@ -177,6 +187,9 @@ impl RawFile {
     /// Render the whole file.
     pub fn render(&self) -> String {
         let mut out = self.header.render();
+        if let Some(n) = self.seq {
+            out.push_str(&format!("$seq {n}\n"));
+        }
         for s in &self.samples {
             out.push_str(&render_sample(s));
         }
@@ -197,6 +210,16 @@ impl RawFile {
         out
     }
 
+    /// Like [`RawFile::render_message`] but stamped with a per-host
+    /// sequence number (`$seq` header line) for at-least-once delivery
+    /// accounting.
+    pub fn render_message_with_seq(header: &HostHeader, s: &Sample, seq: u64) -> String {
+        let mut out = header.render();
+        out.push_str(&format!("$seq {seq}\n"));
+        out.push_str(&render_sample(s));
+        out
+    }
+
     /// Parse a rendered file.
     pub fn parse(text: &str) -> Result<RawFile, ParseError> {
         let err = |line: usize, message: &str| ParseError {
@@ -205,6 +228,7 @@ impl RawFile {
         };
         let mut hostname = None;
         let mut arch = None;
+        let mut seq = None;
         let mut schemas: BTreeMap<DeviceType, Schema> = BTreeMap::new();
         let mut samples: Vec<Sample> = Vec::new();
         let mut current: Option<Sample> = None;
@@ -235,6 +259,13 @@ impl RawFile {
                                 .ok_or_else(|| err(lineno, &format!("unknown arch {value}")))?,
                         )
                     }
+                    "seq" => {
+                        seq = Some(
+                            value
+                                .parse()
+                                .map_err(|_| err(lineno, &format!("bad seq {value}")))?,
+                        )
+                    }
                     _ => {} // forward-compatible: ignore unknown header keys
                 }
                 continue;
@@ -245,8 +276,7 @@ impl RawFile {
                     .ok_or_else(|| err(lineno, "malformed ! line"))?;
                 let dt = DeviceType::parse(name)
                     .ok_or_else(|| err(lineno, &format!("unknown device type {name}")))?;
-                let schema = Schema::parse(body)
-                    .ok_or_else(|| err(lineno, "malformed schema"))?;
+                let schema = Schema::parse(body).ok_or_else(|| err(lineno, "malformed schema"))?;
                 schemas.insert(dt, schema);
                 continue;
             }
@@ -264,9 +294,7 @@ impl RawFile {
                 if let Some(s) = current.take() {
                     samples.push(s);
                 }
-                let secs: u64 = first
-                    .parse()
-                    .map_err(|_| err(lineno, "bad timestamp"))?;
+                let secs: u64 = first.parse().map_err(|_| err(lineno, "bad timestamp"))?;
                 let jobids = match toks.next() {
                     None | Some("-") => Vec::new(),
                     Some(j) => j.split(',').map(|s| s.to_string()).collect(),
@@ -347,6 +375,7 @@ impl RawFile {
                 arch,
                 schemas,
             },
+            seq,
             samples,
         })
     }
@@ -459,6 +488,7 @@ mod tests {
     fn roundtrip_small_file() {
         let f = RawFile {
             header: header(),
+            seq: None,
             samples: vec![sample(1443657600), sample(1443658200)],
         };
         let text = f.render();
@@ -472,6 +502,7 @@ mod tests {
         s.jobids.clear();
         let f = RawFile {
             header: header(),
+            seq: None,
             samples: vec![s],
         };
         let text = f.render();
@@ -488,6 +519,27 @@ mod tests {
         let parsed = RawFile::parse(&msg).unwrap();
         assert_eq!(parsed.header, h);
         assert_eq!(parsed.samples, vec![s]);
+    }
+
+    #[test]
+    fn seq_roundtrips_through_message() {
+        let h = header();
+        let s = sample(42);
+        let msg = RawFile::render_message_with_seq(&h, &s, 137);
+        assert!(msg.contains("$seq 137\n"), "{msg}");
+        let parsed = RawFile::parse(&msg).unwrap();
+        assert_eq!(parsed.seq, Some(137));
+        assert_eq!(parsed.samples, vec![s]);
+        // A message without a $seq line parses to None (cron-mode logs,
+        // pre-sequence producers).
+        let legacy = RawFile::parse(&RawFile::render_message(&h, &sample(43))).unwrap();
+        assert_eq!(legacy.seq, None);
+    }
+
+    #[test]
+    fn bad_seq_is_a_parse_error() {
+        let text = "$tacc_stats 2.1\n$hostname h\n$arch haswell\n$seq x\n";
+        assert!(RawFile::parse(text).is_err());
     }
 
     #[test]
@@ -527,6 +579,7 @@ mod tests {
         s.jobids = vec!["3001".into(), "3002".into()];
         let f = RawFile {
             header: header(),
+            seq: None,
             samples: vec![s],
         };
         let parsed = RawFile::parse(&f.render()).unwrap();
@@ -554,6 +607,7 @@ mod tests {
                     arch: CpuArch::Haswell,
                     schemas,
                 },
+                seq: None,
                 samples: vec![Sample {
                     time: SimTimeRepr::from(SimTime::from_secs(t)),
                     jobids: vec!["1".to_string()],

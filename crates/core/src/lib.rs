@@ -28,4 +28,4 @@ pub mod system;
 pub use config::{Mode, SystemConfig};
 pub use online::{Alert, AlertKind, OnlineAnalyzer};
 pub use population::{PopulationResult, PopulationRunner};
-pub use system::MonitoringSystem;
+pub use system::{DeliveryReport, MonitoringSystem};

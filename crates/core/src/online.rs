@@ -132,12 +132,7 @@ impl OnlineAnalyzer {
 
     /// Observe one sample as the consumer processes it. Returns any
     /// newly raised alerts.
-    pub fn observe(
-        &mut self,
-        now: SimTime,
-        header: &HostHeader,
-        sample: &Sample,
-    ) -> Vec<Alert> {
+    pub fn observe(&mut self, now: SimTime, header: &HostHeader, sample: &Sample) -> Vec<Alert> {
         let host = header.hostname.clone();
         self.last_seen.insert(host.clone(), now);
         let t = sample.time.as_secs();
@@ -189,13 +184,9 @@ impl OnlineAnalyzer {
                 }
                 let net_rate = wrapping_delta(prev.net_bytes, net_bytes, 64) as f64 / dt;
                 if net_rate > self.cfg.gige_rate {
-                    if let Some(a) = self.raise(
-                        now,
-                        &host,
-                        &sample.jobids,
-                        AlertKind::GigeTraffic,
-                        net_rate,
-                    ) {
+                    if let Some(a) =
+                        self.raise(now, &host, &sample.jobids, AlertKind::GigeTraffic, net_rate)
+                    {
                         out.push(a);
                     }
                 }
@@ -219,9 +210,7 @@ impl OnlineAnalyzer {
         let silent: Vec<(String, SimTime)> = self
             .last_seen
             .iter()
-            .filter(|(_, last)| {
-                now.duration_since(**last).as_secs() >= self.cfg.silence_secs
-            })
+            .filter(|(_, last)| now.duration_since(**last).as_secs() >= self.cfg.silence_secs)
             .map(|(h, last)| (h.clone(), *last))
             .collect();
         for (host, last) in silent {
@@ -243,8 +232,14 @@ mod tests {
 
     fn header(host: &str) -> HostHeader {
         let mut schemas = BTreeMap::new();
-        schemas.insert(DeviceType::Mdc, DeviceType::Mdc.schema(CpuArch::SandyBridge));
-        schemas.insert(DeviceType::Net, DeviceType::Net.schema(CpuArch::SandyBridge));
+        schemas.insert(
+            DeviceType::Mdc,
+            DeviceType::Mdc.schema(CpuArch::SandyBridge),
+        );
+        schemas.insert(
+            DeviceType::Net,
+            DeviceType::Net.schema(CpuArch::SandyBridge),
+        );
         HostHeader {
             hostname: host.to_string(),
             arch: CpuArch::SandyBridge,
@@ -278,7 +273,9 @@ mod tests {
         let mut a = OnlineAnalyzer::new(OnlineConfig::default());
         let h = header("c1");
         // First sample: baseline only, no alert possible.
-        assert!(a.observe(SimTime::from_secs(0), &h, &sample(0, "77", 0, 0)).is_empty());
+        assert!(a
+            .observe(SimTime::from_secs(0), &h, &sample(0, "77", 0, 0))
+            .is_empty());
         // 600 s later: 140k req/s.
         let alerts = a.observe(
             SimTime::from_secs(600),

@@ -99,8 +99,7 @@ impl PopulationRunner {
             }
             sched.step(t);
             finished.append(&mut sched.drain_finished());
-            if iter.peek().is_none() && sched.running().next().is_none() && sched.queued() == 0
-            {
+            if iter.peek().is_none() && sched.running().next().is_none() && sched.queued() == 0 {
                 break;
             }
             t = t + step;
@@ -259,10 +258,7 @@ mod tests {
         let job = sched.drain_finished().pop().unwrap();
         let m1 = simulate_job(&job, &NodeTopology::stampede(), 3);
         let m2 = simulate_job(&job, &NodeTopology::stampede(), 3);
-        assert_eq!(
-            m1.get(MetricId::CpuUsage),
-            m2.get(MetricId::CpuUsage)
-        );
+        assert_eq!(m1.get(MetricId::CpuUsage), m2.get(MetricId::CpuUsage));
         assert_eq!(m1.get(MetricId::Flops), m2.get(MetricId::Flops));
     }
 

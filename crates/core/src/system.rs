@@ -10,15 +10,17 @@
 
 use crate::config::{Mode, SystemConfig};
 use crate::online::{Alert, OnlineAnalyzer, OnlineConfig};
-use std::collections::{HashMap, VecDeque};
+use bytes::Bytes;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use tacc_broker::Broker;
 use tacc_collect::consumer::StatsConsumer;
 use tacc_collect::cron::{CronCollector, CronConfig};
-use tacc_collect::daemon::{LocalPublisher, TaccStatsd};
+use tacc_collect::daemon::{LocalPublisher, Publisher, TaccStatsd};
 use tacc_collect::discovery::{discover, BuildOptions};
 use tacc_collect::engine::{OverheadAccount, Sampler};
 use tacc_collect::record::{HostHeader, Sample};
+use tacc_collect::spool::SpoolConfig;
 use tacc_collect::Archive;
 use tacc_jobdb::Database;
 use tacc_metrics::accum::JobAccum;
@@ -27,11 +29,12 @@ use tacc_metrics::ingest::ingest_job;
 use tacc_scheduler::job::{JobId, JobRequest, JobStatus};
 use tacc_scheduler::sched::{SchedEvent, Scheduler};
 use tacc_scheduler::xalt::XaltDb;
-use tacc_simnode::lustre_server::MdsModel;
-use tacc_simnode::workload::NodeDemand;
 use tacc_simnode::counter::wrapping_delta;
+use tacc_simnode::faults::{fault_path, DeviceFaultKind, FaultPlan, ReadFault, ReadFaultMode};
+use tacc_simnode::lustre_server::MdsModel;
 use tacc_simnode::pseudofs::NodeFs;
 use tacc_simnode::schema::DeviceType;
+use tacc_simnode::workload::NodeDemand;
 use tacc_simnode::{SimClock, SimCluster, SimNode, SimTime};
 use tacc_tsdb::{SeriesKey, TsDb};
 
@@ -67,7 +70,9 @@ impl TsdbMirror {
             let Some(schema) = header.schemas.get(&dt) else {
                 return 0;
             };
-            let Some(i) = schema.index_of(ev) else { return 0 };
+            let Some(i) = schema.index_of(ev) else {
+                return 0;
+            };
             sample.devices_of(dt).map(|r| r.values[i]).sum()
         };
         if header.schemas.contains_key(&DeviceType::Mdc) {
@@ -88,13 +93,71 @@ impl TsdbMirror {
                 sum_of(DeviceType::Lnet, "tx_bytes") + sum_of(DeviceType::Lnet, "rx_bytes"),
             );
         }
-        track(DeviceType::Cpustat, "user", sum_of(DeviceType::Cpustat, "user"));
+        track(
+            DeviceType::Cpustat,
+            "user",
+            sum_of(DeviceType::Cpustat, "user"),
+        );
     }
 }
 
 enum NodeCollectors {
     Cron(Vec<CronCollector>),
     Daemon(Vec<TaccStatsd>),
+}
+
+/// Fault-injecting broker transport: consults the [`FaultPlan`] for
+/// deterministic per-message network drops. A dropped *request* never
+/// reaches the broker; a dropped *acknowledgement* is delivered but the
+/// sender sees a failure and will replay it later (the at-least-once
+/// duplicate source).
+struct ChaosPublisher {
+    broker: Broker,
+    plan: FaultPlan,
+    host: String,
+}
+
+impl Publisher for ChaosPublisher {
+    fn publish(&mut self, queue: &str, routing_key: &str, seq: u64, payload: Bytes) -> bool {
+        if self.plan.drops_request(&self.host, seq) {
+            return false;
+        }
+        let ok = self.broker.publish(queue, routing_key, payload);
+        if ok && self.plan.drops_ack(&self.host, seq) {
+            return false;
+        }
+        ok
+    }
+}
+
+/// End-to-end delivery reconciliation for daemon mode: every sequence
+/// number any node ever assigned is classified into exactly one bucket,
+/// so `collected == delivered + dropped + lost + in_spool` holds by
+/// construction and the interesting assertions are about which bucket
+/// each fate lands in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeliveryReport {
+    /// Samples collected across all nodes (== sequence numbers issued).
+    pub collected: u64,
+    /// Archived by the consumer (at least once).
+    pub delivered: u64,
+    /// Evicted from a full spool — bounded-buffer overflow, accounted.
+    pub dropped: u64,
+    /// Wiped from a spool by a node crash (or otherwise vanished).
+    pub lost: u64,
+    /// Still spooled awaiting replay.
+    pub in_spool: u64,
+    /// Redelivered duplicates the consumer skipped.
+    pub duplicates: u64,
+    /// Sequence-gap events the consumer observed on arrival.
+    pub gap_events: u64,
+    /// Device instances missing from samples due to failed pseudofs
+    /// reads (cumulative across nodes).
+    pub degraded_reads: u64,
+    /// Unique messages the consumer processed.
+    pub received: u64,
+    /// Unparseable messages routed to the dead-letter queue.
+    pub dead_lettered: u64,
 }
 
 /// The full monitoring system over a simulated cluster.
@@ -125,6 +188,10 @@ pub struct MonitoringSystem {
     xalt: XaltDb,
     /// Shared metadata-server latency model (§VI-A interference).
     pub mds: MdsModel,
+    fault_plan: Option<FaultPlan>,
+    /// Which nodes the fault plan currently holds down (to fire
+    /// crash/reboot exactly once per window edge).
+    plan_node_down: Vec<bool>,
 }
 
 impl MonitoringSystem {
@@ -169,9 +236,7 @@ impl MonitoringSystem {
                     .enumerate()
                     .map(|(i, s)| {
                         // Deterministic per-node stagger within the window.
-                        let offset = (i as u64)
-                            .wrapping_mul(0x9E37_79B9)
-                            .wrapping_add(cfg.seed)
+                        let offset = (i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(cfg.seed)
                             % (*sync_spread_secs).max(1);
                         CronCollector::new(
                             s,
@@ -188,10 +253,10 @@ impl MonitoringSystem {
             Mode::Daemon { queue } => {
                 let b = Broker::new();
                 b.declare(queue);
-                consumer = Some(
-                    StatsConsumer::new(&b, queue, Arc::clone(&archive))
-                        .expect("queue just declared"),
-                );
+                let mut c = StatsConsumer::new(&b, queue, Arc::clone(&archive))
+                    .expect("queue just declared");
+                c.set_dead_letter(&format!("{queue}.dead_letter"));
+                consumer = Some(c);
                 let ds = samplers
                     .into_iter()
                     .map(|s| {
@@ -239,6 +304,44 @@ impl MonitoringSystem {
             suspended: Vec::new(),
             xalt: XaltDb::new(enable_xalt),
             mds: MdsModel::default(),
+            fault_plan: None,
+            plan_node_down: vec![false; n_total],
+        }
+    }
+
+    /// Install a [`FaultPlan`] (daemon mode only): every daemon's
+    /// transport is swapped for a fault-injecting one, and from now on
+    /// [`MonitoringSystem::step_once`] consults the plan for broker
+    /// outages, node crash/reboot windows, and device degradation.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let NodeCollectors::Daemon(ds) = &mut self.collectors else {
+            panic!("fault plans drive the daemon pipeline; use daemon mode");
+        };
+        let broker = self.broker.as_ref().expect("daemon mode has a broker");
+        for (i, d) in ds.iter_mut().enumerate() {
+            d.set_publisher(Box::new(ChaosPublisher {
+                broker: broker.clone(),
+                plan: plan.clone(),
+                host: self.headers[i].hostname.clone(),
+            }));
+        }
+        self.fault_plan = Some(plan);
+    }
+
+    /// Reconfigure every daemon's spool (daemon mode only; call before
+    /// driving the system).
+    pub fn set_spool(&mut self, cfg: SpoolConfig) {
+        let NodeCollectors::Daemon(ds) = &mut self.collectors else {
+            panic!("spools exist only in daemon mode");
+        };
+        for (i, d) in ds.iter_mut().enumerate() {
+            let seed = self.headers[i]
+                .hostname
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+                });
+            d.set_spool_config(cfg, seed);
         }
     }
 
@@ -321,19 +424,128 @@ impl MonitoringSystem {
         total
     }
 
-    /// Crash a node: the hardware stops responding and — in cron mode —
-    /// the unsynced local log is lost. Returns samples lost (cron) or 0.
+    /// Crash a node: the hardware stops responding; in cron mode the
+    /// unsynced local log is lost, in daemon mode the in-memory spool
+    /// is wiped into the lost-sequence ledger. Returns samples lost.
     pub fn crash_node(&mut self, node_idx: usize) -> usize {
         self.cluster.node(node_idx).write().crash();
         match &mut self.collectors {
             NodeCollectors::Cron(cs) => cs[node_idx].on_crash(),
-            NodeCollectors::Daemon(_) => 0, // published data already safe
+            NodeCollectors::Daemon(ds) => ds[node_idx].on_crash(),
         }
     }
 
-    /// Reboot a crashed node.
+    /// Reboot a crashed node: the collector resumes its schedule from
+    /// the present (the dead window is not backfilled).
     pub fn reboot_node(&mut self, node_idx: usize) {
         self.cluster.node(node_idx).write().reboot();
+        let now = self.clock.now();
+        match &mut self.collectors {
+            NodeCollectors::Cron(cs) => cs[node_idx].skip_to(now),
+            NodeCollectors::Daemon(ds) => ds[node_idx].on_reboot(now),
+        }
+    }
+
+    /// Apply the fault plan's state for instant `now`: broker outage
+    /// windows, node crash/reboot at window edges, and per-device
+    /// degradation (missing/truncated pseudo-files, stuck counters).
+    fn apply_faults(&mut self, now: SimTime) {
+        let Some(plan) = self.fault_plan.clone() else {
+            return;
+        };
+        if let Some(broker) = &self.broker {
+            let down = plan.broker_down(now);
+            if down && !broker.is_stopped() {
+                broker.stop();
+            } else if !down && broker.is_stopped() {
+                broker.restart();
+            }
+        }
+        for outage in &plan.node_outages {
+            let Some(idx) = self.host_index(&outage.host) else {
+                continue;
+            };
+            let down = outage.window.contains(now);
+            if down && !self.plan_node_down[idx] {
+                self.plan_node_down[idx] = true;
+                self.crash_node(idx);
+            } else if !down && self.plan_node_down[idx] {
+                self.plan_node_down[idx] = false;
+                self.reboot_node(idx);
+            }
+        }
+        // Device faults are reasserted every step: a reboot thaws frozen
+        // counters and clears read faults, so whatever window is still
+        // open must be reinstalled.
+        let mut read_faults: HashMap<usize, Vec<ReadFault>> = HashMap::new();
+        let mut faulted_nodes: HashSet<usize> = HashSet::new();
+        for df in &plan.device_faults {
+            let Some(idx) = self.host_index(&df.host) else {
+                continue;
+            };
+            match df.kind {
+                DeviceFaultKind::StuckCounter => {
+                    self.cluster.node(idx).write().set_frozen(
+                        df.dev_type,
+                        &df.instance,
+                        df.window.contains(now),
+                    );
+                }
+                DeviceFaultKind::MissingFile | DeviceFaultKind::TruncatedRead => {
+                    faulted_nodes.insert(idx);
+                    if df.window.contains(now) {
+                        if let Some(prefix) = fault_path(df.dev_type, &df.instance) {
+                            read_faults.entry(idx).or_default().push(ReadFault {
+                                prefix,
+                                mode: match df.kind {
+                                    DeviceFaultKind::MissingFile => ReadFaultMode::Missing,
+                                    _ => ReadFaultMode::Truncated,
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for idx in faulted_nodes {
+            self.cluster
+                .node(idx)
+                .write()
+                .set_read_faults(read_faults.remove(&idx).unwrap_or_default());
+        }
+    }
+
+    /// Reconcile end-to-end delivery accounting (daemon mode only):
+    /// every sequence number is classified exactly once.
+    pub fn delivery_report(&self) -> DeliveryReport {
+        let NodeCollectors::Daemon(ds) = &self.collectors else {
+            panic!("delivery accounting requires daemon mode");
+        };
+        let consumer = self.consumer.as_ref().expect("daemon mode has a consumer");
+        let mut r = DeliveryReport::default();
+        for (i, d) in ds.iter().enumerate() {
+            let host = &self.headers[i].hostname;
+            r.collected += d.collected;
+            r.degraded_reads += d.sampler().degraded_reads();
+            for seq in 0..d.next_seq() {
+                if consumer.has_seen(host, seq) {
+                    r.delivered += 1;
+                } else if d.spool().contains(seq) {
+                    r.in_spool += 1;
+                } else if d.spool().evicted().contains(&seq) {
+                    r.dropped += 1;
+                } else {
+                    // Crash-wiped (in the lost ledger) or otherwise
+                    // vanished — lost either way.
+                    r.lost += 1;
+                }
+            }
+        }
+        r.duplicates = consumer.duplicates;
+        r.gap_events = consumer.gap_events;
+        r.received = consumer.received;
+        r.dead_lettered = consumer.dead_lettered;
+        r
     }
 
     fn feed_sample(
@@ -375,6 +587,9 @@ impl MonitoringSystem {
     fn collect_marked_on(&mut self, node_idx: usize, now: SimTime, mark: &str) {
         let node = self.cluster.node(node_idx);
         let guard = node.read();
+        if guard.is_crashed() {
+            return; // no daemon, no cron job: a dead node collects nothing
+        }
         let fs = NodeFs::new(&guard);
         match &mut self.collectors {
             NodeCollectors::Cron(cs) => {
@@ -456,6 +671,9 @@ impl MonitoringSystem {
     /// drain (daemon) → online analysis → ingest finished jobs.
     pub fn step_once(&mut self) {
         let now = self.clock.now();
+        // Fault-plan state for this instant (broker outages, node
+        // crash/reboot edges, device degradation).
+        self.apply_faults(now);
         // Submissions due.
         while self
             .pending
@@ -516,6 +734,9 @@ impl MonitoringSystem {
                 for (i, c) in cs.iter_mut().enumerate() {
                     let node = self.cluster.node(i);
                     let guard = node.read();
+                    if guard.is_crashed() {
+                        continue;
+                    }
                     let fs = NodeFs::new(&guard);
                     let samples = c.tick(&fs, now2, &self.archive);
                     drop(guard);
@@ -535,6 +756,9 @@ impl MonitoringSystem {
                 for (i, d) in ds.iter_mut().enumerate() {
                     let node = self.cluster.node(i);
                     let guard = node.read();
+                    if guard.is_crashed() {
+                        continue;
+                    }
                     let fs = NodeFs::new(&guard);
                     d.tick(&fs, now2);
                 }
@@ -633,10 +857,7 @@ mod tests {
 
     #[test]
     fn daemon_mode_end_to_end_job_metrics() {
-        let mut sys = MonitoringSystem::new(SystemConfig::small(
-            2,
-            crate::config::Mode::daemon(),
-        ));
+        let mut sys = MonitoringSystem::new(SystemConfig::small(2, crate::config::Mode::daemon()));
         sys.enqueue_jobs(vec![(t0(), request(AppModel::namd(), 2, 60))]);
         sys.run_until(t0() + SimDuration::from_mins(90));
         assert_eq!(sys.ingested, 1);
@@ -674,10 +895,7 @@ mod tests {
 
     #[test]
     fn overhead_accounting_accumulates() {
-        let mut sys = MonitoringSystem::new(SystemConfig::small(
-            2,
-            crate::config::Mode::daemon(),
-        ));
+        let mut sys = MonitoringSystem::new(SystemConfig::small(2, crate::config::Mode::daemon()));
         sys.run_until(t0() + SimDuration::from_hours(2));
         let acct = sys.overhead();
         // 2 nodes × 13 interval samples.
@@ -694,10 +912,7 @@ mod tests {
 
     #[test]
     fn online_analyzer_detects_and_suspends_storm_job() {
-        let mut sys = MonitoringSystem::new(SystemConfig::small(
-            2,
-            crate::config::Mode::daemon(),
-        ));
+        let mut sys = MonitoringSystem::new(SystemConfig::small(2, crate::config::Mode::daemon()));
         sys.enable_online(OnlineConfig::default(), true);
         sys.enqueue_jobs(vec![(
             t0(),
@@ -735,10 +950,8 @@ mod tests {
         let lost = cron.crash_node(0);
         assert!(lost >= 12, "unsynced samples lost: {lost}");
         // Daemon mode: same scenario, nothing lost.
-        let mut daemon = MonitoringSystem::new(SystemConfig::small(
-            1,
-            crate::config::Mode::daemon(),
-        ));
+        let mut daemon =
+            MonitoringSystem::new(SystemConfig::small(1, crate::config::Mode::daemon()));
         daemon.run_until(t0() + SimDuration::from_hours(2));
         let lost = daemon.crash_node(0);
         assert_eq!(lost, 0);
@@ -761,10 +974,7 @@ mod tests {
 
     #[test]
     fn queued_jobs_wait_for_nodes() {
-        let mut sys = MonitoringSystem::new(SystemConfig::small(
-            1,
-            crate::config::Mode::daemon(),
-        ));
+        let mut sys = MonitoringSystem::new(SystemConfig::small(1, crate::config::Mode::daemon()));
         sys.enqueue_jobs(vec![
             (t0(), request(AppModel::python(), 1, 30)),
             (t0(), request(AppModel::python(), 1, 30)),
@@ -772,8 +982,12 @@ mod tests {
         sys.run_until(t0() + SimDuration::from_mins(90));
         assert_eq!(sys.ingested, 2);
         let t = sys.db().table(JOBS_TABLE).unwrap();
-        let waits: Vec<f64> = Query::new(t).values("queue_wait").unwrap()
-            .iter().filter_map(|v| v.as_f64()).collect();
+        let waits: Vec<f64> = Query::new(t)
+            .values("queue_wait")
+            .unwrap()
+            .iter()
+            .filter_map(|v| v.as_f64())
+            .collect();
         assert!(waits.iter().any(|w| *w >= 1700.0), "waits {waits:?}");
     }
 }

@@ -163,7 +163,12 @@ mod tests {
         );
         db.insert(
             "jobs",
-            vec!["a\tb".into(), Value::Int(4), Value::Float(0.5), Value::Bool(true)],
+            vec![
+                "a\tb".into(),
+                Value::Int(4),
+                Value::Float(0.5),
+                Value::Bool(true),
+            ],
         )
         .unwrap();
         db.insert(

@@ -332,7 +332,10 @@ mod tests {
 
     #[test]
     fn suffix_parsing() {
-        assert_eq!(CmpOp::split_kw("MetaDataRate__gte"), ("MetaDataRate", CmpOp::Gte));
+        assert_eq!(
+            CmpOp::split_kw("MetaDataRate__gte"),
+            ("MetaDataRate", CmpOp::Gte)
+        );
         assert_eq!(CmpOp::split_kw("user"), ("user", CmpOp::Eq));
         assert_eq!(CmpOp::split_kw("exec__contains"), ("exec", CmpOp::Contains));
         // Unknown suffix: treated as part of the name (Django would 400;
@@ -389,10 +392,16 @@ mod tests {
     fn contains_and_ne() {
         let t = jobs();
         assert_eq!(
-            Query::new(&t).filter_kw("exec__contains", "wrf").count().unwrap(),
+            Query::new(&t)
+                .filter_kw("exec__contains", "wrf")
+                .count()
+                .unwrap(),
             3
         );
-        assert_eq!(Query::new(&t).filter_kw("user__ne", "bob").count().unwrap(), 3);
+        assert_eq!(
+            Query::new(&t).filter_kw("user__ne", "bob").count().unwrap(),
+            3
+        );
     }
 
     #[test]

@@ -198,7 +198,8 @@ mod tests {
     #[test]
     fn nulls_allowed_in_any_column() {
         let mut t = Table::new(jobs_schema());
-        t.insert(vec![Value::Null, Value::Null, Value::Null]).unwrap();
+        t.insert(vec![Value::Null, Value::Null, Value::Null])
+            .unwrap();
         assert!(t.value(0, "cpu_usage").unwrap().is_null());
     }
 

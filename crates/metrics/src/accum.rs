@@ -246,8 +246,10 @@ impl JobAccum {
     pub fn from_raw_files(raw_files: &[tacc_collect::record::RawFile], jobid: &str) -> JobAccum {
         let mut acc = JobAccum::new();
         // Group (file, sample) pairs per host, sort by time, then feed.
-        let mut per_host: std::collections::BTreeMap<&str, Vec<(&tacc_collect::record::HostHeader, &Sample)>> =
-            std::collections::BTreeMap::new();
+        let mut per_host: std::collections::BTreeMap<
+            &str,
+            Vec<(&tacc_collect::record::HostHeader, &Sample)>,
+        > = std::collections::BTreeMap::new();
         for rf in raw_files {
             for s in &rf.samples {
                 if s.jobids.iter().any(|j| j == jobid) {
@@ -555,10 +557,7 @@ mod tests {
     fn run_job(n_nodes: usize, n_intervals: usize) -> JobMetrics {
         let mut acc = JobAccum::new();
         for node_idx in 0..n_nodes {
-            let mut node = SimNode::new(
-                format!("c401-{node_idx:04}"),
-                NodeTopology::stampede(),
-            );
+            let mut node = SimNode::new(format!("c401-{node_idx:04}"), NodeTopology::stampede());
             let cfg = {
                 let fs = NodeFs::new(&node);
                 discover(&fs, BuildOptions::default()).unwrap()
@@ -591,7 +590,11 @@ mod tests {
         let m = run_job(2, 6);
         let g = |id| m.get(id).unwrap();
         // MDCReqs: 100 req/s per node (average over nodes).
-        assert!((g(MetricId::MDCReqs) - 100.0).abs() < 1.0, "{}", g(MetricId::MDCReqs));
+        assert!(
+            (g(MetricId::MDCReqs) - 100.0).abs() < 1.0,
+            "{}",
+            g(MetricId::MDCReqs)
+        );
         // MDCWait: 500 us per request.
         assert!((g(MetricId::MDCWait) - 500.0).abs() < 5.0);
         // OSC.
@@ -713,10 +716,7 @@ mod tests {
         // One busy node, one idle node: idle → ~0.
         let mut acc = JobAccum::new();
         for (node_idx, busy) in [(0usize, true), (1usize, false)] {
-            let mut node = SimNode::new(
-                format!("c401-{node_idx:04}"),
-                NodeTopology::stampede(),
-            );
+            let mut node = SimNode::new(format!("c401-{node_idx:04}"), NodeTopology::stampede());
             let cfg = {
                 let fs = NodeFs::new(&node);
                 discover(&fs, BuildOptions::default()).unwrap()

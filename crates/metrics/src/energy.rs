@@ -126,7 +126,12 @@ mod tests {
         // Power model: ~40+75×0.91 ≈ 108 W/socket × 2 sockets.
         let expected_pkg = 2.0 * (40.0 + 75.0 * 0.91) * 4.0 * 3600.0;
         let rel = (e.pkg_joules - expected_pkg).abs() / expected_pkg;
-        assert!(rel < 0.02, "pkg {} vs {} ({rel})", e.pkg_joules, expected_pkg);
+        assert!(
+            rel < 0.02,
+            "pkg {} vs {} ({rel})",
+            e.pkg_joules,
+            expected_pkg
+        );
         assert!(e.pp0_joules > 0.0 && e.pp0_joules < e.pkg_joules);
         assert!(e.dram_joules > 0.0);
         assert!(e.uncore_joules() > 0.0);

@@ -102,10 +102,14 @@ impl FlagRules {
     /// Evaluate all rules against a job's metrics.
     pub fn evaluate(&self, ctx: &FlagContext, m: &JobMetrics) -> Vec<Flag> {
         let mut flags = Vec::new();
-        if m.get(MetricId::MetaDataRate).is_some_and(|v| v > self.metadata_rate) {
+        if m.get(MetricId::MetaDataRate)
+            .is_some_and(|v| v > self.metadata_rate)
+        {
             flags.push(Flag::HighMetadataRate);
         }
-        if m.get(MetricId::GigEBW).is_some_and(|v| v > self.gige_bw_mbs) {
+        if m.get(MetricId::GigEBW)
+            .is_some_and(|v| v > self.gige_bw_mbs)
+        {
             flags.push(Flag::HighGigE);
         }
         if ctx.queue_name == "largemem" {
@@ -118,7 +122,9 @@ impl FlagRules {
         if m.get(MetricId::Idle).is_some_and(|v| v < self.idle_ratio) {
             flags.push(Flag::IdleNodes);
         }
-        if m.get(MetricId::Catastrophe).is_some_and(|v| v < self.catastrophe_ratio) {
+        if m.get(MetricId::Catastrophe)
+            .is_some_and(|v| v < self.catastrophe_ratio)
+        {
             // §V-A distinguishes the two signatures by where the weak
             // window sits relative to the strong one.
             match m.trend {
@@ -129,7 +135,9 @@ impl FlagRules {
         if m.get(MetricId::Cpi).is_some_and(|v| v > self.high_cpi) {
             flags.push(Flag::HighCpi);
         }
-        if m.get(MetricId::VecPercent).is_some_and(|v| v < self.low_vec_percent) {
+        if m.get(MetricId::VecPercent)
+            .is_some_and(|v| v < self.low_vec_percent)
+        {
             flags.push(Flag::LowVectorization);
         }
         flags
@@ -196,7 +204,9 @@ mod tests {
             node_memory_gb: 1100.0,
         };
         assert!(rules.evaluate(&lm_ctx, &m).contains(&Flag::LargememWaste));
-        assert!(!rules.evaluate(&ctx("normal"), &m).contains(&Flag::LargememWaste));
+        assert!(!rules
+            .evaluate(&ctx("normal"), &m)
+            .contains(&Flag::LargememWaste));
         // Genuine largemem user unflagged.
         let big = metrics(&[(MetricId::MemUsage, 700.0)]);
         assert!(!rules.evaluate(&lm_ctx, &big).contains(&Flag::LargememWaste));
@@ -229,6 +239,8 @@ mod tests {
     #[test]
     fn absent_metrics_never_flag() {
         let m = JobMetrics::new();
-        assert!(FlagRules::default().evaluate(&ctx("largemem"), &m).is_empty());
+        assert!(FlagRules::default()
+            .evaluate(&ctx("largemem"), &m)
+            .is_empty());
     }
 }

@@ -170,7 +170,13 @@ mod tests {
     #[test]
     fn ingest_and_query_portal_style() {
         let mut db = Database::new();
-        ingest_job(&mut db, &job(1, "wrf.exe"), &metrics(3900.0, 0.8), &FlagRules::default(), 34.0);
+        ingest_job(
+            &mut db,
+            &job(1, "wrf.exe"),
+            &metrics(3900.0, 0.8),
+            &FlagRules::default(),
+            34.0,
+        );
         ingest_job(
             &mut db,
             &job(2, "wrf.exe"),
@@ -178,7 +184,13 @@ mod tests {
             &FlagRules::default(),
             34.0,
         );
-        ingest_job(&mut db, &job(3, "namd2"), &metrics(5.0, 0.95), &FlagRules::default(), 34.0);
+        ingest_job(
+            &mut db,
+            &job(3, "namd2"),
+            &metrics(5.0, 0.95),
+            &FlagRules::default(),
+            34.0,
+        );
         let t = db.table(JOBS_TABLE).unwrap();
         assert_eq!(t.len(), 3);
         // Portal search: wrf jobs above a metadata threshold.
@@ -190,7 +202,11 @@ mod tests {
         assert_eq!(hot.len(), 1);
         // The storm job carries the flag string.
         let idx = t.schema().index_of("flags").unwrap();
-        assert!(hot[0].get(idx).as_str().unwrap().contains("HighMetadataRate"));
+        assert!(hot[0]
+            .get(idx)
+            .as_str()
+            .unwrap()
+            .contains("HighMetadataRate"));
         // ORM-style aggregation (§V-B): average CPU of wrf population.
         let avg = Query::new(t)
             .filter_kw("exec", "wrf.exe")
@@ -215,7 +231,10 @@ mod tests {
         assert!(t.rows()[0].get(idx).is_null());
         // Null metrics don't match threshold searches.
         assert_eq!(
-            Query::new(t).filter_kw("MIC_Usage__gte", 0.0).count().unwrap(),
+            Query::new(t)
+                .filter_kw("MIC_Usage__gte", 0.0)
+                .count()
+                .unwrap(),
             0
         );
     }

@@ -111,11 +111,7 @@ pub fn attribute(samples: &[Sample], uid_to_job: &HashMap<u32, String>) -> Share
 /// §VI-C precondition for reliable core-level extraction. Returns the
 /// pairs of jobs whose affinity masks overlap (empty = cleanly pinned).
 pub fn pinning_conflicts(usage: &SharedNodeUsage) -> Vec<(String, String)> {
-    let jobs: Vec<(&String, u64)> = usage
-        .per_job
-        .iter()
-        .map(|(j, s)| (j, s.cpu_mask))
-        .collect();
+    let jobs: Vec<(&String, u64)> = usage.per_job.iter().map(|(j, s)| (j, s.cpu_mask)).collect();
     let mut out = Vec::new();
     for i in 0..jobs.len() {
         for j in i + 1..jobs.len() {
@@ -191,10 +187,19 @@ mod tests {
     fn cpu_time_and_memory_split_by_owner() {
         // Job 100 (uid 6000) pinned to cores 0-7, job 200 to 8-15.
         let samples = vec![
-            sample(0, vec![ps(1, 6000, 1000, 1000, 0, 0x00FF), ps(2, 6001, 4000, 4000, 0, 0xFF00)]),
+            sample(
+                0,
+                vec![
+                    ps(1, 6000, 1000, 1000, 0, 0x00FF),
+                    ps(2, 6001, 4000, 4000, 0, 0xFF00),
+                ],
+            ),
             sample(
                 600,
-                vec![ps(1, 6000, 2000, 2500, 48_000, 0x00FF), ps(2, 6001, 3000, 4500, 12_000, 0xFF00)],
+                vec![
+                    ps(1, 6000, 2000, 2500, 48_000, 0x00FF),
+                    ps(2, 6001, 3000, 4500, 12_000, 0xFF00),
+                ],
             ),
         ];
         let usage = attribute(&samples, &uid_map());
@@ -219,7 +224,10 @@ mod tests {
     fn overlapping_affinities_are_flagged() {
         let samples = vec![sample(
             0,
-            vec![ps(1, 6000, 100, 100, 0, 0x0F0F), ps(2, 6001, 100, 100, 0, 0x00FF)],
+            vec![
+                ps(1, 6000, 100, 100, 0, 0x0F0F),
+                ps(2, 6001, 100, 100, 0, 0x00FF),
+            ],
         )];
         let usage = attribute(&samples, &uid_map());
         let conflicts = pinning_conflicts(&usage);
@@ -252,10 +260,19 @@ mod tests {
     #[test]
     fn multiple_processes_per_job_sum() {
         let samples = vec![
-            sample(0, vec![ps(1, 6000, 1000, 1000, 0, 0x3), ps(2, 6000, 1000, 1000, 0, 0xC)]),
+            sample(
+                0,
+                vec![
+                    ps(1, 6000, 1000, 1000, 0, 0x3),
+                    ps(2, 6000, 1000, 1000, 0, 0xC),
+                ],
+            ),
             sample(
                 600,
-                vec![ps(1, 6000, 1500, 1500, 6000, 0x3), ps(2, 6000, 1500, 1500, 6000, 0xC)],
+                vec![
+                    ps(1, 6000, 1500, 1500, 6000, 0x3),
+                    ps(2, 6000, 1500, 1500, 6000, 0xC),
+                ],
             ),
         ];
         let usage = attribute(&samples, &uid_map());

@@ -198,7 +198,9 @@ impl MetricId {
             | MetricId::Mbw => "MB/s",
             MetricId::Packetsize => "B",
             MetricId::Packetrate => "pkt/s",
-            MetricId::LoadAll | MetricId::LoadL1Hits | MetricId::LoadL2Hits
+            MetricId::LoadAll
+            | MetricId::LoadL1Hits
+            | MetricId::LoadL2Hits
             | MetricId::LoadLLCHits => "loads/s",
             MetricId::Cpi | MetricId::Cpld => "ratio",
             MetricId::Flops => "GF/s",

@@ -69,9 +69,10 @@ fn cum_events(
             continue;
         };
         for ev in events {
-            let Some(i) = schema.index_of(ev) else { continue };
-            total += wrapping_delta(prev_vals[i], cur_rec.values[i], schema.events[i].width)
-                as f64;
+            let Some(i) = schema.index_of(ev) else {
+                continue;
+            };
+            total += wrapping_delta(prev_vals[i], cur_rec.values[i], schema.events[i].width) as f64;
         }
     }
     total * scale
@@ -107,10 +108,8 @@ impl JobTimeSeries {
                     }
                     let arch = rf.header.arch;
                     let w_flops = arch.vector_width_flops() as f64;
-                    let scalar =
-                        cum_events(prev, cur, rf, DeviceType::Cpu, &["FP_SCALAR"], 1.0);
-                    let vector =
-                        cum_events(prev, cur, rf, DeviceType::Cpu, &["FP_VECTOR"], 1.0);
+                    let scalar = cum_events(prev, cur, rf, DeviceType::Cpu, &["FP_SCALAR"], 1.0);
+                    let vector = cum_events(prev, cur, rf, DeviceType::Cpu, &["FP_VECTOR"], 1.0);
                     let gflops = (scalar + w_flops * vector) / dt_s / 1e9;
                     let mbw_gbs = cum_events(
                         prev,
@@ -139,8 +138,7 @@ impl JobTimeSeries {
                         4.0,
                     ) / dt_s
                         / 1e6;
-                    let user =
-                        cum_events(prev, cur, rf, DeviceType::Cpustat, &["user"], 1.0);
+                    let user = cum_events(prev, cur, rf, DeviceType::Cpustat, &["user"], 1.0);
                     let total = cum_events(
                         prev,
                         cur,
@@ -266,8 +264,7 @@ mod tests {
     fn job_raw_files() -> Vec<RawFile> {
         let mut out = Vec::new();
         for node_idx in 0..2usize {
-            let mut node =
-                SimNode::new(format!("c401-{node_idx:04}"), NodeTopology::stampede());
+            let mut node = SimNode::new(format!("c401-{node_idx:04}"), NodeTopology::stampede());
             node.spawn_process("wrf.exe", 9999, 16, 0xFFFF);
             let cfg = {
                 let fs = NodeFs::new(&node);
@@ -304,12 +301,8 @@ mod tests {
                     node.advance(SimDuration::from_secs(600), &demand);
                 }
                 let fs = NodeFs::new(&node);
-                let s = sampler.sample(
-                    &fs,
-                    SimTime::from_secs(600 * k),
-                    &["4242".to_string()],
-                    &[],
-                );
+                let s =
+                    sampler.sample(&fs, SimTime::from_secs(600 * k), &["4242".to_string()], &[]);
                 rf.samples.push(s);
             }
             out.push(rf);

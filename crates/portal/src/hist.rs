@@ -60,7 +60,11 @@ impl Histogram {
             }
         };
         let (lo, hi) = (tx(min), tx(max));
-        let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+        let width = if hi > lo {
+            (hi - lo) / bins as f64
+        } else {
+            1.0
+        };
         let mut counts = vec![0usize; bins];
         for v in &finite {
             let idx = (((tx(*v) - lo) / width) as usize).min(bins - 1);

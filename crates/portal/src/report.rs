@@ -164,10 +164,28 @@ mod tests {
         stormy.set(MetricId::CpuUsage, 0.6);
         stormy.set(MetricId::MetaDataRate, 500_000.0);
         // Day 0: two users, one flagged job.
-        ingest_job(&mut db, &mk_job(1, "alice", 3600, 2, 4), &clean, &rules, 34.0);
-        ingest_job(&mut db, &mk_job(2, "bob", 7200, 1, 2), &stormy, &rules, 34.0);
+        ingest_job(
+            &mut db,
+            &mk_job(1, "alice", 3600, 2, 4),
+            &clean,
+            &rules,
+            34.0,
+        );
+        ingest_job(
+            &mut db,
+            &mk_job(2, "bob", 7200, 1, 2),
+            &stormy,
+            &rules,
+            34.0,
+        );
         // Day 1: one job, out of the day-0 report window.
-        ingest_job(&mut db, &mk_job(3, "alice", 90_000, 1, 1), &clean, &rules, 34.0);
+        ingest_job(
+            &mut db,
+            &mk_job(3, "alice", 90_000, 1, 1),
+            &clean,
+            &rules,
+            34.0,
+        );
         db
     }
 

@@ -176,8 +176,8 @@ impl<'t> JobList<'t> {
     /// Render the job list with the portal's metadata columns.
     pub fn render(&self, limit: usize) -> String {
         let header = [
-            "JobID", "User", "Exec", "Start", "End", "Run(h)", "Queue", "Status", "Way",
-            "Nodes", "NodeHrs", "Flags",
+            "JobID", "User", "Exec", "Start", "End", "Run(h)", "Queue", "Status", "Way", "Nodes",
+            "NodeHrs", "Flags",
         ];
         let idx = |n: &str| self.table.schema().index_of(n);
         let cols: Vec<Option<usize>> = [
@@ -265,14 +265,32 @@ mod tests {
         let mut m1 = JobMetrics::new();
         m1.set(MetricId::MetaDataRate, 3900.0);
         m1.set(MetricId::CpuUsage, 0.80);
-        ingest_job(&mut db, &mk_job(1, "alice", "wrf.exe", 1000, 7200), &m1, &rules, 34.0);
+        ingest_job(
+            &mut db,
+            &mk_job(1, "alice", "wrf.exe", 1000, 7200),
+            &m1,
+            &rules,
+            34.0,
+        );
         let mut m2 = JobMetrics::new();
         m2.set(MetricId::MetaDataRate, 563_905.0);
         m2.set(MetricId::CpuUsage, 0.67);
-        ingest_job(&mut db, &mk_job(2, "bob", "wrf.exe", 2000, 3600), &m2, &rules, 34.0);
+        ingest_job(
+            &mut db,
+            &mk_job(2, "bob", "wrf.exe", 2000, 3600),
+            &m2,
+            &rules,
+            34.0,
+        );
         let mut m3 = JobMetrics::new();
         m3.set(MetricId::CpuUsage, 0.95);
-        ingest_job(&mut db, &mk_job(3, "carol", "namd2", 3000, 300), &m3, &rules, 34.0);
+        ingest_job(
+            &mut db,
+            &mk_job(3, "carol", "namd2", 3000, 300),
+            &m3,
+            &rules,
+            34.0,
+        );
         db
     }
 

@@ -76,9 +76,8 @@ pub fn generate_churn(cfg: ChurnConfig) -> Vec<ProcEvent> {
         let start = cfg.start + SimDuration::from_nanos(rng.gen_range(0..span));
         // Exponential-ish lifetime: -ln(U) * mean.
         let u: f64 = rng.gen_range(1e-9..1.0);
-        let life = SimDuration::from_secs_f64(
-            (-u.ln()) * cfg.mean_lifetime.as_secs_f64().max(1e-3),
-        );
+        let life =
+            SimDuration::from_secs_f64((-u.ln()) * cfg.mean_lifetime.as_secs_f64().max(1e-3));
         let end = start + life;
         events.push(ProcEvent {
             time: start,
@@ -114,7 +113,7 @@ pub fn simultaneous_start_scenario(at: SimTime) -> Vec<ProcEvent> {
     };
     vec![
         mk(1, 0, ProcEventKind::Start),
-        mk(2, 2, ProcEventKind::Start),  // during collection 1's window
+        mk(2, 2, ProcEventKind::Start), // during collection 1's window
         mk(3, 10, ProcEventKind::Start), // still inside: missed
         mk(1, 5_000, ProcEventKind::End),
         mk(2, 6_000, ProcEventKind::End),

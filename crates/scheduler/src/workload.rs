@@ -64,8 +64,7 @@ impl WorkloadConfig {
             n_jobs,
             start: SimTime::from_secs(tacc_simnode::clock::Q4_2015_START_SECS),
             span: SimDuration::from_secs(
-                tacc_simnode::clock::Q4_2015_END_SECS
-                    - tacc_simnode::clock::Q4_2015_START_SECS,
+                tacc_simnode::clock::Q4_2015_END_SECS - tacc_simnode::clock::Q4_2015_START_SECS,
             ),
             n_users: (n_jobs / 40).clamp(10, 3000),
             idle_node_frac: 0.045,
@@ -149,10 +148,7 @@ impl WorkloadGenerator {
             idle_nodes = (n_nodes / 2).max(1);
         }
         let app = model.instantiate(&mut self.rng, n_nodes, wayness, &self.cfg.topology);
-        let will_fail = matches!(
-            model.phases,
-            tacc_simnode::apps::PhasePlan::FailAt { .. }
-        );
+        let will_fail = matches!(model.phases, tacc_simnode::apps::PhasePlan::FailAt { .. });
         let (user, uid) = self.user_for(&model.exec_name);
         let runtime = self.sample_runtime(queue);
         JobRequest {
@@ -172,9 +168,8 @@ impl WorkloadGenerator {
 
     /// Generate the full population, sorted by submission time.
     pub fn generate(&mut self) -> Vec<(SimTime, JobRequest)> {
-        let mut out: Vec<(SimTime, JobRequest)> = Vec::with_capacity(
-            self.cfg.n_jobs + self.cfg.bad_wrf_jobs,
-        );
+        let mut out: Vec<(SimTime, JobRequest)> =
+            Vec::with_capacity(self.cfg.n_jobs + self.cfg.bad_wrf_jobs);
         let span_secs = self.cfg.span.as_secs().max(1);
         for _ in 0..self.cfg.n_jobs {
             let queue = {
@@ -196,8 +191,7 @@ impl WorkloadGenerator {
             } else {
                 self.library.sample(&mut self.rng).clone()
             };
-            let submit =
-                self.cfg.start + SimDuration::from_secs(self.rng.gen_range(0..span_secs));
+            let submit = self.cfg.start + SimDuration::from_secs(self.rng.gen_range(0..span_secs));
             let req = self.request_for_model(&model, queue);
             out.push((submit, req));
         }
@@ -205,11 +199,14 @@ impl WorkloadGenerator {
         // node counts, metadata-storm behaviour.
         let storm = AppModel::wrf_metadata_storm();
         for _ in 0..self.cfg.bad_wrf_jobs {
-            let submit =
-                self.cfg.start + SimDuration::from_secs(self.rng.gen_range(0..span_secs));
+            let submit = self.cfg.start + SimDuration::from_secs(self.rng.gen_range(0..span_secs));
             let n_nodes = *[2usize, 4, 4, 8].get(self.rng.gen_range(0..4)).unwrap();
-            let app =
-                storm.instantiate(&mut self.rng, n_nodes, self.cfg.topology.n_cores(), &self.cfg.topology);
+            let app = storm.instantiate(
+                &mut self.rng,
+                n_nodes,
+                self.cfg.topology.n_cores(),
+                &self.cfg.topology,
+            );
             let runtime = self.sample_runtime(QueueName::Normal);
             out.push((
                 submit,
@@ -280,10 +277,12 @@ mod tests {
         let bad = pop.iter().filter(|(_, r)| r.uid == 9999).count();
         // 105/404002 * 8000 ≈ 2.
         assert!((1..=5).contains(&bad), "bad jobs {bad}");
-        assert!(pop
-            .iter()
-            .filter(|(_, r)| r.uid == 9999)
-            .all(|(_, r)| r.app.model.lustre.opens_per_sec > 1000.0));
+        assert!(pop.iter().filter(|(_, r)| r.uid == 9999).all(|(_, r)| r
+            .app
+            .model
+            .lustre
+            .opens_per_sec
+            > 1000.0));
     }
 
     #[test]
@@ -340,10 +339,10 @@ mod tests {
     fn vectorization_thresholds_have_mass_on_both_sides() {
         // Precondition for reproducing the §V-A 52%/25% numbers.
         let pop = population(6000);
-        let lo = pop.iter().filter(|(_, r)| r.app.vector_frac > 0.01).count() as f64
-            / pop.len() as f64;
-        let hi = pop.iter().filter(|(_, r)| r.app.vector_frac > 0.5).count() as f64
-            / pop.len() as f64;
+        let lo =
+            pop.iter().filter(|(_, r)| r.app.vector_frac > 0.01).count() as f64 / pop.len() as f64;
+        let hi =
+            pop.iter().filter(|(_, r)| r.app.vector_frac > 0.5).count() as f64 / pop.len() as f64;
         assert!((0.35..0.70).contains(&lo), "vec>1% frac {lo}");
         assert!((0.12..0.40).contains(&hi), "vec>50% frac {hi}");
         assert!(lo > hi);

@@ -31,8 +31,18 @@ pub struct XaltRecord {
 pub fn environment_for(exec: &str) -> XaltRecord {
     let (modules, libraries): (Vec<&str>, Vec<&str>) = match exec {
         "wrf.exe" => (
-            vec!["intel/15.0.2", "mvapich2/2.1", "netcdf/4.3.3", "pnetcdf/1.6.0"],
-            vec!["libnetcdff.so.6", "libpnetcdf.so.1", "libmpich.so.12", "libifcore.so.5"],
+            vec![
+                "intel/15.0.2",
+                "mvapich2/2.1",
+                "netcdf/4.3.3",
+                "pnetcdf/1.6.0",
+            ],
+            vec![
+                "libnetcdff.so.6",
+                "libpnetcdf.so.1",
+                "libmpich.so.12",
+                "libifcore.so.5",
+            ],
         ),
         "namd2" => (
             vec!["intel/15.0.2", "impi/5.0.3", "fftw3/3.3.4"],
@@ -48,7 +58,11 @@ pub fn environment_for(exec: &str) -> XaltRecord {
         ),
         "pw.x" => (
             vec!["intel/15.0.2", "mvapich2/2.1", "mkl/11.2"],
-            vec!["libmkl_intel_lp64.so", "libmkl_scalapack_lp64.so", "libmpich.so.12"],
+            vec![
+                "libmkl_intel_lp64.so",
+                "libmkl_scalapack_lp64.so",
+                "libmpich.so.12",
+            ],
         ),
         "python" | "postproc.py" => (
             vec!["gcc/4.9.1", "python/2.7.9"],

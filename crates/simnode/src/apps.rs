@@ -589,8 +589,7 @@ impl AppInstance {
             read_bytes_per_sec: l.read_bytes_per_sec * io_mult * self.io_mult * act,
             write_bytes_per_sec: l.write_bytes_per_sec * io_mult * self.io_mult * act,
         };
-        let mem_used = ((self.node_memory_bytes as f64
-            * (m.mem_frac * self.mem_mult).min(0.93))
+        let mem_used = ((self.node_memory_bytes as f64 * (m.mem_frac * self.mem_mult).min(0.93))
             * if level > 0.0 { 1.0 } else { 0.3 }) as u64;
         NodeDemand {
             active_cores: if level > 0.0 { self.active_cores } else { 0 },
@@ -669,7 +668,10 @@ impl AppLibrary {
 
     /// Find a model by executable name.
     pub fn by_exec(&self, exec: &str) -> Option<&AppModel> {
-        self.entries.iter().map(|(m, _)| m).find(|m| m.exec_name == exec)
+        self.entries
+            .iter()
+            .map(|(m, _)| m)
+            .find(|m| m.exec_name == exec)
     }
 }
 

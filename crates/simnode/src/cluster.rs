@@ -150,8 +150,12 @@ mod tests {
         assert_eq!(c.clock().now().as_secs(), 60);
         let n0 = c.node(0);
         let n1 = c.node(1);
-        let user0 = n0.read().devices(DeviceType::Cpustat)[0].read("user").unwrap();
-        let user1 = n1.read().devices(DeviceType::Cpustat)[0].read("user").unwrap();
+        let user0 = n0.read().devices(DeviceType::Cpustat)[0]
+            .read("user")
+            .unwrap();
+        let user1 = n1.read().devices(DeviceType::Cpustat)[0]
+            .read("user")
+            .unwrap();
         assert!(user0 > 0);
         assert_eq!(user1, 0);
     }
@@ -174,8 +178,10 @@ mod tests {
         {
             let idle = NodeDemand::idle();
             for (i, node) in ser.nodes().iter().enumerate() {
-                node.write()
-                    .advance(SimDuration::from_secs(600), busy(i).as_ref().unwrap_or(&idle));
+                node.write().advance(
+                    SimDuration::from_secs(600),
+                    busy(i).as_ref().unwrap_or(&idle),
+                );
             }
         }
         for i in 0..64 {

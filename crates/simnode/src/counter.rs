@@ -25,7 +25,10 @@ pub struct Counter {
 impl Counter {
     /// New zeroed counter of the given register width.
     pub fn new(width: u32) -> Self {
-        assert!((1..=64).contains(&width), "counter width {width} out of range");
+        assert!(
+            (1..=64).contains(&width),
+            "counter width {width} out of range"
+        );
         Counter { width, total: 0 }
     }
 

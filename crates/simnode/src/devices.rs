@@ -21,13 +21,18 @@ pub struct SimDevice {
     schema: Schema,
     counters: Vec<Counter>,
     fracs: Vec<FracAccum>,
+    frozen: bool,
 }
 
 impl SimDevice {
     /// New device instance with all counters zeroed.
     pub fn new(dev_type: DeviceType, instance: impl Into<String>, arch: CpuArch) -> Self {
         let schema = dev_type.schema(arch);
-        let counters = schema.events.iter().map(|e| Counter::new(e.width)).collect();
+        let counters = schema
+            .events
+            .iter()
+            .map(|e| Counter::new(e.width))
+            .collect();
         let fracs = vec![FracAccum::new(); schema.len()];
         SimDevice {
             dev_type,
@@ -35,6 +40,7 @@ impl SimDevice {
             schema,
             counters,
             fracs,
+            frozen: false,
         }
     }
 
@@ -43,9 +49,24 @@ impl SimDevice {
         &self.schema
     }
 
+    /// Freeze or thaw the device. While frozen the counters stop
+    /// advancing (a "stuck counter" hardware fault); reads still work
+    /// and keep returning the last values.
+    pub fn set_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
+    }
+
+    /// Is the device currently frozen?
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
     /// Add a fractional amount of events to the named event. Panics if the
     /// event does not exist (a programming error in the workload model).
     pub fn add(&mut self, event: &str, amount: f64) {
+        if self.frozen {
+            return;
+        }
         let idx = self
             .schema
             .index_of(event)
@@ -67,6 +88,9 @@ impl SimDevice {
             "{}.{event} is not a gauge",
             self.dev_type
         );
+        if self.frozen {
+            return;
+        }
         self.counters[idx].reset();
         self.counters[idx].add(value);
     }
@@ -87,7 +111,8 @@ impl SimDevice {
         self.counters.iter().map(Counter::total).collect()
     }
 
-    /// Reset all counters (node reboot).
+    /// Reset all counters (node reboot). Also thaws a frozen device —
+    /// the fault driver re-freezes it if the fault window is still open.
     pub fn reset(&mut self) {
         for c in &mut self.counters {
             c.reset();
@@ -95,6 +120,7 @@ impl SimDevice {
         for f in &mut self.fracs {
             *f = FracAccum::new();
         }
+        self.frozen = false;
     }
 }
 
@@ -149,6 +175,39 @@ mod tests {
         assert!(read < 1u64 << 32);
         assert_eq!(d.totals()[0], 100 * 100_000_000);
         assert_ne!(read as u128, d.totals()[0] as u128);
+    }
+
+    #[test]
+    fn frozen_device_sticks_until_thawed() {
+        let mut d = SimDevice::new(DeviceType::Net, "eth0", CpuArch::SandyBridge);
+        d.add("rx_bytes", 100.0);
+        d.set_frozen(true);
+        d.add("rx_bytes", 50.0);
+        assert_eq!(
+            d.read("rx_bytes"),
+            Some(100),
+            "stuck counter must not advance"
+        );
+        d.set_frozen(false);
+        d.add("rx_bytes", 50.0);
+        assert_eq!(d.read("rx_bytes"), Some(150));
+    }
+
+    #[test]
+    fn frozen_gauge_keeps_last_value() {
+        let mut d = SimDevice::new(DeviceType::Mem, "0", CpuArch::SandyBridge);
+        d.set_gauge("MemUsed", 1000);
+        d.set_frozen(true);
+        d.set_gauge("MemUsed", 77);
+        assert_eq!(d.read("MemUsed"), Some(1000));
+    }
+
+    #[test]
+    fn reset_thaws() {
+        let mut d = SimDevice::new(DeviceType::Net, "eth0", CpuArch::SandyBridge);
+        d.set_frozen(true);
+        d.reset();
+        assert!(!d.is_frozen());
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! A [`FaultPlan`] is a seeded, fully reproducible schedule of failures
+//! consulted in *simulated* time by the monitoring system driver:
+//!
+//! * **Node outages** — a node crashes at a wall-clock instant and
+//!   reboots at a later one, losing everything held in volatile state
+//!   (including the daemon's unsent spool).
+//! * **Broker outages** — windows during which the message broker
+//!   accepts no publishes and delivers nothing to consumers.
+//! * **Network message loss** — per-message Bernoulli drops, decided by
+//!   a pure hash of `(seed, host, seq)` so the same plan always drops
+//!   the same messages. Request drops lose the message before the
+//!   broker sees it; ack drops lose only the acknowledgement, so the
+//!   broker has the message but the sender believes it failed (the
+//!   classic at-least-once duplicate source).
+//! * **Device degradation** — a counter source on one node misbehaves
+//!   for a window: its pseudo-file disappears, reads come back
+//!   truncated, or the underlying counter freezes (sticks) at its
+//!   current value.
+//!
+//! Nothing in this module consults an ambient RNG or real clock; every
+//! decision is a pure function of the plan and simulated time, which is
+//! what makes chaos tests replayable from a single seed.
+
+use crate::clock::{SimDuration, SimTime};
+use crate::schema::DeviceType;
+
+/// Half-open window of simulated time `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Window {
+    /// First instant inside the window.
+    pub start: SimTime,
+    /// First instant after the window.
+    pub end: SimTime,
+}
+
+impl Window {
+    /// Window covering `[start, start + len)`.
+    pub fn new(start: SimTime, len: SimDuration) -> Window {
+        Window {
+            start,
+            end: start + len,
+        }
+    }
+
+    /// Is `t` inside the window?
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Window length.
+    pub fn len(&self) -> SimDuration {
+        self.end.duration_since(self.start)
+    }
+
+    /// True when the window is empty (`end <= start`).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// How a degraded device misbehaves while its fault window is active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceFaultKind {
+    /// The pseudo-file vanishes (reads return nothing), as when a
+    /// module is unloaded or a mount goes away.
+    MissingFile,
+    /// Reads return only a prefix of the file, as when a racy
+    /// `read(2)` of a seq_file catches a partial update.
+    TruncatedRead,
+    /// The counter freezes at its current value and stops advancing.
+    StuckCounter,
+}
+
+/// One scheduled device degradation on one host.
+#[derive(Clone, Debug)]
+pub struct DeviceFault {
+    /// Hostname the fault applies to.
+    pub host: String,
+    /// Device type being degraded.
+    pub dev_type: DeviceType,
+    /// Device instance name (e.g. `scratch`, `mlx4_0`, `eth0`).
+    pub instance: String,
+    /// Failure mode.
+    pub kind: DeviceFaultKind,
+    /// Active window.
+    pub window: Window,
+}
+
+/// One scheduled node crash/reboot cycle.
+#[derive(Clone, Debug)]
+pub struct NodeOutage {
+    /// Hostname that goes down.
+    pub host: String,
+    /// Down window: crashed at `window.start`, rebooted at `window.end`.
+    pub window: Window,
+}
+
+/// How a pseudo-file read fails (the node-side projection of a
+/// [`DeviceFault`], installed on the node by the driver).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadFaultMode {
+    /// The file is absent: reads return `None`.
+    Missing,
+    /// Reads return only the first half of the rendered text.
+    Truncated,
+}
+
+/// A path-prefix read fault active on a node right now.
+#[derive(Clone, Debug)]
+pub struct ReadFault {
+    /// Paths starting with this prefix are affected.
+    pub prefix: String,
+    /// Failure mode.
+    pub mode: ReadFaultMode,
+}
+
+/// Pseudo-filesystem path (or path prefix) backing a device instance,
+/// used to translate a [`DeviceFault`] into a [`ReadFault`]. Returns
+/// `None` for devices read through MSRs or PCI config space rather than
+/// files (those can only be degraded via [`DeviceFaultKind::StuckCounter`]).
+pub fn fault_path(dev_type: DeviceType, instance: &str) -> Option<String> {
+    match dev_type {
+        DeviceType::Llite => Some(format!("/proc/fs/lustre/llite/{instance}-ffff8800/stats")),
+        DeviceType::Mdc => Some(format!(
+            "/proc/fs/lustre/mdc/{instance}-MDT0000-mdc-ffff8800/stats"
+        )),
+        DeviceType::Osc => Some(format!(
+            "/proc/fs/lustre/osc/{instance}-OST0000-osc-ffff8800/stats"
+        )),
+        DeviceType::Net => Some("/proc/net/dev".to_string()),
+        DeviceType::Cpustat => Some("/proc/stat".to_string()),
+        DeviceType::Lnet => Some("/proc/sys/lnet/stats".to_string()),
+        DeviceType::Ib => Some(format!("/sys/class/infiniband/{instance}/ports/1/counters")),
+        DeviceType::Mic => Some(format!("/sys/class/mic/{instance}/stats")),
+        _ => None,
+    }
+}
+
+/// A complete, seeded fault schedule for one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// Seed for per-message drop decisions (and provenance of the plan).
+    pub seed: u64,
+    /// Scheduled node crash/reboot cycles.
+    pub node_outages: Vec<NodeOutage>,
+    /// Windows during which the broker is down.
+    pub broker_outages: Vec<Window>,
+    /// Probability a publish request is lost before reaching the broker.
+    pub drop_request_prob: f64,
+    /// Probability a publish succeeds but its acknowledgement is lost.
+    pub drop_ack_prob: f64,
+    /// Scheduled device degradations.
+    pub device_faults: Vec<DeviceFault>,
+}
+
+/// FNV-1a over a few words — a cheap, stable message-level hash.
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn str_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Map a hash to `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing ever fails.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.node_outages.is_empty()
+            && self.broker_outages.is_empty()
+            && self.drop_request_prob == 0.0
+            && self.drop_ack_prob == 0.0
+            && self.device_faults.is_empty()
+    }
+
+    /// Is the broker down at `t`?
+    pub fn broker_down(&self, t: SimTime) -> bool {
+        self.broker_outages.iter().any(|w| w.contains(t))
+    }
+
+    /// Is this publish request lost in the network? Pure in
+    /// `(seed, host, seq)` — replaying the run drops the same messages.
+    pub fn drops_request(&self, host: &str, seq: u64) -> bool {
+        self.drop_request_prob > 0.0
+            && unit(fnv1a(&[self.seed, str_hash(host), seq, 1])) < self.drop_request_prob
+    }
+
+    /// Is the acknowledgement for this publish lost? (The broker keeps
+    /// the message; the sender sees a failure and will retransmit.)
+    pub fn drops_ack(&self, host: &str, seq: u64) -> bool {
+        self.drop_ack_prob > 0.0
+            && unit(fnv1a(&[self.seed, str_hash(host), seq, 2])) < self.drop_ack_prob
+    }
+
+    /// Length of the longest broker outage (zero if none are scheduled).
+    /// A node-local spool sized to cover this window guarantees zero
+    /// message loss from broker outages alone.
+    pub fn longest_broker_outage(&self) -> SimDuration {
+        self.broker_outages
+            .iter()
+            .map(Window::len)
+            .max()
+            .unwrap_or(SimDuration::from_secs(0))
+    }
+
+    /// A deliberately hostile but fully deterministic plan for chaos
+    /// testing: two broker outages (one short, one long), one node
+    /// crash overlapping the long outage (so spooled samples are lost
+    /// with the node), per-message request and ack drops, and one
+    /// device degradation of each kind spread across the hosts.
+    ///
+    /// `start` is the beginning and `span` the length of the simulated
+    /// period being attacked; windows are placed at fixed fractions of
+    /// the span so the plan scales with the run.
+    pub fn hostile(seed: u64, hosts: &[String], start: SimTime, span: SimDuration) -> FaultPlan {
+        assert!(!hosts.is_empty(), "hostile plan needs at least one host");
+        let frac =
+            |num: u64, den: u64| start + SimDuration::from_nanos(span.as_nanos() / den * num);
+        let pick = |salt: u64| &hosts[(fnv1a(&[seed, salt]) % hosts.len() as u64) as usize];
+
+        // Short outage early (covered by any reasonable spool), long
+        // outage later in the day.
+        let short = Window {
+            start: frac(1, 8),
+            end: frac(1, 8) + SimDuration::from_secs(20 * 60),
+        };
+        let long = Window {
+            start: frac(5, 8),
+            end: frac(5, 8) + SimDuration::from_secs(2 * 3600),
+        };
+
+        // A node crashes in the middle of the long outage — whatever it
+        // had spooled is gone for good — and reboots after the outage.
+        let victim = pick(11).clone();
+        let crash = Window {
+            start: long.start + SimDuration::from_secs(30 * 60),
+            end: long.end + SimDuration::from_secs(30 * 60),
+        };
+
+        let dev_window = Window {
+            start: frac(2, 8),
+            end: frac(3, 8),
+        };
+        let device_faults = vec![
+            DeviceFault {
+                host: pick(21).clone(),
+                dev_type: DeviceType::Llite,
+                instance: "scratch".to_string(),
+                kind: DeviceFaultKind::MissingFile,
+                window: dev_window,
+            },
+            DeviceFault {
+                host: pick(22).clone(),
+                dev_type: DeviceType::Net,
+                instance: "eth0".to_string(),
+                kind: DeviceFaultKind::TruncatedRead,
+                window: dev_window,
+            },
+            DeviceFault {
+                host: pick(23).clone(),
+                dev_type: DeviceType::Ib,
+                instance: "mlx4_0".to_string(),
+                kind: DeviceFaultKind::StuckCounter,
+                window: dev_window,
+            },
+        ];
+
+        FaultPlan {
+            seed,
+            node_outages: vec![NodeOutage {
+                host: victim,
+                window: crash,
+            }],
+            broker_outages: vec![short, long],
+            drop_request_prob: 0.05,
+            drop_ack_prob: 0.04,
+            device_faults,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn window_contains_is_half_open() {
+        let w = Window::new(t(100), SimDuration::from_secs(10));
+        assert!(!w.contains(t(99)));
+        assert!(w.contains(t(100)));
+        assert!(w.contains(t(109)));
+        assert!(!w.contains(t(110)));
+        assert_eq!(w.len(), SimDuration::from_secs(10));
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn empty_plan_never_faults() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.broker_down(t(0)));
+        assert!(!p.drops_request("h", 0));
+        assert!(!p.drops_ack("h", 0));
+        assert_eq!(p.longest_broker_outage(), SimDuration::from_secs(0));
+    }
+
+    #[test]
+    fn drop_decisions_are_deterministic_and_distinct() {
+        let p = FaultPlan {
+            seed: 42,
+            drop_request_prob: 0.5,
+            drop_ack_prob: 0.5,
+            ..FaultPlan::default()
+        };
+        let a: Vec<bool> = (0..64).map(|s| p.drops_request("host-1", s)).collect();
+        let b: Vec<bool> = (0..64).map(|s| p.drops_request("host-1", s)).collect();
+        assert_eq!(a, b, "same plan must drop the same messages");
+        let dropped = a.iter().filter(|&&d| d).count();
+        assert!(
+            dropped > 5 && dropped < 60,
+            "p=0.5 should drop roughly half"
+        );
+        // Request and ack decisions are independent streams.
+        let acks: Vec<bool> = (0..64).map(|s| p.drops_ack("host-1", s)).collect();
+        assert_ne!(a, acks);
+        // Different hosts see different streams.
+        let other: Vec<bool> = (0..64).map(|s| p.drops_request("host-2", s)).collect();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn drop_rate_roughly_matches_probability() {
+        let p = FaultPlan {
+            seed: 7,
+            drop_request_prob: 0.1,
+            ..FaultPlan::default()
+        };
+        let dropped = (0..10_000)
+            .filter(|&s| p.drops_request("c401-0001", s))
+            .count();
+        assert!(
+            (600..1400).contains(&dropped),
+            "expected ~1000 of 10000 dropped, got {dropped}"
+        );
+    }
+
+    #[test]
+    fn hostile_plan_is_deterministic_and_well_formed() {
+        let hosts: Vec<String> = (0..4).map(|i| format!("c401-{i:04}")).collect();
+        let start = t(1_443_657_600);
+        let span = SimDuration::from_secs(86_400);
+        let p1 = FaultPlan::hostile(99, &hosts, start, span);
+        let p2 = FaultPlan::hostile(99, &hosts, start, span);
+        assert_eq!(p1.node_outages[0].host, p2.node_outages[0].host);
+        assert_eq!(p1.broker_outages, p2.broker_outages);
+        assert_eq!(p1.longest_broker_outage(), SimDuration::from_secs(2 * 3600));
+        // The node crash overlaps the long broker outage.
+        let long = p1.broker_outages[1];
+        let crash = p1.node_outages[0].window;
+        assert!(crash.start > long.start && crash.start < long.end);
+        assert!(crash.end > long.end);
+        for f in &p1.device_faults {
+            assert!(hosts.contains(&f.host));
+            assert!(!f.window.is_empty());
+        }
+    }
+
+    #[test]
+    fn fault_paths_cover_file_backed_devices() {
+        assert_eq!(
+            fault_path(DeviceType::Llite, "scratch").as_deref(),
+            Some("/proc/fs/lustre/llite/scratch-ffff8800/stats")
+        );
+        assert_eq!(
+            fault_path(DeviceType::Ib, "mlx4_0").as_deref(),
+            Some("/sys/class/infiniband/mlx4_0/ports/1/counters")
+        );
+        assert_eq!(
+            fault_path(DeviceType::Net, "eth0").as_deref(),
+            Some("/proc/net/dev")
+        );
+        assert_eq!(fault_path(DeviceType::Cpu, "0"), None);
+        assert_eq!(fault_path(DeviceType::Rapl, "0"), None);
+    }
+}

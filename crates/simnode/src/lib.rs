@@ -32,6 +32,7 @@ pub mod clock;
 pub mod cluster;
 pub mod counter;
 pub mod devices;
+pub mod faults;
 pub mod lustre_server;
 pub mod node;
 pub mod pseudofs;
@@ -41,5 +42,6 @@ pub mod workload;
 
 pub use clock::{SimClock, SimDuration, SimTime};
 pub use cluster::SimCluster;
+pub use faults::FaultPlan;
 pub use node::SimNode;
 pub use topology::{CpuArch, NodeTopology};

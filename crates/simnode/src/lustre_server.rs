@@ -46,8 +46,8 @@ impl MdsModel {
         if self.capacity_reqs_per_sec <= 0.0 {
             return 1.0;
         }
-        let rho = (aggregate_reqs_per_sec / self.capacity_reqs_per_sec)
-            .clamp(0.0, self.max_utilization);
+        let rho =
+            (aggregate_reqs_per_sec / self.capacity_reqs_per_sec).clamp(0.0, self.max_utilization);
         1.0 / (1.0 - rho)
     }
 

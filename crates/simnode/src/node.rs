@@ -11,6 +11,7 @@
 //! [`crate::pseudofs`] — procfs/sysfs-style text files.
 
 use crate::devices::SimDevice;
+use crate::faults::{ReadFault, ReadFaultMode};
 use crate::schema::DeviceType;
 use crate::topology::NodeTopology;
 use crate::workload::NodeDemand;
@@ -92,6 +93,7 @@ pub struct SimNode {
     next_pid: u32,
     crashed: bool,
     boot_count: u32,
+    read_faults: Vec<ReadFault>,
 }
 
 impl SimNode {
@@ -165,6 +167,7 @@ impl SimNode {
             next_pid: 1000,
             crashed: false,
             boot_count: 1,
+            read_faults: Vec::new(),
         }
     }
 
@@ -204,8 +207,7 @@ impl SimNode {
                 d.reset();
             }
         }
-        let mem_per_socket_kib =
-            self.topology.memory_bytes / 1024 / self.topology.sockets as u64;
+        let mem_per_socket_kib = self.topology.memory_bytes / 1024 / self.topology.sockets as u64;
         if let Some(mems) = self.devices.get_mut(&DeviceType::Mem) {
             for m in mems {
                 m.set_gauge("MemTotal", mem_per_socket_kib);
@@ -217,13 +219,7 @@ impl SimNode {
     }
 
     /// Spawn an application process; returns its pid.
-    pub fn spawn_process(
-        &mut self,
-        comm: &str,
-        uid: u32,
-        threads: u32,
-        cpus_allowed: u64,
-    ) -> u32 {
+    pub fn spawn_process(&mut self, comm: &str, uid: u32, threads: u32, cpus_allowed: u64) -> u32 {
         let pid = self.next_pid;
         self.next_pid += 1;
         self.processes.push(ProcessInfo {
@@ -268,7 +264,7 @@ impl SimNode {
         let dt_s = dt.as_secs_f64();
         let topo = self.topology.clone();
         let arch = topo.arch;
-        
+
         let active = demand.active_cores.min(topo.n_cores());
         let user = demand.cpu_user_frac;
         let sys = demand.cpu_sys_frac;
@@ -360,10 +356,8 @@ impl SimNode {
             }
         }
         {
-            let total_loads =
-                inst_per_active_cpu * demand.loads_per_inst * active as f64;
-            let lookups =
-                total_loads * (1.0 - demand.l1_hit_frac - demand.l2_hit_frac).max(0.0);
+            let total_loads = inst_per_active_cpu * demand.loads_per_inst * active as f64;
+            let lookups = total_loads * (1.0 - demand.l1_hit_frac - demand.l2_hit_frac).max(0.0);
             let hits = total_loads * demand.llc_hit_frac;
             let cbos = self.devices.get_mut(&DeviceType::Cbo).expect("cbo");
             for dev in cbos.iter_mut() {
@@ -499,8 +493,7 @@ impl SimNode {
                 .count()
                 .max(1) as f64;
             let rss_each = (demand.mem_used_bytes / 1024) / n_app as u64;
-            let cpu_jiffies_each =
-                dt_s * 100.0 * user * active as f64 / n_app;
+            let cpu_jiffies_each = dt_s * 100.0 * user * active as f64 / n_app;
             for p in &mut self.processes {
                 if p.uid < 1000 {
                     continue; // system daemons stay tiny
@@ -572,6 +565,46 @@ impl SimNode {
     pub fn device_mut(&mut self, dt: DeviceType, idx: usize) -> Option<&mut SimDevice> {
         self.devices.get_mut(&dt)?.get_mut(idx)
     }
+
+    /// Install the set of pseudo-file read faults currently active on
+    /// this node (replacing any previous set). The fault driver calls
+    /// this each step with the faults whose windows are open.
+    pub fn set_read_faults(&mut self, faults: Vec<ReadFault>) {
+        self.read_faults = faults;
+    }
+
+    /// The read-fault mode affecting `path`, if any (longest matching
+    /// prefix wins; with non-overlapping fault prefixes this is simply
+    /// the first match).
+    pub fn read_fault(&self, path: &str) -> Option<ReadFaultMode> {
+        self.read_faults
+            .iter()
+            .filter(|f| path.starts_with(f.prefix.as_str()))
+            .max_by_key(|f| f.prefix.len())
+            .map(|f| f.mode)
+    }
+
+    /// Freeze or thaw a device instance's counters (a stuck-counter
+    /// fault). `instance` matches exactly or as a `/`-separated prefix,
+    /// so `"mlx4_0"` freezes the IB port instance `"mlx4_0/1"`. Returns
+    /// how many instances changed state.
+    pub fn set_frozen(&mut self, dt: DeviceType, instance: &str, frozen: bool) -> usize {
+        let Some(devs) = self.devices.get_mut(&dt) else {
+            return 0;
+        };
+        let mut n = 0;
+        for d in devs {
+            let matches = d.instance == instance
+                || (d.instance.len() > instance.len()
+                    && d.instance.starts_with(instance)
+                    && d.instance.as_bytes()[instance.len()] == b'/');
+            if matches {
+                d.set_frozen(frozen);
+                n += 1;
+            }
+        }
+        n
+    }
 }
 
 #[cfg(test)]
@@ -639,7 +672,10 @@ mod tests {
         let inst = cpu0.read("FIXED_CTR0").unwrap();
         // 2.7 GHz * (0.9 user + 0.02 sys) / 0.8 cpi * 600 s.
         let expected = 2.7e9 * 0.92 / 0.8 * 600.0;
-        assert!((inst as f64 - expected).abs() / expected < 0.01, "inst={inst}");
+        assert!(
+            (inst as f64 - expected).abs() / expected < 0.01,
+            "inst={inst}"
+        );
         // Node-wide FLOPs: scalar + 4*vector should equal 1e11 * 600.
         let mut scalar = 0u64;
         let mut vector = 0u64;
@@ -726,7 +762,7 @@ mod tests {
         let p = &n.processes()[0];
         let high = p.vm_hwm_kib;
         assert!(high > 20 << 20, "hwm={high}"); // > 20 GiB in KiB
-        // Memory drops; HWM must not.
+                                                // Memory drops; HWM must not.
         d.mem_used_bytes = 1 << 30;
         n.advance(SimDuration::from_secs(60), &d);
         let p = &n.processes()[0];

@@ -11,8 +11,22 @@
 //! to renderers. A crashed node returns `None` for every path, exactly as
 //! an unreachable node would.
 
+use crate::faults::ReadFaultMode;
 use crate::node::SimNode;
 use crate::schema::DeviceType;
+
+/// First half of `text`, snapped back to a char boundary — what a racy
+/// partial read of a pseudo-file yields. (The renderers emit ASCII, so
+/// the snap is a no-op in practice; it keeps slicing panic-free anyway.)
+fn truncate_half(text: String) -> String {
+    let mut cut = text.len() / 2;
+    while cut > 0 && !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    let mut t = text;
+    t.truncate(cut);
+    t
+}
 
 /// Read-only pseudo-filesystem view of one node.
 pub struct NodeFs<'a> {
@@ -30,19 +44,28 @@ impl<'a> NodeFs<'a> {
         self.node
     }
 
-    /// Read a file. Returns `None` if the path does not exist or the node
-    /// is down.
+    /// Read a file. Returns `None` if the path does not exist, the node
+    /// is down, or an active read fault makes the file vanish; an active
+    /// truncation fault returns only a prefix of the rendered text.
     pub fn read(&self, path: &str) -> Option<String> {
         if self.node.is_crashed() {
             return None;
         }
-        match path {
+        let fault = self.node.read_fault(path);
+        if fault == Some(ReadFaultMode::Missing) {
+            return None;
+        }
+        let text = match path {
             "/proc/cpuinfo" => Some(self.node.topology.render_cpuinfo()),
             "/proc/stat" => Some(self.render_proc_stat()),
             "/proc/net/dev" => Some(self.render_net_dev()),
             "/proc/sys/lnet/stats" => self.render_lnet_stats(),
             _ => self.read_routed(path),
+        }?;
+        if fault == Some(ReadFaultMode::Truncated) {
+            return Some(truncate_half(text));
         }
+        Some(text)
     }
 
     /// List directory entries. Returns an empty vector for unknown paths
@@ -154,7 +177,10 @@ impl<'a> NodeFs<'a> {
                 .iter()
                 .find(|d| d.instance == card)?;
             let v = dev.read_all();
-            return Some(format!("user_sum {}\nsys_sum {}\nidle_sum {}\n", v[0], v[1], v[2]));
+            return Some(format!(
+                "user_sum {}\nsys_sum {}\nidle_sum {}\n",
+                v[0], v[1], v[2]
+            ));
         }
         // Per-process files.
         if let Some(rest) = path.strip_prefix("/proc/") {
@@ -324,10 +350,13 @@ impl<'a> NodeFs<'a> {
     fn render_lnet_stats(&self) -> Option<String> {
         let dev = self.node.devices(DeviceType::Lnet).first()?;
         let v = dev.read_all(); // tx_bytes rx_bytes tx_msgs rx_msgs
-        // Real format: msgs_alloc msgs_max errors send_count recv_count
-        //              route_count drop_count send_length recv_length
-        //              route_length drop_length
-        Some(format!("0 0 0 {} {} 0 0 {} {} 0 0\n", v[2], v[3], v[0], v[1]))
+                                // Real format: msgs_alloc msgs_max errors send_count recv_count
+                                //              route_count drop_count send_length recv_length
+                                //              route_length drop_length
+        Some(format!(
+            "0 0 0 {} {} 0 0 {} {} 0 0\n",
+            v[2], v[3], v[0], v[1]
+        ))
     }
 }
 
@@ -408,7 +437,10 @@ mod tests {
         let mdc = fs
             .read("/proc/fs/lustre/mdc/scratch-MDT0000-mdc-ffff8800/stats")
             .unwrap();
-        assert!(mdc.contains("req_waittime              1000 samples"), "{mdc}");
+        assert!(
+            mdc.contains("req_waittime              1000 samples"),
+            "{mdc}"
+        );
         let lnet = fs.read("/proc/sys/lnet/stats").unwrap();
         assert_eq!(lnet.split_whitespace().count(), 11);
     }
@@ -426,6 +458,62 @@ mod tests {
         assert!(fs
             .read("/sys/class/infiniband/mlx4_0/ports/1/counters/nonsense")
             .is_none());
+    }
+
+    #[test]
+    fn missing_file_fault_hides_path() {
+        use crate::faults::{ReadFault, ReadFaultMode};
+        let mut n = active_node();
+        n.set_read_faults(vec![ReadFault {
+            prefix: "/proc/fs/lustre/llite/scratch-ffff8800/stats".to_string(),
+            mode: ReadFaultMode::Missing,
+        }]);
+        let fs = NodeFs::new(&n);
+        assert!(fs
+            .read("/proc/fs/lustre/llite/scratch-ffff8800/stats")
+            .is_none());
+        // Other files are unaffected.
+        assert!(fs
+            .read("/proc/fs/lustre/llite/work-ffff8800/stats")
+            .is_some());
+        assert!(fs.read("/proc/stat").is_some());
+    }
+
+    #[test]
+    fn truncated_read_fault_returns_prefix() {
+        use crate::faults::{ReadFault, ReadFaultMode};
+        let mut n = active_node();
+        let full = NodeFs::new(&n).read("/proc/net/dev").unwrap();
+        n.set_read_faults(vec![ReadFault {
+            prefix: "/proc/net/dev".to_string(),
+            mode: ReadFaultMode::Truncated,
+        }]);
+        let cut = NodeFs::new(&n).read("/proc/net/dev").unwrap();
+        assert!(cut.len() < full.len());
+        assert!(full.starts_with(&cut));
+    }
+
+    #[test]
+    fn prefix_fault_covers_ib_counter_files() {
+        use crate::faults::{ReadFault, ReadFaultMode};
+        let mut n = active_node();
+        n.set_read_faults(vec![ReadFault {
+            prefix: "/sys/class/infiniband/mlx4_0/ports/1/counters".to_string(),
+            mode: ReadFaultMode::Missing,
+        }]);
+        let fs = NodeFs::new(&n);
+        assert!(fs
+            .read("/sys/class/infiniband/mlx4_0/ports/1/counters/port_xmit_data")
+            .is_none());
+    }
+
+    #[test]
+    fn frozen_instance_matching() {
+        let mut n = active_node();
+        n.advance(SimDuration::from_secs(10), &NodeDemand::default());
+        assert_eq!(n.set_frozen(DeviceType::Ib, "mlx4_0", true), 1);
+        assert_eq!(n.set_frozen(DeviceType::Ib, "mlx4", true), 0);
+        assert_eq!(n.set_frozen(DeviceType::Net, "eth0", true), 1);
     }
 
     #[test]

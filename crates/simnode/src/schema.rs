@@ -174,7 +174,13 @@ impl Schema {
                 EventKind::Counter => "C",
                 EventKind::Gauge => "G",
             };
-            out.push_str(&format!("{},{},{},{}", e.name, e.unit.label(), kind, e.width));
+            out.push_str(&format!(
+                "{},{},{},{}",
+                e.name,
+                e.unit.label(),
+                kind,
+                e.width
+            ));
         }
         out
     }

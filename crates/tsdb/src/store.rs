@@ -217,10 +217,7 @@ mod tests {
         db.insert(key("c1", "reqs"), 10, 1.0);
         db.insert(key("c2", "reqs"), 20, 3.0);
         let f = TagFilter::any().event("reqs");
-        assert_eq!(
-            db.aggregate(&f, Aggregation::Avg, 0, 100, 100)[0].v,
-            2.0
-        );
+        assert_eq!(db.aggregate(&f, Aggregation::Avg, 0, 100, 100)[0].v, 2.0);
         assert_eq!(db.aggregate(&f, Aggregation::Max, 0, 100, 100)[0].v, 3.0);
         assert_eq!(db.aggregate(&f, Aggregation::Min, 0, 100, 100)[0].v, 1.0);
     }

@@ -55,8 +55,14 @@ fn main() {
     // Three jobs: a vectorized MD code, a serial python farm, and an
     // I/O-heavy writer.
     sys.enqueue_jobs(vec![
-        (t0, request(&mut rng, AppModel::gromacs(), "alice", 5001, 2, 90)),
-        (t0, request(&mut rng, AppModel::python(), "bob", 5002, 1, 60)),
+        (
+            t0,
+            request(&mut rng, AppModel::gromacs(), "alice", 5001, 2, 90),
+        ),
+        (
+            t0,
+            request(&mut rng, AppModel::python(), "bob", 5002, 1, 60),
+        ),
         (
             t0 + SimDuration::from_mins(30),
             request(&mut rng, AppModel::io_heavy(), "carol", 5003, 1, 45),

@@ -88,9 +88,7 @@ fn main() {
             outcome
         );
     }
-    println!(
-        "\n  Process 1 collected immediately; process 2 occupies the one-slot buffer;"
-    );
+    println!("\n  Process 1 collected immediately; process 2 occupies the one-slot buffer;");
     println!("  process 3, arriving inside the ~0.09 s window with the slot full, is");
     println!("  missed until the next collection — exactly the paper's policy.\n");
 
@@ -163,9 +161,7 @@ fn main() {
             overhead * 100.0
         );
     }
-    println!(
-        "\nAt the paper's baseline (10-min interval, no churn) overhead is ~0.015%;"
-    );
+    println!("\nAt the paper's baseline (10-min interval, no churn) overhead is ~0.015%;");
     println!("per-event collections push it up with churn, as §VI-C predicts.\n");
 
     // ---- (c) Per-job attribution on a shared node. ----
@@ -203,7 +199,10 @@ fn main() {
     }
     consumer.drain(t0 + SimDuration::from_hours(1));
     let raw = archive.parse_all();
-    let samples: Vec<_> = raw.iter().flat_map(|rf| rf.samples.iter().cloned()).collect();
+    let samples: Vec<_> = raw
+        .iter()
+        .flat_map(|rf| rf.samples.iter().cloned())
+        .collect();
     let uid_to_job = std::collections::HashMap::from([
         (6000u32, "100".to_string()),
         (6001u32, "200".to_string()),

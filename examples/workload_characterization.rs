@@ -37,22 +37,34 @@ fn main() {
     let total = t.len() as f64;
     let pct = |n: usize| 100.0 * n as f64 / total;
 
-    let mic = Query::new(t).filter_kw("MIC_Usage__gt", 0.01).count().unwrap();
+    let mic = Query::new(t)
+        .filter_kw("MIC_Usage__gt", 0.01)
+        .count()
+        .unwrap();
     println!(
         "MIC usage > 1% of CPU time      : {:>6.1}%   (paper: 1.3%)",
         pct(mic)
     );
-    let vec1 = Query::new(t).filter_kw("VecPercent__gt", 1.0).count().unwrap();
+    let vec1 = Query::new(t)
+        .filter_kw("VecPercent__gt", 1.0)
+        .count()
+        .unwrap();
     println!(
         "Vectorization > 1%              : {:>6.1}%   (paper: 52%)",
         pct(vec1)
     );
-    let vec50 = Query::new(t).filter_kw("VecPercent__gt", 50.0).count().unwrap();
+    let vec50 = Query::new(t)
+        .filter_kw("VecPercent__gt", 50.0)
+        .count()
+        .unwrap();
     println!(
         "Vectorization > 50%             : {:>6.1}%   (paper: 25%)",
         pct(vec50)
     );
-    let mem20 = Query::new(t).filter_kw("MemUsage__gt", 20.0).count().unwrap();
+    let mem20 = Query::new(t)
+        .filter_kw("MemUsage__gt", 20.0)
+        .count()
+        .unwrap();
     println!(
         "Memory use > 20 GB of 32 GB     : {:>6.1}%   (paper: 3%)",
         pct(mem20)
@@ -85,15 +97,9 @@ fn main() {
             })
             .collect()
     };
-    for (metric, paper) in [
-        ("MDCReqs", -0.11),
-        ("OSCReqs", -0.20),
-        ("LnetAveBW", -0.19),
-    ] {
+    for (metric, paper) in [("MDCReqs", -0.11), ("OSCReqs", -0.20), ("LnetAveBW", -0.19)] {
         let r = pearson(&pairs_of(metric)).unwrap_or(0.0);
-        println!(
-            "corr(CPU_Usage, {metric:<10}) = {r:>6.3}   (paper: {paper:>5.2})"
-        );
+        println!("corr(CPU_Usage, {metric:<10}) = {r:>6.3}   (paper: {paper:>5.2})");
     }
     println!("\nAll correlations should be negative: I/O-bound jobs spend less time in");
     println!("user space — the paper's principal predictor of poor CPU utilization.");

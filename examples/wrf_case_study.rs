@@ -97,7 +97,10 @@ fn main() {
         t = t + SimDuration::from_secs(300);
     }
     finished.append(&mut sched.drain_finished());
-    println!("Scheduled and completed {} WRF jobs over two weeks.", finished.len());
+    println!(
+        "Scheduled and completed {} WRF jobs over two weeks.",
+        finished.len()
+    );
 
     let topo = NodeTopology::stampede();
     let rules = FlagRules::default();
@@ -107,7 +110,13 @@ fn main() {
         // defined over these windows), capped for very long jobs.
         let interior = (job.run_time().as_secs() / 600).clamp(3, 40) as usize;
         let metrics = simulate_job(job, &topo, interior);
-        ingest_job(&mut db, job, &metrics, &rules, topo.memory_bytes as f64 / 1e9);
+        ingest_job(
+            &mut db,
+            job,
+            &metrics,
+            &rules,
+            topo.memory_bytes as f64 / 1e9,
+        );
     }
     let table = db.table(JOBS_TABLE).unwrap();
 

@@ -78,11 +78,7 @@ fn parse_flags(args: &[String]) -> Result<(Flags, Vec<String>), String> {
     Ok((flags, positional))
 }
 
-fn flag<T: std::str::FromStr>(
-    flags: &Flags,
-    name: &str,
-    default: T,
-) -> Result<T, String> {
+fn flag<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
     match flags.get(name).and_then(|v| v.last()) {
         Some(s) => s
             .parse()
@@ -106,8 +102,13 @@ fn cmd_monitor(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("unknown mode {other} (cron|daemon)")),
     };
     println!("Monitoring {nodes} nodes for {hours} simulated hours ({mode:?})...");
+    // Online analysis rides the daemon mode's real-time stream; cron mode
+    // has no stream to watch.
+    let online = matches!(mode, Mode::Daemon { .. });
     let mut sys = MonitoringSystem::new(SystemConfig::small(nodes, mode));
-    sys.enable_online(OnlineConfig::default(), false);
+    if online {
+        sys.enable_online(OnlineConfig::default(), false);
+    }
     let lib = AppLibrary::standard();
     let mut rng = StdRng::seed_from_u64(seed);
     let topo = NodeTopology::stampede();
@@ -146,7 +147,9 @@ fn cmd_monitor(flags: &Flags) -> Result<(), String> {
         sys.alerts().len()
     );
     if let Some(table) = sys.db().table(JOBS_TABLE) {
-        let list = SearchSpec::default().run(table).map_err(|e| e.to_string())?;
+        let list = SearchSpec::default()
+            .run(table)
+            .map_err(|e| e.to_string())?;
         println!("{}", list.render(25));
     } else {
         println!("(no jobs finished inside the window)");
@@ -166,15 +169,29 @@ fn cmd_characterize(flags: &Flags) -> Result<(), String> {
     let result = runner.run();
     let t = result.db.table(JOBS_TABLE).ok_or("no jobs table")?;
     let total = t.len() as f64;
-    let pct = |q: Query| -> String {
-        format!("{:5.1}%", 100.0 * q.count().unwrap_or(0) as f64 / total)
-    };
+    let pct =
+        |q: Query| -> String { format!("{:5.1}%", 100.0 * q.count().unwrap_or(0) as f64 / total) };
     println!("\n§V-A characterization ({} jobs):", t.len());
-    println!("  MIC > 1% of CPU time   {}   (paper 1.3%)", pct(Query::new(t).filter_kw("MIC_Usage__gt", 0.01)));
-    println!("  vectorized > 1%        {}   (paper 52%)", pct(Query::new(t).filter_kw("VecPercent__gt", 1.0)));
-    println!("  vectorized > 50%       {}   (paper 25%)", pct(Query::new(t).filter_kw("VecPercent__gt", 50.0)));
-    println!("  memory > 20 GB         {}   (paper 3%)", pct(Query::new(t).filter_kw("MemUsage__gt", 20.0)));
-    println!("  idle nodes             {}   (paper >2%)", pct(Query::new(t).filter_kw("idle__lt", 0.05)));
+    println!(
+        "  MIC > 1% of CPU time   {}   (paper 1.3%)",
+        pct(Query::new(t).filter_kw("MIC_Usage__gt", 0.01))
+    );
+    println!(
+        "  vectorized > 1%        {}   (paper 52%)",
+        pct(Query::new(t).filter_kw("VecPercent__gt", 1.0))
+    );
+    println!(
+        "  vectorized > 50%       {}   (paper 25%)",
+        pct(Query::new(t).filter_kw("VecPercent__gt", 50.0))
+    );
+    println!(
+        "  memory > 20 GB         {}   (paper 3%)",
+        pct(Query::new(t).filter_kw("MemUsage__gt", 20.0))
+    );
+    println!(
+        "  idle nodes             {}   (paper >2%)",
+        pct(Query::new(t).filter_kw("idle__lt", 0.05))
+    );
     let rows = Query::new(t)
         .filter_kw("status", "completed")
         .filter_kw("queue__ne", "development")

@@ -41,7 +41,10 @@ fn golden_file_parses_to_expected_structure() {
     assert_eq!(s0.time.as_secs(), 1_443_657_600);
     assert_eq!(s0.jobids, vec!["3001"]);
     assert_eq!(s0.marks, vec!["begin 3001"]);
-    assert_eq!(s0.device(DeviceType::Mdc, "scratch"), Some(&[12u64, 4800][..]));
+    assert_eq!(
+        s0.device(DeviceType::Mdc, "scratch"),
+        Some(&[12u64, 4800][..])
+    );
     assert_eq!(s0.processes.len(), 1);
     assert_eq!(s0.processes[0].comm, "wrf.exe");
     assert_eq!(s0.processes[0].values[9], 65535, "Cpus_allowed");

@@ -141,7 +141,10 @@ fn population_runner_invariants() {
     let t = result.db.table(JOBS_TABLE).unwrap();
     assert_eq!(t.len(), result.n_jobs);
     // Statuses partition the population.
-    let completed = Query::new(t).filter_kw("status", "completed").count().unwrap();
+    let completed = Query::new(t)
+        .filter_kw("status", "completed")
+        .count()
+        .unwrap();
     let failed = Query::new(t).filter_kw("status", "failed").count().unwrap();
     assert_eq!(completed + failed, t.len());
     // Failed fraction matches the failing-app weight (~2%).
@@ -233,7 +236,10 @@ fn storm_raises_victim_mdc_wait() {
         }
         sys.enqueue_jobs(jobs);
         sys.run_until(t0() + SimDuration::from_hours(2));
-        let table = sys.db().table(tacc_stats::metrics::ingest::JOBS_TABLE).unwrap();
+        let table = sys
+            .db()
+            .table(tacc_stats::metrics::ingest::JOBS_TABLE)
+            .unwrap();
         Query::new(table)
             .filter_kw("user", "victim")
             .avg("MDCWait")

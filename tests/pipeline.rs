@@ -3,9 +3,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tacc_stats::collect::record::RawFile;
 use tacc_stats::core::config::{Mode, SystemConfig};
 use tacc_stats::core::MonitoringSystem;
-use tacc_stats::collect::record::RawFile;
 use tacc_stats::jobdb::Query;
 use tacc_stats::metrics::ingest::JOBS_TABLE;
 use tacc_stats::portal::detail::JobTimeSeries;
@@ -46,7 +46,10 @@ fn daemon_pipeline_archive_roundtrip_and_detail_view() {
     let mut sys = MonitoringSystem::new(SystemConfig::small(3, Mode::daemon()));
     sys.enqueue_jobs(vec![
         (t0(), request(1, AppModel::gromacs(), 2, 70)),
-        (t0() + SimDuration::from_mins(10), request(2, AppModel::io_heavy(), 1, 50)),
+        (
+            t0() + SimDuration::from_mins(10),
+            request(2, AppModel::io_heavy(), 1, 50),
+        ),
     ]);
     sys.run_until(t0() + SimDuration::from_hours(3));
     assert_eq!(sys.ingested, 2);

@@ -1,0 +1,92 @@
+//! Offline drop-in replacement for the subset of `crossbeam` 0.8 this
+//! workspace uses: scoped threads (`crossbeam::thread::scope`) and
+//! unbounded channels (`crossbeam::channel::unbounded`). Both delegate
+//! to `std` — scoped threads exist there since 1.63, and the workspace
+//! only ever uses channels in the multi-producer/single-consumer shape
+//! `std::sync::mpsc` provides.
+
+/// Scoped threads with the crossbeam calling convention (the spawn
+/// closure receives the scope, and `scope` returns a `Result`).
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to [`scope`] and to spawned closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the
+        /// scope (so it can spawn more), like crossbeam's.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let this = *self;
+            self.inner.spawn(move || f(&this))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before
+    /// returning. A panicking child propagates as a panic at the end of
+    /// the scope (crossbeam reports it through the `Err` variant; every
+    /// caller in this workspace unwraps, so the behaviours coincide).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Channels with the crossbeam naming.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// An unbounded MPSC channel (`std::sync::mpsc::channel`).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn channel_fan_in() {
+        let (tx, rx) = crate::channel::unbounded::<usize>();
+        crate::thread::scope(|s| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(i).unwrap());
+            }
+            drop(tx);
+            let mut got: Vec<usize> = rx.into_iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,574 @@
+//! Offline drop-in replacement for the subset of `proptest` 1.x this
+//! workspace uses.
+//!
+//! Supported surface: the `proptest!` macro (functions with `pat in
+//! strategy` arguments), `prop_assert!` / `prop_assert_eq!`,
+//! `prop_oneof!`, `Just`, `any::<T>()`, numeric range strategies, tuple
+//! strategies, `proptest::collection::vec`, `proptest::num::f64::ANY`,
+//! and string strategies written as simple regexes (`".*"`,
+//! `".{0,400}"`, `"[a-z0-9]{0,40}"`).
+//!
+//! Differences from the real crate: no shrinking (a failing case prints
+//! its seed and values instead), and a fixed deterministic seed sequence
+//! per test (override the case count with `PROPTEST_CASES`).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG used to drive generation (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeded generator; same seed, same values.
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator. Object-safe so strategies of mixed concrete types
+/// can be unioned by `prop_oneof!`.
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy yielding a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Union over `options`; each generation picks one uniformly.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_strategies!(f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Types with a default "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // All bit patterns, NaN and infinities included.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the default strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------
+// String strategies from a small regex subset.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum CharClass {
+    /// `.` — any reasonable char (printable ASCII, tabs/newlines, some
+    /// multibyte codepoints so UTF-8 handling is exercised).
+    AnyChar,
+    /// `[...]` — explicit set.
+    Set(Vec<char>),
+}
+
+impl CharClass {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::AnyChar => {
+                const EXOTIC: &[char] = &['\t', '\n', 'é', 'λ', '中', '🦀', '\u{7f}', '±'];
+                if rng.below(8) == 0 {
+                    EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                } else {
+                    // Printable ASCII 0x20..=0x7E.
+                    char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+                }
+            }
+            CharClass::Set(chars) => chars[rng.below(chars.len() as u64) as usize],
+        }
+    }
+}
+
+/// Parsed form of the supported regex subset.
+#[derive(Clone, Debug)]
+pub struct StringStrategy {
+    class: CharClass,
+    min_len: usize,
+    max_len: usize,
+}
+
+fn parse_char_set(body: &str) -> Vec<char> {
+    let chars: Vec<char> = body.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            for c in lo..=hi {
+                if let Some(c) = char::from_u32(c) {
+                    out.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    if out.is_empty() {
+        out.push('a');
+    }
+    out
+}
+
+fn parse_pattern(pattern: &str) -> StringStrategy {
+    let (class, rest) = if let Some(rest) = pattern.strip_prefix('.') {
+        (CharClass::AnyChar, rest)
+    } else if let Some(after) = pattern.strip_prefix('[') {
+        match after.split_once(']') {
+            Some((body, rest)) => (CharClass::Set(parse_char_set(body)), rest),
+            None => (CharClass::Set(parse_char_set(after)), ""),
+        }
+    } else {
+        // Literal string: a Just in disguise.
+        return StringStrategy {
+            class: CharClass::Set(if pattern.is_empty() {
+                vec!['a']
+            } else {
+                pattern.chars().collect()
+            }),
+            min_len: 0,
+            max_len: 0,
+        };
+    };
+    let (min_len, max_len) = if rest == "*" {
+        (0, 64)
+    } else if rest == "+" {
+        (1, 64)
+    } else if let Some(range) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+        match range.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().unwrap_or(0),
+                hi.trim().parse().unwrap_or(64),
+            ),
+            None => {
+                let n = range.trim().parse().unwrap_or(1);
+                (n, n)
+            }
+        }
+    } else {
+        (1, 1)
+    };
+    StringStrategy {
+        class,
+        min_len,
+        max_len,
+    }
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let span = (self.max_len - self.min_len) as u64 + 1;
+        let len = self.min_len + rng.below(span) as usize;
+        (0..len).map(|_| self.class.pick(rng)).collect()
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        parse_pattern(self).generate(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Length bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` (built by [`vec`]).
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, size)` — vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Numeric edge-case strategies.
+pub mod num {
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy over *all* `f64` bit patterns (NaN and ±inf
+        /// included), like `proptest::num::f64::ANY`.
+        #[derive(Clone, Copy, Debug)]
+        pub struct AnyF64;
+
+        impl Strategy for AnyF64 {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                f64::from_bits(rng.next_u64())
+            }
+        }
+
+        /// All `f64` values.
+        pub const ANY: AnyF64 = AnyF64;
+    }
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES` overrides).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// FNV-1a hash used to derive per-test seeds from the test name.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Define property tests: `fn name(pat in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::case_count();
+                let base = $crate::fnv1a(stringify!($name));
+                for case in 0..cases {
+                    let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let mut prop_rng = $crate::TestRng::seed_from_u64(seed);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut prop_rng);)+
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "proptest {} failed at case {case} (seed {seed:#x}): {msg}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body; failure reports the case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l, r, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(::std::boxed::Box::new($strat) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// The usual glob import: strategies, macros, and helper types.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{Arbitrary, Just, Strategy, TestRng, Union};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 10u64..20, y in 1usize..=4, f in -2.0f64..2.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(
+            v in collection::vec(any::<u64>(), 2),
+            w in collection::vec(0u64..5, 1..4),
+        ) {
+            prop_assert_eq!(v.len(), 2);
+            prop_assert!((1..4).contains(&w.len()));
+            prop_assert!(w.iter().all(|x| *x < 5));
+        }
+
+        #[test]
+        fn string_patterns_generate(s in ".{0,40}", t in "[a-c]{2,3}") {
+            prop_assert!(s.chars().count() <= 40);
+            prop_assert!((2..=3).contains(&t.chars().count()));
+            prop_assert!(t.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_mixes_arms(
+            v in collection::vec(prop_oneof![Just("x".to_string()), "[yz]{1,1}"], 1..30),
+        ) {
+            prop_assert!(v.iter().all(|s| s == "x" || s == "y" || s == "z"));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = TestRng::seed_from_u64(5);
+        let mut b = TestRng::seed_from_u64(5);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn run_declared_proptests() {
+        ranges_in_bounds();
+        vec_lengths_respect_bounds();
+        string_patterns_generate();
+        oneof_mixes_arms();
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline drop-in replacement for the slice of `serde` this workspace
+//! touches. The workspace only *derives* `Serialize`/`Deserialize` (as
+//! forward-compatibility for an external exporter); no code path
+//! serialises through serde, so the traits are markers and the derives
+//! (see `serde_derive`) expand to nothing.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
