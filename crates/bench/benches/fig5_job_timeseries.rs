@@ -24,7 +24,7 @@ fn bench(c: &mut Criterion) {
     req.user = "user9999".to_string();
     sys.enqueue_jobs(vec![(t0(), req)]);
     sys.run_until(t0() + SimDuration::from_hours(4));
-    let raw = sys.archive().parse_all();
+    let raw = sys.archive().parse_all().expect("archive parses");
     let ts = JobTimeSeries::extract(&raw, "3000");
     assert_eq!(ts.hosts.len(), 4);
     let cpu_vals: Vec<f64> = ts

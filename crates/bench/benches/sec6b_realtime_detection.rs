@@ -73,7 +73,7 @@ fn bench(c: &mut Criterion) {
     let mut feeder = MonitoringSystem::new(SystemConfig::small(4, Mode::daemon()));
     feeder.enqueue_jobs(vec![(t0(), request(9, AppModel::wrf(), 4, 120))]);
     feeder.run_until(t0() + SimDuration::from_hours(2));
-    let raw = feeder.archive().parse_all();
+    let raw = feeder.archive().parse_all().expect("archive parses");
     let samples: Vec<_> = raw
         .iter()
         .flat_map(|rf| {

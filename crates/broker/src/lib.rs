@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 mod queue;
+mod sync;
 pub mod tcp;
 
 pub use crate::queue::{Broker, BrokerStats, Consumer, Delivery, QueueStats};

@@ -1,9 +1,8 @@
 //! In-process broker core: queues, publish, consume, ack, redelivery.
 
+use crate::sync::{AtomicBool, Condvar, Mutex, Ordering};
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

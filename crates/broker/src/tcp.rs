@@ -29,9 +29,16 @@ const RE_EMPTY: u8 = 0x81;
 const RE_DELIVERY: u8 = 0x82;
 const RE_ERR: u8 = 0xFF;
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u16(s.len() as u16);
+/// Append a `u16`-length-prefixed string. Strings longer than the
+/// prefix can carry are a caller bug (queue names and hostnames are
+/// short) but must surface as a typed error, not a silently truncated —
+/// and therefore corrupt — frame.
+fn put_str(buf: &mut BytesMut, s: &str) -> io::Result<()> {
+    let len = u16::try_from(s.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "string exceeds u16 prefix"))?;
+    buf.put_u16(len);
     buf.put_slice(s.as_bytes());
+    Ok(())
 }
 
 fn get_str(buf: &mut Bytes) -> io::Result<String> {
@@ -47,9 +54,11 @@ fn get_str(buf: &mut Bytes) -> io::Result<String> {
 }
 
 fn write_frame(stream: &mut TcpStream, op: u8, body: &[u8]) -> io::Result<()> {
-    let mut header = [0u8; 5];
-    header[..4].copy_from_slice(&(body.len() as u32 + 1).to_be_bytes());
-    header[4] = op;
+    let len = u32::try_from(body.len() + 1).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidInput, "frame body exceeds u32 length")
+    })?;
+    let mut header = len.to_be_bytes().to_vec();
+    header.push(op);
     stream.write_all(&header)?;
     stream.write_all(body)?;
     stream.flush()
@@ -81,7 +90,7 @@ pub struct BrokerServer {
 impl BrokerServer {
     /// Start serving `broker` on `127.0.0.1:<ephemeral port>`.
     pub fn start(broker: Broker) -> io::Result<BrokerServer> {
-        Self::start_on(broker, "127.0.0.1:0".parse().expect("static addr"))
+        Self::start_on(broker, SocketAddr::from(([127, 0, 0, 1], 0)))
     }
 
     /// Start serving `broker` on a specific address — what a restarted
@@ -195,9 +204,18 @@ fn serve_connection(mut stream: TcpStream, broker: Broker) -> io::Result<()> {
                         let mut out = BytesMut::with_capacity(16 + d.payload.len());
                         out.put_u64(d.tag);
                         out.put_u8(d.redelivered as u8);
-                        put_str(&mut out, &d.routing_key);
-                        out.put_slice(&d.payload);
-                        write_frame(&mut stream, RE_DELIVERY, &out)?;
+                        match put_str(&mut out, &d.routing_key) {
+                            Ok(()) => {
+                                out.put_slice(&d.payload);
+                                write_frame(&mut stream, RE_DELIVERY, &out)?;
+                            }
+                            Err(_) => {
+                                // Undeliverable frame (absurd routing key):
+                                // requeue rather than lose the message.
+                                consumer.nack(d.tag);
+                                write_frame(&mut stream, RE_ERR, &[])?;
+                            }
+                        }
                     }
                     None => write_frame(&mut stream, RE_EMPTY, &[])?,
                 }
@@ -248,13 +266,15 @@ impl BrokerClient {
     }
 
     /// Connect with explicit reconnect backoff parameters.
+    /// `max_attempts` below 1 is normalized to 1 (a request always gets
+    /// at least one try).
     pub fn connect_with(
         addr: SocketAddr,
         base_backoff: Duration,
         max_backoff: Duration,
         max_attempts: u32,
     ) -> io::Result<BrokerClient> {
-        assert!(max_attempts >= 1);
+        let max_attempts = max_attempts.max(1);
         let mut client = BrokerClient {
             addr,
             stream: None,
@@ -279,7 +299,10 @@ impl BrokerClient {
             stream.set_nodelay(true)?;
             self.stream = Some(stream);
         }
-        Ok(self.stream.as_mut().expect("just connected"))
+        match self.stream.as_mut() {
+            Some(stream) => Ok(stream),
+            None => Err(io::ErrorKind::NotConnected.into()),
+        }
     }
 
     fn roundtrip(&mut self, op: u8, body: &[u8]) -> io::Result<(u8, Bytes)> {
@@ -310,7 +333,7 @@ impl BrokerClient {
     /// Declare a queue.
     pub fn declare(&mut self, queue: &str) -> io::Result<()> {
         let mut b = BytesMut::new();
-        put_str(&mut b, queue);
+        put_str(&mut b, queue)?;
         let (re, _) = self.roundtrip(OP_DECLARE, &b)?;
         if re == RE_OK {
             Ok(())
@@ -322,8 +345,8 @@ impl BrokerClient {
     /// Publish a payload.
     pub fn publish(&mut self, queue: &str, routing_key: &str, payload: &[u8]) -> io::Result<()> {
         let mut b = BytesMut::with_capacity(payload.len() + 64);
-        put_str(&mut b, queue);
-        put_str(&mut b, routing_key);
+        put_str(&mut b, queue)?;
+        put_str(&mut b, routing_key)?;
         b.put_slice(payload);
         let (re, _) = self.roundtrip(OP_PUBLISH, &b)?;
         if re == RE_OK {
@@ -336,7 +359,7 @@ impl BrokerClient {
     /// Fetch the next message, waiting up to `timeout` server-side.
     pub fn get(&mut self, queue: &str, timeout: Duration) -> io::Result<Option<Delivery>> {
         let mut b = BytesMut::new();
-        put_str(&mut b, queue);
+        put_str(&mut b, queue)?;
         b.put_u32(timeout.as_millis().min(u32::MAX as u128) as u32);
         let (re, mut body) = self.roundtrip(OP_GET, &b)?;
         match re {
@@ -362,7 +385,7 @@ impl BrokerClient {
     /// Acknowledge a delivery.
     pub fn ack(&mut self, queue: &str, tag: u64) -> io::Result<bool> {
         let mut b = BytesMut::new();
-        put_str(&mut b, queue);
+        put_str(&mut b, queue)?;
         b.put_u64(tag);
         let (re, _) = self.roundtrip(OP_ACK, &b)?;
         Ok(re == RE_OK)

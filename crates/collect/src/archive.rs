@@ -95,17 +95,16 @@ impl Archive {
             .collect()
     }
 
-    /// Parse every stored file. Panics on parse errors (tests rely on the
-    /// archive containing only well-formed data; production callers use
-    /// [`Archive::parse`] per file).
-    pub fn parse_all(&self) -> Vec<RawFile> {
+    /// Parse every stored file. The archive normally contains only
+    /// well-formed data (it stores what the pipeline rendered), so an
+    /// error here means corruption — reported to the caller, never a
+    /// panic.
+    pub fn parse_all(&self) -> Result<Vec<RawFile>, String> {
         let inner = self.inner.lock();
         inner
             .files
             .iter()
-            .map(|((h, d), text)| {
-                RawFile::parse(text).unwrap_or_else(|e| panic!("archive {h}/{d}: {e}"))
-            })
+            .map(|((h, d), text)| RawFile::parse(text).map_err(|e| format!("archive {h}/{d}: {e}")))
             .collect()
     }
 
@@ -168,15 +167,15 @@ impl Archive {
 
     /// Convenience: every sample of every host, with hostname attached,
     /// sorted by time.
-    pub fn all_samples(&self) -> Vec<(String, Sample)> {
+    pub fn all_samples(&self) -> Result<Vec<(String, Sample)>, String> {
         let mut out: Vec<(String, Sample)> = Vec::new();
-        for rf in self.parse_all() {
+        for rf in self.parse_all()? {
             for s in rf.samples {
                 out.push((rf.header.hostname.clone(), s));
             }
         }
         out.sort_by_key(|(_, s)| s.time.0);
-        out
+        Ok(out)
     }
 }
 
@@ -293,7 +292,7 @@ mod tests {
     fn empty_archive_stats() {
         let a = Archive::new();
         assert_eq!(a.latency_stats(), LatencyStats::default());
-        assert!(a.parse_all().is_empty());
+        assert!(a.parse_all().unwrap().is_empty());
         assert!(a.read("x", SimTime::from_secs(0)).is_none());
     }
 }

@@ -264,8 +264,8 @@ impl Collector for MemCollector {
 /// counter like `12345` into a plausible-looking `123`. The fragment is
 /// dropped instead — an absent reading, never a wrong one.
 fn complete_lines(text: &str) -> std::str::Lines<'_> {
-    match text.rfind('\n') {
-        Some(i) => text[..i + 1].lines(),
+    match text.rfind('\n').and_then(|i| text.get(..i + 1)) {
+        Some(head) => head.lines(),
         None => "".lines(),
     }
 }
@@ -296,8 +296,14 @@ impl Collector for NetCollector {
                 .filter_map(|t| t.parse().ok())
                 .collect();
             // Fields: rx_bytes rx_packets … (8 rx fields) tx_bytes tx_packets …
-            if f.len() >= 10 {
-                out.push(rec(DeviceType::Net, iface, vec![f[0], f[1], f[8], f[9]]));
+            if let [rx_bytes, rx_packets, _, _, _, _, _, _, tx_bytes, tx_packets, ..] =
+                *f.as_slice()
+            {
+                out.push(rec(
+                    DeviceType::Net,
+                    iface,
+                    vec![rx_bytes, rx_packets, tx_bytes, tx_packets],
+                ));
             }
         }
         out
@@ -353,18 +359,17 @@ fn parse_lustre_stats(text: &str) -> Vec<(String, u64, u64)> {
     let mut out = Vec::new();
     for line in complete_lines(text) {
         let toks: Vec<&str> = line.split_whitespace().collect();
-        if toks.len() < 4 || toks[0] == "snapshot_time" {
+        let (Some(&name), Some(count_tok)) = (toks.first(), toks.get(1)) else {
+            continue;
+        };
+        if toks.len() < 4 || name == "snapshot_time" {
             continue;
         }
-        let Ok(count) = toks[1].parse::<u64>() else {
+        let Ok(count) = count_tok.parse::<u64>() else {
             continue;
         };
-        let sum = if toks.len() >= 7 {
-            toks[6].parse::<u64>().unwrap_or(0)
-        } else {
-            0
-        };
-        out.push((toks[0].to_string(), count, sum));
+        let sum = toks.get(6).and_then(|t| t.parse::<u64>().ok()).unwrap_or(0);
+        out.push((name.to_string(), count, sum));
     }
     out
 }
@@ -513,10 +518,15 @@ impl Collector for LnetCollector {
             .collect();
         // Real layout: msgs_alloc msgs_max errors send_count recv_count
         //              route_count drop_count send_length recv_length …
-        if f.len() < 9 {
+        let [_, _, _, send_count, recv_count, _, _, send_length, recv_length, ..] = *f.as_slice()
+        else {
             return Vec::new();
-        }
-        vec![rec(DeviceType::Lnet, "lnet", vec![f[7], f[8], f[3], f[4]])]
+        };
+        vec![rec(
+            DeviceType::Lnet,
+            "lnet",
+            vec![send_length, recv_length, send_count, recv_count],
+        )]
     }
 }
 

@@ -64,6 +64,28 @@ impl Publisher for TcpPublisher {
     }
 }
 
+/// Rejected spool reconfiguration: the spool still holds state that the
+/// delivery accounting depends on (see [`TaccStatsd::set_spool_config`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpoolBusy {
+    /// Messages awaiting replay at the time of the attempt.
+    pub spooled: usize,
+    /// Eviction-ledger entries at the time of the attempt.
+    pub evicted: usize,
+}
+
+impl std::fmt::Display for SpoolBusy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot reconfigure a non-empty spool ({} spooled, {} evicted)",
+            self.spooled, self.evicted
+        )
+    }
+}
+
+impl std::error::Error for SpoolBusy {}
+
 /// Outcome of a process start/stop signal (§VI-C).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SignalOutcome {
@@ -155,14 +177,24 @@ impl TaccStatsd {
         self.seq
     }
 
-    /// Replace the spool configuration. Panics if messages are already
-    /// spooled (reconfigure before the run, not during an outage).
-    pub fn set_spool_config(&mut self, cfg: SpoolConfig, jitter_seed: u64) {
-        assert!(
-            self.spool.is_empty() && self.spool.evicted().is_empty(),
-            "cannot reconfigure a non-empty spool"
-        );
+    /// Replace the spool configuration. Fails if messages are already
+    /// spooled or evictions have been recorded (reconfigure before the
+    /// run, not during an outage: swapping the spool mid-outage would
+    /// silently discard the replay backlog and the eviction ledger that
+    /// the delivery accounting reconciles against).
+    pub fn set_spool_config(
+        &mut self,
+        cfg: SpoolConfig,
+        jitter_seed: u64,
+    ) -> Result<(), SpoolBusy> {
+        if !self.spool.is_empty() || !self.spool.evicted().is_empty() {
+            return Err(SpoolBusy {
+                spooled: self.spool.len(),
+                evicted: self.spool.evicted().len(),
+            });
+        }
         self.spool = Spool::new(cfg, jitter_seed);
+        Ok(())
     }
 
     /// Swap the transport (e.g. for fault-injecting publishers).
@@ -225,10 +257,12 @@ impl TaccStatsd {
     fn try_replay(&mut self, now: SimTime) {
         let host = self.sampler.header().hostname.clone();
         while self.spool.ready(now) {
-            let (seq, payload) = {
-                let front = self.spool.front().expect("ready implies non-empty");
-                (front.seq, front.payload.clone())
+            // `ready` implies non-empty, but the hot path must not bet
+            // the daemon's life on it: an empty front just ends replay.
+            let Some(front) = self.spool.front() else {
+                break;
             };
+            let (seq, payload) = (front.seq, front.payload.clone());
             if self.publisher.publish(&self.queue, &host, seq, payload) {
                 self.spool.pop();
                 self.spool.on_success();

@@ -425,14 +425,14 @@ fn itoa(mut v: u64) -> String {
     if v == 0 {
         return "0".to_string();
     }
-    let mut buf = [0u8; 20];
-    let mut i = buf.len();
+    let mut buf = Vec::with_capacity(20);
     while v > 0 {
-        i -= 1;
-        buf[i] = b'0' + (v % 10) as u8;
+        buf.push(b'0' + (v % 10) as u8);
         v /= 10;
     }
-    String::from_utf8_lossy(&buf[i..]).into_owned()
+    buf.reverse();
+    // Digits are pure ASCII, so the conversion cannot fail.
+    String::from_utf8(buf).unwrap_or_default()
 }
 
 #[cfg(test)]
@@ -494,6 +494,50 @@ mod tests {
         let text = f.render();
         let parsed = RawFile::parse(&text).expect("parse");
         assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn header_roundtrips_for_every_device_type_and_arch() {
+        // Every device type's schema must survive the `!`-line header
+        // serialization on every architecture — this is the on-the-wire
+        // contract between the daemon's rendered messages and the
+        // consumer's parser.
+        for arch in [CpuArch::Nehalem, CpuArch::SandyBridge, CpuArch::Haswell] {
+            for dt in DeviceType::ALL {
+                let mut schemas = BTreeMap::new();
+                schemas.insert(dt, dt.schema(arch));
+                let h = HostHeader {
+                    hostname: "c401-0001".to_string(),
+                    arch,
+                    schemas,
+                };
+                let f = RawFile {
+                    header: h.clone(),
+                    seq: None,
+                    samples: vec![],
+                };
+                let parsed = RawFile::parse(&f.render()).expect("header parse");
+                assert_eq!(parsed.header, h, "{dt} on {arch:?}");
+            }
+            // And all device types together in one header.
+            let mut schemas = BTreeMap::new();
+            for dt in DeviceType::ALL {
+                schemas.insert(dt, dt.schema(arch));
+            }
+            let h = HostHeader {
+                hostname: "c401-0001".to_string(),
+                arch,
+                schemas,
+            };
+            let f = RawFile {
+                header: h.clone(),
+                seq: Some(7),
+                samples: vec![],
+            };
+            let parsed = RawFile::parse(&f.render()).expect("full header parse");
+            assert_eq!(parsed.header, h);
+            assert_eq!(parsed.seq, Some(7));
+        }
     }
 
     #[test]

@@ -63,8 +63,16 @@ pub struct Spool {
 impl Spool {
     /// New empty spool. `jitter_seed` decorrelates retry timing across
     /// hosts (derive it from the hostname).
+    ///
+    /// A zero `capacity` is normalized to 1: the collector hot path must
+    /// never panic (the whole point of the spool is that the daemon
+    /// survives), and a one-slot spool is the closest meaningful reading
+    /// of "no buffering" that still keeps the eviction ledger accurate.
     pub fn new(cfg: SpoolConfig, jitter_seed: u64) -> Spool {
-        assert!(cfg.capacity > 0, "spool capacity must be positive");
+        let cfg = SpoolConfig {
+            capacity: cfg.capacity.max(1),
+            ..cfg
+        };
         Spool {
             cfg,
             entries: VecDeque::new(),
@@ -94,10 +102,11 @@ impl Spool {
     /// evicted (newest data is most valuable for monitoring) and its
     /// sequence number is returned and recorded in the eviction ledger.
     pub fn push(&mut self, seq: u64, payload: Bytes) -> Option<u64> {
-        let evicted = if self.entries.len() == self.cfg.capacity {
-            let oldest = self.entries.pop_front().expect("capacity > 0");
-            self.evicted.push(oldest.seq);
-            Some(oldest.seq)
+        let evicted = if self.entries.len() >= self.cfg.capacity {
+            self.entries.pop_front().map(|oldest| {
+                self.evicted.push(oldest.seq);
+                oldest.seq
+            })
         } else {
             None
         };

@@ -341,7 +341,8 @@ impl MonitoringSystem {
                 .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
                     (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
                 });
-            d.set_spool_config(cfg, seed);
+            d.set_spool_config(cfg, seed)
+                .expect("set_spool is called before any message is spooled");
         }
     }
 

@@ -3,11 +3,36 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use tacc_simnode::schema::DeviceType;
 
-/// Every metric of Table I, in table order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[allow(missing_docs)] // each variant is documented by `definition()`
-pub enum MetricId {
+/// Defines [`MetricId`], [`MetricId::ALL`], and [`MetricId::COUNT`] from
+/// a single variant list. The enum and its registry share one token
+/// list, so a metric cannot be added without being registered: leaving a
+/// variant out of the list removes it from the enum itself, and every
+/// `match self` in this module then fails to compile until the new
+/// variant is wired through `label`/`definition`/`group`/`unit`/`events`.
+macro_rules! define_metric_ids {
+    ($($variant:ident),+ $(,)?) => {
+        /// Every metric of Table I, in table order.
+        #[derive(
+            Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[allow(missing_docs)] // each variant is documented by `definition()`
+        pub enum MetricId {
+            $($variant),+
+        }
+
+        impl MetricId {
+            /// Number of metrics (enum variants).
+            pub const COUNT: usize = [$(MetricId::$variant),+].len();
+
+            /// All metrics in Table I order.
+            pub const ALL: [MetricId; MetricId::COUNT] = [$(MetricId::$variant),+];
+        }
+    };
+}
+
+define_metric_ids! {
     // Lustre
     MetaDataRate,
     MDCReqs,
@@ -41,38 +66,20 @@ pub enum MetricId {
     MicUsage,
 }
 
-impl MetricId {
-    /// All metrics in Table I order.
-    pub const ALL: [MetricId; 27] = [
-        MetricId::MetaDataRate,
-        MetricId::MDCReqs,
-        MetricId::OSCReqs,
-        MetricId::MDCWait,
-        MetricId::OSCWait,
-        MetricId::LLiteOpenClose,
-        MetricId::LnetAveBW,
-        MetricId::LnetMaxBW,
-        MetricId::InternodeIBAveBW,
-        MetricId::InternodeIBMaxBW,
-        MetricId::Packetsize,
-        MetricId::Packetrate,
-        MetricId::GigEBW,
-        MetricId::LoadAll,
-        MetricId::LoadL1Hits,
-        MetricId::LoadL2Hits,
-        MetricId::LoadLLCHits,
-        MetricId::Cpi,
-        MetricId::Cpld,
-        MetricId::Flops,
-        MetricId::VecPercent,
-        MetricId::Mbw,
-        MetricId::MemUsage,
-        MetricId::CpuUsage,
-        MetricId::Idle,
-        MetricId::Catastrophe,
-        MetricId::MicUsage,
-    ];
+// Compile-time exhaustiveness guard: `ALL` holds every variant exactly
+// once, in declaration order. Both halves are generated from the same
+// macro list, so this can only fire if the macro itself regresses — but
+// it keeps the invariant machine-checked rather than assumed.
+const _: () = {
+    assert!(MetricId::ALL.len() == MetricId::COUNT);
+    let mut i = 0;
+    while i < MetricId::ALL.len() {
+        assert!(MetricId::ALL[i] as usize == i);
+        i += 1;
+    }
+};
 
+impl MetricId {
     /// The label used in Table I (and as the portal's search-field /
     /// database column name).
     pub fn label(self) -> &'static str {
@@ -211,6 +218,64 @@ impl MetricId {
             }
         }
     }
+
+    /// The device-schema events this metric consumes, as
+    /// `(device type, event name)` pairs.
+    ///
+    /// This is the machine-readable half of the Table I "definition"
+    /// column: the accumulator ([`crate::accum`]) reads exactly these
+    /// events, and `cargo xtask lint` cross-references every pair
+    /// against the device schemas in `tacc_simnode::schema` so a metric
+    /// definition cannot silently drift away from what the collector
+    /// actually records.
+    pub fn events(self) -> &'static [(DeviceType, &'static str)] {
+        use DeviceType as D;
+        const CPUSTAT_ALL: &[(DeviceType, &str)] = &[
+            (D::Cpustat, "user"),
+            (D::Cpustat, "nice"),
+            (D::Cpustat, "system"),
+            (D::Cpustat, "idle"),
+            (D::Cpustat, "iowait"),
+        ];
+        match self {
+            MetricId::MetaDataRate | MetricId::MDCReqs => &[(D::Mdc, "reqs")],
+            MetricId::OSCReqs => &[(D::Osc, "reqs")],
+            MetricId::MDCWait => &[(D::Mdc, "wait"), (D::Mdc, "reqs")],
+            MetricId::OSCWait => &[(D::Osc, "wait"), (D::Osc, "reqs")],
+            MetricId::LLiteOpenClose => &[(D::Llite, "open"), (D::Llite, "close")],
+            MetricId::LnetAveBW | MetricId::LnetMaxBW => {
+                &[(D::Lnet, "tx_bytes"), (D::Lnet, "rx_bytes")]
+            }
+            MetricId::InternodeIBAveBW | MetricId::InternodeIBMaxBW => {
+                &[(D::Ib, "port_xmit_data"), (D::Ib, "port_rcv_data")]
+            }
+            MetricId::Packetsize => &[
+                (D::Ib, "port_xmit_data"),
+                (D::Ib, "port_rcv_data"),
+                (D::Ib, "port_xmit_pkts"),
+                (D::Ib, "port_rcv_pkts"),
+            ],
+            MetricId::Packetrate => &[(D::Ib, "port_xmit_pkts"), (D::Ib, "port_rcv_pkts")],
+            MetricId::GigEBW => &[(D::Net, "rx_bytes"), (D::Net, "tx_bytes")],
+            MetricId::LoadAll => &[(D::Cpu, "LOAD_ALL")],
+            MetricId::LoadL1Hits => &[(D::Cpu, "LOAD_L1_HIT")],
+            MetricId::LoadL2Hits => &[(D::Cpu, "LOAD_L2_HIT")],
+            MetricId::LoadLLCHits => &[(D::Cpu, "LOAD_LLC_HIT")],
+            MetricId::Cpi => &[(D::Cpu, "FIXED_CTR1"), (D::Cpu, "FIXED_CTR0")],
+            MetricId::Cpld => &[(D::Cpu, "FIXED_CTR1"), (D::Cpu, "LOAD_ALL")],
+            MetricId::Flops | MetricId::VecPercent => {
+                &[(D::Cpu, "FP_SCALAR"), (D::Cpu, "FP_VECTOR")]
+            }
+            MetricId::Mbw => &[(D::Imc, "CAS_READS"), (D::Imc, "CAS_WRITES")],
+            MetricId::MemUsage => &[(D::Mem, "MemUsed")],
+            MetricId::CpuUsage | MetricId::Idle | MetricId::Catastrophe => CPUSTAT_ALL,
+            MetricId::MicUsage => &[
+                (D::Mic, "user_sum"),
+                (D::Mic, "sys_sum"),
+                (D::Mic, "idle_sum"),
+            ],
+        }
+    }
 }
 
 impl fmt::Display for MetricId {
@@ -321,9 +386,28 @@ mod tests {
     #[test]
     fn all_has_27_metrics_in_4_groups() {
         assert_eq!(MetricId::ALL.len(), 27);
+        assert_eq!(MetricId::COUNT, 27);
         let groups: std::collections::BTreeSet<&str> =
             MetricId::ALL.iter().map(|m| m.group()).collect();
         assert_eq!(groups.len(), 4);
+    }
+
+    #[test]
+    fn every_metric_consumes_known_schema_events() {
+        use tacc_simnode::topology::CpuArch;
+        let arches = [CpuArch::Nehalem, CpuArch::SandyBridge, CpuArch::Haswell];
+        for m in MetricId::ALL {
+            let events = m.events();
+            assert!(!events.is_empty(), "{m} consumes no events");
+            for (dev, name) in events {
+                assert!(
+                    arches
+                        .iter()
+                        .any(|&a| dev.schema(a).index_of(name).is_some()),
+                    "{m} references {dev}/{name}, absent from every arch schema"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Workspace wiring invariants.
+//!
+//! These checks keep the verification infrastructure itself from
+//! rotting: the `cargo xtask` alias must stay wired, the loom model
+//! suite must stay loom-gated (so plain `cargo test` is unaffected)
+//! and reachable from CI, and the broker must keep rustc's
+//! `unexpected_cfgs` lint taught about `cfg(loom)` (CI runs clippy
+//! with `-D warnings`).
+
+use std::fs;
+use std::path::Path;
+
+/// Run the wiring checks. Returns violations (empty = pass).
+pub fn check(root: &Path) -> Result<Vec<String>, String> {
+    let mut errors = Vec::new();
+    let mut expect = |rel: &str, needles: &[&str]| -> Result<(), String> {
+        let path = root.join(rel);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("invariants: read {}: {e}", path.display()))?;
+        for needle in needles {
+            if !text.contains(needle) {
+                errors.push(format!("invariants: {rel} must contain `{needle}`"));
+            }
+        }
+        Ok(())
+    };
+
+    expect(
+        ".cargo/config.toml",
+        &["xtask = \"run --quiet --package xtask --\""],
+    )?;
+    expect(
+        "crates/broker/tests/loom_queue.rs",
+        &["#![cfg(loom)]", "loom::model"],
+    )?;
+    expect("crates/broker/Cargo.toml", &["check-cfg = [\"cfg(loom)\"]"])?;
+    expect(
+        ".github/workflows/ci.yml",
+        &["cargo xtask lint", "--cfg loom"],
+    )?;
+    Ok(errors)
+}

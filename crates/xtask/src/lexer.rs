@@ -1,0 +1,544 @@
+//! A small comment/string-aware Rust scanner for the panic-freedom lint.
+//!
+//! `syn` is not vendorable offline, so this module does the minimum
+//! lexical work the lint needs, directly on source text:
+//!
+//! 1. [`mask`] replaces the *interiors* of comments, string literals,
+//!    and char literals with spaces (preserving byte offsets and line
+//!    structure), so pattern scanning never fires inside prose or data.
+//!    Doc comments are masked too, which conveniently excludes doc-test
+//!    example code from the lint.
+//! 2. [`excluded_spans`] finds `#[cfg(test)]` / `#[test]` items by
+//!    attribute + brace matching, so test code may panic freely.
+//! 3. [`scan`] pattern-matches the masked text for panic-capable
+//!    constructs: `.unwrap()`, `.expect(...)`, panicking macros
+//!    (`panic!`, `unreachable!`, `todo!`, `unimplemented!`, `assert!`
+//!    and friends — `debug_assert*` is allowed, it compiles out of
+//!    release builds), and unchecked indexing `expr[...]`.
+//!
+//! The scanner is deliberately conservative and syntactic: it can
+//! over-approximate (flag an indexing that is actually infallible), and
+//! the ratcheted allowlist in `panic_lint` absorbs the intentional
+//! cases. It must never *under*-approximate on the constructs above.
+
+use std::fmt;
+
+/// What kind of panic-capable construct a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintKind {
+    /// `.unwrap()` on Option/Result (or anything else).
+    Unwrap,
+    /// `.expect(...)`.
+    Expect,
+    /// A macro that panics in release builds: `panic!`, `unreachable!`,
+    /// `todo!`, `unimplemented!`, `assert!`, `assert_eq!`, `assert_ne!`.
+    PanicMacro,
+    /// Unchecked indexing or slicing: `expr[...]`.
+    Indexing,
+}
+
+impl LintKind {
+    /// Stable key used in the allowlist file.
+    pub fn key(self) -> &'static str {
+        match self {
+            LintKind::Unwrap => "unwrap",
+            LintKind::Expect => "expect",
+            LintKind::PanicMacro => "panic",
+            LintKind::Indexing => "indexing",
+        }
+    }
+
+    /// Parse an allowlist key.
+    pub fn from_key(key: &str) -> Option<LintKind> {
+        match key {
+            "unwrap" => Some(LintKind::Unwrap),
+            "expect" => Some(LintKind::Expect),
+            "panic" => Some(LintKind::PanicMacro),
+            "indexing" => Some(LintKind::Indexing),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One panic-capable construct found in non-test code.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// 1-based line number.
+    pub line: usize,
+    /// Construct kind.
+    pub kind: LintKind,
+    /// The source line, trimmed, for the report.
+    pub excerpt: String,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Replace comment bodies and string/char literal interiors with
+/// spaces. Delimiters (quotes) are kept; newlines are preserved so
+/// line numbers survive masking. Handles line and nested block
+/// comments, escapes, raw strings (`r"…"`, `r#"…"#`, byte/C-string
+/// prefixes), raw identifiers (`r#match`), and the char-literal vs
+/// lifetime ambiguity (`'a'` vs `<'a>`).
+pub fn mask(source: &str) -> String {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out: Vec<char> = chars.clone();
+    let n = chars.len();
+    let mut i = 0;
+    let blank = |out: &mut Vec<char>, from: usize, to: usize| {
+        for c in out.iter_mut().take(to).skip(from) {
+            if *c != '\n' {
+                *c = ' ';
+            }
+        }
+    };
+    while i < n {
+        let c = chars[i];
+        // Line comment (// /// //!): mask to end of line.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            blank(&mut out, start, i);
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            blank(&mut out, start, i);
+            continue;
+        }
+        // Raw string / raw identifier, with optional b/c prefix. Only
+        // when this `r`/`b`/`c` starts an identifier (prev not ident).
+        if (c == 'r' || c == 'b' || c == 'c') && (i == 0 || !is_ident(chars[i - 1])) {
+            // Longest prefix match among: r#*", br#*", cr#*", b", c", b'.
+            let mut j = i + 1;
+            let two = c == 'b' && j < n && chars[j] == 'r';
+            if two {
+                j += 1;
+            }
+            let raw = c == 'r' || two || (c == 'c' && j < n && chars[j] == 'r');
+            if c == 'c' && j < n && chars[j] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0;
+            while raw && j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if raw && hashes > 0 && j < n && chars[j] != '"' {
+                // Raw identifier like r#match — skip the whole ident.
+                while j < n && is_ident(chars[j]) {
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+            if j < n && chars[j] == '"' && (raw || c != 'r') {
+                // String body: for raw strings scan for `"###`; for
+                // cooked strings honor escapes.
+                let body = j + 1;
+                let mut k = body;
+                'string: while k < n {
+                    if !raw && chars[k] == '\\' {
+                        k += 2;
+                        continue;
+                    }
+                    if chars[k] == '"' {
+                        let mut h = 0;
+                        while h < hashes && k + 1 + h < n && chars[k + 1 + h] == '#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            break 'string;
+                        }
+                    }
+                    k += 1;
+                }
+                blank(&mut out, body, k.min(n));
+                i = (k + 1 + hashes).min(n);
+                continue;
+            }
+            if c == 'b' && i + 1 < n && chars[i + 1] == '\'' {
+                // Byte literal b'x'.
+                let mut k = i + 2;
+                if k < n && chars[k] == '\\' {
+                    k += 1;
+                }
+                while k < n && chars[k] != '\'' {
+                    k += 1;
+                }
+                blank(&mut out, i + 2, k);
+                i = (k + 1).min(n);
+                continue;
+            }
+            // Plain identifier starting with r/b/c — fall through.
+        }
+        // Cooked string with no prefix.
+        if c == '"' {
+            let mut k = i + 1;
+            while k < n {
+                if chars[k] == '\\' {
+                    k += 2;
+                    continue;
+                }
+                if chars[k] == '"' {
+                    break;
+                }
+                k += 1;
+            }
+            blank(&mut out, i + 1, k.min(n));
+            i = (k + 1).min(n);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if i + 1 < n && chars[i + 1] == '\\' {
+                let mut k = i + 2;
+                if k < n {
+                    k += 1; // escaped char (or first of \x/\u sequence)
+                }
+                while k < n && chars[k] != '\'' {
+                    k += 1;
+                }
+                blank(&mut out, i + 1, k);
+                i = (k + 1).min(n);
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                blank(&mut out, i + 1, i + 2);
+                i += 3;
+                continue;
+            }
+            // Lifetime: skip the quote, the label lexes as an ident.
+            i += 1;
+            continue;
+        }
+        // Skip whole identifiers so `brr` or `cfg` never half-matches a
+        // prefix rule above.
+        if is_ident(c) {
+            while i < n && is_ident(chars[i]) {
+                i += 1;
+            }
+            continue;
+        }
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// Keywords that may directly precede `[` without it being an index
+/// expression (array literals, patterns, types).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+    "yield", "await",
+];
+
+/// Spans of masked text (byte ranges over the char vector) belonging to
+/// `#[cfg(test)]` / `#[test]` items, where panics are fine.
+pub fn excluded_spans(masked: &str) -> Vec<(usize, usize)> {
+    let chars: Vec<char> = masked.chars().collect();
+    let n = chars.len();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if chars[i] != '#' || i + 1 >= n || chars[i + 1] != '[' {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        // Collect the attribute text up to the matching `]`.
+        let mut depth = 0;
+        let mut j = i + 1;
+        let mut attr = String::new();
+        while j < n {
+            match chars[j] {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            attr.push(chars[j]);
+            j += 1;
+        }
+        let is_test_attr = {
+            let a: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+            a == "[test"
+                || (a.starts_with("[cfg(") && has_word(&a, "test") && !a.contains("not(test"))
+        };
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further stacked attributes and whitespace, then span
+        // the following item: to its `;`, or through its `{ … }` block.
+        let mut k = j + 1;
+        loop {
+            while k < n && chars[k].is_whitespace() {
+                k += 1;
+            }
+            if k + 1 < n && chars[k] == '#' && chars[k + 1] == '[' {
+                let mut d = 0;
+                while k < n {
+                    match chars[k] {
+                        '[' => d += 1,
+                        ']' => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                k += 1;
+                continue;
+            }
+            break;
+        }
+        let mut end = k;
+        while end < n && chars[end] != '{' && chars[end] != ';' {
+            end += 1;
+        }
+        if end < n && chars[end] == '{' {
+            let mut d = 0;
+            while end < n {
+                match chars[end] {
+                    '{' => d += 1,
+                    '}' => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                end += 1;
+            }
+        }
+        spans.push((attr_start, (end + 1).min(n)));
+        i = (end + 1).min(n);
+    }
+    spans
+}
+
+fn has_word(haystack: &str, word: &str) -> bool {
+    let h: Vec<char> = haystack.chars().collect();
+    let w: Vec<char> = word.chars().collect();
+    if w.is_empty() || h.len() < w.len() {
+        return false;
+    }
+    for start in 0..=h.len() - w.len() {
+        if h[start..start + w.len()] != w[..] {
+            continue;
+        }
+        let before_ok = start == 0 || !is_ident(h[start - 1]);
+        let after = start + w.len();
+        let after_ok = after == h.len() || !is_ident(h[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scan Rust source text for panic-capable constructs outside test
+/// code. Returns findings ordered by position.
+pub fn scan(source: &str) -> Vec<Finding> {
+    let masked = mask(source);
+    let chars: Vec<char> = masked.chars().collect();
+    let n = chars.len();
+    let excluded = excluded_spans(&masked);
+    let in_excluded = |pos: usize| excluded.iter().any(|&(a, b)| pos >= a && pos < b);
+    let line_starts: Vec<usize> = std::iter::once(0)
+        .chain(
+            chars
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c == '\n')
+                .map(|(i, _)| i + 1),
+        )
+        .collect();
+    let line_of = |pos: usize| match line_starts.binary_search(&pos) {
+        Ok(l) => l + 1,
+        Err(l) => l,
+    };
+    let excerpt_of = |pos: usize| {
+        let line = line_of(pos);
+        source
+            .lines()
+            .nth(line - 1)
+            .unwrap_or("")
+            .trim()
+            .to_string()
+    };
+    let next_nonws = |from: usize| {
+        let mut k = from;
+        while k < n && chars[k].is_whitespace() {
+            k += 1;
+        }
+        (k < n).then(|| chars[k])
+    };
+    let prev_nonws = |from: usize| {
+        let mut k = from;
+        while k > 0 {
+            k -= 1;
+            if !chars[k].is_whitespace() {
+                return Some((k, chars[k]));
+            }
+        }
+        None
+    };
+
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        if is_ident(c) && (i == 0 || !is_ident(chars[i - 1])) && !c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < n && is_ident(chars[j]) {
+                j += 1;
+            }
+            let word: String = chars[start..j].iter().collect();
+            let kind = match word.as_str() {
+                "unwrap" | "expect" => {
+                    let dotted = prev_nonws(start).map(|(_, p)| p) == Some('.');
+                    let called = next_nonws(j) == Some('(');
+                    (dotted && called).then(|| {
+                        if word == "unwrap" {
+                            LintKind::Unwrap
+                        } else {
+                            LintKind::Expect
+                        }
+                    })
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" | "assert" | "assert_eq"
+                | "assert_ne" => (j < n && chars[j] == '!').then_some(LintKind::PanicMacro),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                if !in_excluded(start) {
+                    findings.push(Finding {
+                        line: line_of(start),
+                        kind,
+                        excerpt: excerpt_of(start),
+                    });
+                }
+            }
+            i = j;
+            continue;
+        }
+        if c == '[' && !in_excluded(i) {
+            if let Some((p, pc)) = prev_nonws(i) {
+                let indexing = if pc == ')' || pc == ']' || pc == '?' {
+                    true
+                } else if is_ident(pc) {
+                    let mut s = p;
+                    while s > 0 && is_ident(chars[s - 1]) {
+                        s -= 1;
+                    }
+                    let word: String = chars[s..=p].iter().collect();
+                    !NON_INDEX_KEYWORDS.contains(&word.as_str())
+                        && !word.chars().next().is_some_and(|c| c.is_ascii_digit())
+                } else {
+                    false
+                };
+                if indexing {
+                    findings.push(Finding {
+                        line: line_of(i),
+                        kind: LintKind::Indexing,
+                        excerpt: excerpt_of(i),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let x = \"unwrap()\"; // .unwrap()\n/* panic! */ let y = 1;";
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("panic"));
+        assert!(m.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let m = mask("let s = r#\"a.unwrap()\"#; let c = 'x'; let l: &'a str = s;");
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("&'a str"), "{m}");
+    }
+
+    #[test]
+    fn finds_unwrap_expect_macros_indexing() {
+        let src = "fn f(v: Vec<u8>) {\n    let a = v.first().unwrap();\n    let b = v.iter().next().expect(\"x\");\n    panic!(\"boom\");\n    let c = v[0];\n    debug_assert!(c > 0);\n}\n";
+        let kinds: Vec<LintKind> = scan(src).iter().map(|f| f.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                LintKind::Unwrap,
+                LintKind::Expect,
+                LintKind::PanicMacro,
+                LintKind::Indexing
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_test_code_and_doc_tests() {
+        let src = "/// ```\n/// x.unwrap();\n/// ```\nfn ok() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(scan(src).is_empty(), "{:?}", scan(src));
+    }
+
+    #[test]
+    fn array_literals_and_attributes_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn g() -> [u8; 2] {\n    let a = [1u8, 2];\n    let v = vec![1, 2];\n    let _ = (a, v);\n    [0, 1]\n}\n";
+        assert!(scan(src).is_empty(), "{:?}", scan(src));
+    }
+
+    #[test]
+    fn chained_and_slice_indexing_found() {
+        let src =
+            "fn h(m: Vec<Vec<u8>>, s: &str) {\n    let _ = m[0][1];\n    let _ = &s[1..];\n}\n";
+        let kinds: Vec<LintKind> = scan(src).iter().map(|f| f.kind).collect();
+        assert_eq!(kinds.len(), 3, "{:?}", scan(src));
+        assert!(kinds.iter().all(|k| *k == LintKind::Indexing));
+    }
+}

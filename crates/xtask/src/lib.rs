@@ -1,0 +1,47 @@
+//! `cargo xtask` — workspace invariant checker for the TACC Stats
+//! reproduction.
+//!
+//! Three families of checks, run by `cargo xtask lint`:
+//!
+//! * **panic-freedom** ([`panic_lint`]): the collection hot path
+//!   (collect, broker, simnode) must not contain panic-capable
+//!   constructs in non-test code, modulo a ratcheting allowlist that
+//!   can only shrink;
+//! * **schema ↔ metric conformance** ([`conformance`]): every event a
+//!   Table I metric consumes must exist in a device schema with a
+//!   usable unit conversion, and `MetricId::ALL` must be exhaustive;
+//! * **wiring invariants** ([`invariants`]): the xtask alias, the
+//!   loom-gated broker model suite, and the CI hooks stay in place.
+//!
+//! The checker runs as a plain workspace binary (the `xtask` pattern),
+//! so it needs no external tooling and versions with the code it lints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod invariants;
+pub mod lexer;
+pub mod panic_lint;
+
+use std::path::{Path, PathBuf};
+
+/// Workspace root, assuming the canonical `crates/xtask` location.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Run every lint family against `root`. Returns all violations;
+/// `Err` means a check could not run at all (missing file, bad
+/// allowlist syntax), which is just as fatal.
+pub fn run_lint(root: &Path) -> Result<Vec<String>, String> {
+    let mut errors = Vec::new();
+    errors.extend(panic_lint::check(root)?);
+    errors.extend(conformance::check(root)?);
+    errors.extend(invariants::check(root)?);
+    Ok(errors)
+}

@@ -1,0 +1,33 @@
+//! CLI for `cargo xtask`. See the library crate for the checks.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") | None => {
+            let root = xtask::workspace_root();
+            match xtask::run_lint(&root) {
+                Ok(errors) if errors.is_empty() => {
+                    println!("xtask lint: all checks passed");
+                    ExitCode::SUCCESS
+                }
+                Ok(errors) => {
+                    for e in &errors {
+                        eprintln!("{e}");
+                    }
+                    eprintln!("xtask lint: {} violation(s)", errors.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`; available: lint");
+            ExitCode::FAILURE
+        }
+    }
+}

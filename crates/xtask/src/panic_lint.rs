@@ -1,0 +1,183 @@
+//! Panic-freedom lint for the collection hot path.
+//!
+//! The daemon pipeline (sampling → spool → broker → consumer) runs
+//! unattended on thousands of nodes; a panic there is a monitoring
+//! outage (§III of the paper: the monitor must be *always on*). This
+//! lint walks the hot-path crates and rejects panic-capable constructs
+//! in non-test code: `unwrap`/`expect`, panicking macros, and unchecked
+//! indexing (`debug_assert*` is fine — it compiles out of release).
+//!
+//! Intentional exceptions live in a checked-in allowlist
+//! (`crates/xtask/panic-allowlist.txt`) with *ratchet* semantics:
+//!
+//! * a file with **more** findings than its allowance fails (new
+//!   violations never land), and
+//! * a file with **fewer** findings than its allowance also fails until
+//!   the allowance is shrunk (progress is locked in; the allowlist can
+//!   only shrink, never grow back silently).
+//!
+//! A hard deny-list covers the modules the pipeline's delivery
+//! guarantees depend on — `collect::daemon`, `collect::spool`,
+//! `broker::queue`, plus the transport endpoints `broker::tcp` and
+//! `collect::consumer`. Those may never appear in the allowlist at all.
+
+use crate::lexer::{scan, LintKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Hot-path source trees the lint walks (workspace-relative).
+pub const SCOPE: &[&str] = &[
+    "crates/collect/src",
+    "crates/broker/src",
+    "crates/simnode/src",
+];
+
+/// Modules whose allowance is pinned to zero: never allowlisted.
+pub const DENY: &[&str] = &[
+    "crates/collect/src/daemon.rs",
+    "crates/collect/src/spool.rs",
+    "crates/collect/src/consumer.rs",
+    "crates/broker/src/queue.rs",
+    "crates/broker/src/tcp.rs",
+];
+
+/// Workspace-relative path of the allowlist file.
+pub const ALLOWLIST: &str = "crates/xtask/panic-allowlist.txt";
+
+/// Run the panic-freedom lint from the workspace root. Returns the
+/// list of violations (empty means the lint passes).
+pub fn check(root: &Path) -> Result<Vec<String>, String> {
+    let allowed = parse_allowlist(root)?;
+    let mut errors = Vec::new();
+
+    // Count findings per (file, kind), and keep locations for reports.
+    let mut actual: BTreeMap<(String, LintKind), Vec<(usize, String)>> = BTreeMap::new();
+    for rel in walk_scope(root)? {
+        let path = root.join(&rel);
+        let source = fs::read_to_string(&path)
+            .map_err(|e| format!("panic-lint: read {}: {e}", path.display()))?;
+        for f in scan(&source) {
+            actual
+                .entry((rel.clone(), f.kind))
+                .or_default()
+                .push((f.line, f.excerpt));
+        }
+    }
+
+    let keys: std::collections::BTreeSet<(String, LintKind)> = actual
+        .keys()
+        .cloned()
+        .chain(allowed.keys().cloned())
+        .collect();
+    for key in keys {
+        let (file, kind) = &key;
+        let found = actual.get(&key).map(Vec::len).unwrap_or(0);
+        let allowance = allowed.get(&key).copied().unwrap_or(0);
+        if found > allowance {
+            let mut msg = format!(
+                "panic-lint: {file}: {found} `{kind}` finding(s), allowance is {allowance}:"
+            );
+            for (line, excerpt) in actual.get(&key).into_iter().flatten() {
+                let _ = write!(msg, "\n    {file}:{line}: {excerpt}");
+            }
+            errors.push(msg);
+        } else if found < allowance {
+            errors.push(format!(
+                "panic-lint: {file}: allowance for `{kind}` is {allowance} but only \
+                 {found} finding(s) remain — shrink {ALLOWLIST} (the ratchet only \
+                 tightens)"
+            ));
+        }
+    }
+    Ok(errors)
+}
+
+/// Walk the lint scope, returning sorted workspace-relative `.rs` paths.
+fn walk_scope(root: &Path) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    for dir in SCOPE {
+        let mut stack = vec![root.join(dir)];
+        while let Some(d) = stack.pop() {
+            let entries = fs::read_dir(&d)
+                .map_err(|e| format!("panic-lint: read_dir {}: {e}", d.display()))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("panic-lint: {e}"))?;
+                let p = entry.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.extension().is_some_and(|x| x == "rs") {
+                    files.push(relative(root, &p));
+                }
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn relative(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Parse the allowlist: `<path> <kind> <count>` per line, `#` comments.
+/// Deny-listed files, unknown kinds, duplicates, and paths outside the
+/// lint scope are hard errors.
+fn parse_allowlist(root: &Path) -> Result<BTreeMap<(String, LintKind), usize>, String> {
+    let path = root.join(ALLOWLIST);
+    let text = fs::read_to_string(&path)
+        .map_err(|e| format!("panic-lint: read {}: {e}", path.display()))?;
+    let mut allowed = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(file), Some(kind), Some(count), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "{ALLOWLIST}:{}: expected `<path> <kind> <count>`, got: {line}",
+                lineno + 1
+            ));
+        };
+        let kind = LintKind::from_key(kind)
+            .ok_or_else(|| format!("{ALLOWLIST}:{}: unknown lint kind `{kind}`", lineno + 1))?;
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("{ALLOWLIST}:{}: bad count `{count}`", lineno + 1))?;
+        if count == 0 {
+            return Err(format!(
+                "{ALLOWLIST}:{}: zero allowance for {file} — delete the line",
+                lineno + 1
+            ));
+        }
+        if DENY.contains(&file) {
+            return Err(format!(
+                "{ALLOWLIST}:{}: {file} is deny-listed (hot-path delivery \
+                 guarantee) and may never be allowlisted",
+                lineno + 1
+            ));
+        }
+        if !SCOPE.iter().any(|s| file.starts_with(s)) {
+            return Err(format!(
+                "{ALLOWLIST}:{}: {file} is outside the lint scope",
+                lineno + 1
+            ));
+        }
+        if allowed.insert((file.to_string(), kind), count).is_some() {
+            return Err(format!(
+                "{ALLOWLIST}:{}: duplicate entry for {file} {kind}",
+                lineno + 1
+            ));
+        }
+    }
+    Ok(allowed)
+}

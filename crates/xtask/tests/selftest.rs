@@ -1,0 +1,101 @@
+//! Lint self-test: the checker must catch deliberately seeded
+//! violations (fixtures), enforce the allowlist ratchet in both
+//! directions, refuse deny-listed allowances, and pass on the real
+//! workspace.
+
+use std::fs;
+use std::path::PathBuf;
+use xtask::lexer::{scan, LintKind};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).expect("fixture readable")
+}
+
+fn count(findings: &[xtask::lexer::Finding], kind: LintKind) -> usize {
+    findings.iter().filter(|f| f.kind == kind).count()
+}
+
+#[test]
+fn seeded_violations_are_all_caught() {
+    let findings = scan(&fixture("seeded_violations.rs.fixture"));
+    assert_eq!(count(&findings, LintKind::Unwrap), 1, "{findings:?}");
+    assert_eq!(count(&findings, LintKind::Expect), 1, "{findings:?}");
+    assert_eq!(count(&findings, LintKind::Indexing), 2, "{findings:?}");
+    assert_eq!(count(&findings, LintKind::PanicMacro), 2, "{findings:?}");
+    assert_eq!(findings.len(), 6, "{findings:?}");
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let findings = scan(&fixture("clean.rs.fixture"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+/// Build a throwaway mini-workspace with one hot-path file and an
+/// allowlist, run the panic lint against it, and return the violations.
+fn lint_mini_workspace(source: &str, allowlist: &str) -> Result<Vec<String>, String> {
+    let root = std::env::temp_dir().join(format!(
+        "xtask-selftest-{}-{}",
+        std::process::id(),
+        source.len() + allowlist.len()
+    ));
+    for dir in xtask::panic_lint::SCOPE {
+        fs::create_dir_all(root.join(dir)).expect("mkdir scope");
+    }
+    fs::create_dir_all(root.join("crates/xtask")).expect("mkdir xtask");
+    fs::write(root.join("crates/collect/src/daemon.rs"), source).expect("write source");
+    fs::write(root.join(xtask::panic_lint::ALLOWLIST), allowlist).expect("write allowlist");
+    let result = xtask::panic_lint::check(&root);
+    fs::remove_dir_all(&root).ok();
+    result
+}
+
+#[test]
+fn deny_listed_file_fails_even_without_allowlist_entry() {
+    let errors = lint_mini_workspace("fn f(v: Vec<u8>) -> u8 { v[0] }\n", "").expect("lint runs");
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert!(errors[0].contains("daemon.rs"), "{errors:?}");
+    assert!(errors[0].contains("indexing"), "{errors:?}");
+}
+
+#[test]
+fn deny_listed_file_cannot_be_allowlisted() {
+    let err = lint_mini_workspace(
+        "fn f(v: Vec<u8>) -> u8 { v[0] }\n",
+        "crates/collect/src/daemon.rs indexing 1\n",
+    )
+    .expect_err("deny-listed allowance must be rejected");
+    assert!(err.contains("deny-listed"), "{err}");
+}
+
+#[test]
+fn stale_allowance_fails_until_ratchet_is_tightened() {
+    let err = lint_mini_workspace("fn f() {}\n", "crates/simnode/src/sim.rs indexing 2\n")
+        .expect("lint runs");
+    assert_eq!(err.len(), 1, "{err:?}");
+    assert!(
+        err[0].contains("shrink"),
+        "ratchet message expected: {err:?}"
+    );
+}
+
+#[test]
+fn zero_allowance_lines_are_rejected() {
+    let err = lint_mini_workspace("fn f() {}\n", "crates/simnode/src/sim.rs indexing 0\n")
+        .expect_err("zero allowance is a stale line");
+    assert!(err.contains("delete the line"), "{err}");
+}
+
+#[test]
+fn real_workspace_lint_is_clean() {
+    let root = xtask::workspace_root();
+    let errors = xtask::run_lint(&root).expect("lint runs");
+    assert!(
+        errors.is_empty(),
+        "workspace lint must pass:\n{}",
+        errors.join("\n")
+    );
+}

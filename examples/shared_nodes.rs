@@ -198,7 +198,7 @@ fn main() {
         daemon.tick(&fs, t0 + SimDuration::from_mins(10 * k));
     }
     consumer.drain(t0 + SimDuration::from_hours(1));
-    let raw = archive.parse_all();
+    let raw = archive.parse_all().expect("archive parses");
     let samples: Vec<_> = raw
         .iter()
         .flat_map(|rf| rf.samples.iter().cloned())

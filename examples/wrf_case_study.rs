@@ -195,7 +195,7 @@ fn main() {
         },
     )]);
     sys.run_until(t0 + SimDuration::from_hours(3));
-    let raw = sys.archive().parse_all();
+    let raw = sys.archive().parse_all().expect("archive parses");
     // The single job gets the scheduler's first id.
     let jobid = {
         let t = sys.db().table(JOBS_TABLE).unwrap();

@@ -246,7 +246,7 @@ fn cmd_job_detail(flags: &Flags) -> Result<(), String> {
         },
     )]);
     sys.run_until(t0() + SimDuration::from_hours(3));
-    let raw = sys.archive().parse_all();
+    let raw = sys.archive().parse_all().expect("archive parses");
     let ts = JobTimeSeries::extract(&raw, "3000");
     println!("{}", ts.render());
     // Post-hoc recomputation from the archive: metrics + energy.

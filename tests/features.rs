@@ -73,7 +73,7 @@ fn mem_validation_through_pipeline() {
     let mut sys = MonitoringSystem::new(SystemConfig::small(1, Mode::daemon()));
     sys.enqueue_jobs(vec![(t0(), request(4, AppModel::quantum_espresso(), 60))]);
     sys.run_until(t0() + SimDuration::from_hours(2));
-    let raw = sys.archive().parse_all();
+    let raw = sys.archive().parse_all().expect("archive parses");
     let samples: Vec<_> = raw
         .iter()
         .flat_map(|rf| rf.samples.iter().cloned())

@@ -198,7 +198,7 @@ fn haswell_cluster_pipeline() {
     let mic = Query::new(table).values("MIC_Usage").unwrap();
     assert!(mic[0].is_null());
     // Raw files carry the right architecture.
-    let raw = sys.archive().parse_all();
+    let raw = sys.archive().parse_all().expect("archive parses");
     assert!(raw
         .iter()
         .all(|rf| rf.header.arch == tacc_stats::simnode::topology::CpuArch::Haswell));

@@ -55,7 +55,7 @@ fn daemon_pipeline_archive_roundtrip_and_detail_view() {
     assert_eq!(sys.ingested, 2);
 
     // Archive text parses, and every file belongs to a known host.
-    let raw: Vec<RawFile> = sys.archive().parse_all();
+    let raw: Vec<RawFile> = sys.archive().parse_all().expect("archive parses");
     assert!(!raw.is_empty());
     for rf in &raw {
         assert!(rf.header.hostname.starts_with("c401-"));

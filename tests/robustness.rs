@@ -203,7 +203,8 @@ proptest! {
                 max_backoff: SimDuration::from_mins(5),
             },
             1,
-        );
+        )
+        .unwrap();
         let mut t = 0u64;
         for _ in 0..ticks {
             d.tick(&fs, SimTime::from_secs(t));

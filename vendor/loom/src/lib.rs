@@ -1,0 +1,356 @@
+//! Offline stand-in for the subset of the `loom` 0.7 API this workspace
+//! uses: `loom::model`, `loom::thread`, and `loom::sync::{Arc, Mutex,
+//! Condvar, atomic}` with a parking_lot-shaped lock API (matching the
+//! workspace's `parking_lot` shim, so `tacc-broker` can swap its sync
+//! layer under `--cfg loom` without touching call sites).
+//!
+//! The real loom is an exhaustive permutation-bounded (DPOR) model
+//! checker; it is not vendorable offline (generators, tracking
+//! allocator, unsafe cells). This stand-in keeps the *shape* of the
+//! methodology with a weaker oracle: [`model`] re-runs the closure many
+//! times, and every synchronisation touch point (lock acquire, atomic
+//! access, condvar notify, thread spawn) calls into a seeded
+//! scheduler-perturbation hook that randomly yields, spins, or briefly
+//! sleeps. Each iteration therefore explores a *different* thread
+//! interleaving — a stress schedule, not an exhaustive one. Assertions
+//! inside the closure must hold on every explored schedule.
+//!
+//! Iteration count defaults to [`DEFAULT_ITERS`] and can be raised with
+//! the `LOOM_ITERS` environment variable (mirroring real loom's
+//! `LOOM_MAX_BRANCHES`-style env tuning).
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+/// Iterations of the model closure when `LOOM_ITERS` is unset.
+pub const DEFAULT_ITERS: u64 = 200;
+
+/// Per-process schedule-perturbation RNG state (xorshift64*). Seeded per
+/// [`model`] iteration so failures are reproducible given `LOOM_ITERS`.
+static RNG: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+
+fn reseed(iteration: u64) {
+    // SplitMix64 finalizer: decorrelate consecutive iteration indices.
+    let mut z = iteration.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    RNG.store((z ^ (z >> 31)) | 1, StdOrdering::Relaxed);
+}
+
+fn next_rand() -> u64 {
+    // fetch_update keeps concurrent threads from reading the same state;
+    // losing an update under contention only changes the perturbation
+    // schedule, which is the point.
+    let mut x = RNG.load(StdOrdering::Relaxed);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    RNG.store(x, StdOrdering::Relaxed);
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Scheduler perturbation: called at every synchronisation touch point.
+/// Randomly does nothing, yields the OS scheduler, spins, or sleeps a
+/// few microseconds — forcing different interleavings across iterations.
+pub(crate) fn preempt() {
+    let r = next_rand();
+    match r % 8 {
+        0 | 1 => std::thread::yield_now(),
+        2 => {
+            for _ in 0..(r >> 8) % 64 {
+                std::hint::spin_loop();
+            }
+        }
+        3 => {
+            if r % 32 == 3 {
+                std::thread::sleep(std::time::Duration::from_micros(r % 50));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Run `f` under the stress model: many iterations, each with a freshly
+/// seeded perturbation schedule. Panics propagate to the caller, failing
+/// the enclosing test on the first schedule that violates an assertion.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_ITERS)
+        .max(1);
+    for i in 0..iters {
+        reseed(i);
+        f();
+    }
+}
+
+/// Thread spawning with perturbation on spawn and at thread start.
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawn a thread; perturbs the schedule before the spawn and as the
+    /// first action inside the new thread.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::preempt();
+        std::thread::spawn(move || {
+            super::preempt();
+            f()
+        })
+    }
+
+    /// Yield the OS scheduler.
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+/// Model-instrumented synchronisation primitives.
+pub mod sync {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+    use std::time::Instant;
+
+    pub use std::sync::Arc;
+
+    /// Mutex with the parking_lot shape (`lock()` returns the guard, no
+    /// poisoning) and a perturbation point before each acquisition.
+    #[derive(Default)]
+    pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+    /// Guard for [`Mutex`]. The inner `Option` is always `Some` except
+    /// transiently inside [`Condvar::wait_until`].
+    pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+    impl<T> Mutex<T> {
+        /// New mutex holding `t`.
+        pub fn new(t: T) -> Mutex<T> {
+            Mutex(std::sync::Mutex::new(t))
+        }
+
+        /// Consume the mutex, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquire the lock, blocking. Perturbs the schedule first so
+        /// that lock-ordering races surface across iterations.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            super::preempt();
+            MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
+        }
+
+        /// Mutable access without locking.
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self.0.try_lock() {
+                Ok(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+                Err(_) => f.write_str("Mutex(<locked>)"),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.0.as_ref().expect("guard present")
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.0.as_mut().expect("guard present")
+        }
+    }
+
+    /// Result of a timed condition-variable wait.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct WaitTimeoutResult(bool);
+
+    impl WaitTimeoutResult {
+        /// True if the wait ended by timeout rather than notification.
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// Condition variable working with [`MutexGuard`], perturbing the
+    /// schedule around notifies (notify-vs-wait races).
+    #[derive(Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// New condition variable.
+        pub fn new() -> Condvar {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Block until notified.
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            let g = guard.0.take().expect("guard present");
+            let g = self.0.wait(g).unwrap_or_else(|e| e.into_inner());
+            guard.0 = Some(g);
+        }
+
+        /// Block until notified or `deadline` passes.
+        pub fn wait_until<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            deadline: Instant,
+        ) -> WaitTimeoutResult {
+            let g = guard.0.take().expect("guard present");
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            let (g, res) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            guard.0 = Some(g);
+            WaitTimeoutResult(res.timed_out())
+        }
+
+        /// Wake one waiter.
+        pub fn notify_one(&self) {
+            super::preempt();
+            self.0.notify_one();
+        }
+
+        /// Wake all waiters.
+        pub fn notify_all(&self) {
+            super::preempt();
+            self.0.notify_all();
+        }
+    }
+
+    impl fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Condvar")
+        }
+    }
+
+    /// Atomics with a perturbation point before every access.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! model_atomic {
+            ($name:ident, $std:ty, $val:ty) => {
+                /// Model-instrumented atomic: perturbs the schedule
+                /// before every load/store/rmw.
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// New atomic holding `v`.
+                    pub fn new(v: $val) -> Self {
+                        Self(<$std>::new(v))
+                    }
+
+                    /// Atomic load.
+                    pub fn load(&self, order: Ordering) -> $val {
+                        crate::preempt();
+                        self.0.load(order)
+                    }
+
+                    /// Atomic store.
+                    pub fn store(&self, v: $val, order: Ordering) {
+                        crate::preempt();
+                        self.0.store(v, order)
+                    }
+
+                    /// Atomic swap.
+                    pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                        crate::preempt();
+                        self.0.swap(v, order)
+                    }
+
+                    /// Atomic compare-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        crate::preempt();
+                        self.0.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+        impl AtomicUsize {
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+                crate::preempt();
+                self.0.fetch_add(v, order)
+            }
+        }
+
+        impl AtomicU64 {
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+                crate::preempt();
+                self.0.fetch_add(v, order)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn model_runs_many_iterations() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        super::model(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(count.load(Ordering::SeqCst) >= 1);
+    }
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let t = super::thread::spawn(move || {
+                let (m, cv) = &*p2;
+                *m.lock() = true;
+                cv.notify_one();
+            });
+            let (m, cv) = &*pair;
+            let mut g = m.lock();
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while !*g {
+                if cv.wait_until(&mut g, deadline).timed_out() {
+                    break;
+                }
+            }
+            assert!(*g, "notify must arrive before the deadline");
+            drop(g);
+            t.join().expect("thread join");
+        });
+    }
+}
