@@ -9,8 +9,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tacc_bench::{report_header, report_row};
+use tacc_collect::codec;
 use tacc_collect::discovery::{discover, BuildOptions};
 use tacc_collect::engine::Sampler;
+use tacc_collect::record::RawFile;
 use tacc_simnode::pseudofs::NodeFs;
 use tacc_simnode::topology::NodeTopology;
 use tacc_simnode::workload::NodeDemand;
@@ -118,6 +120,33 @@ fn bench(c: &mut Criterion) {
             t += 1;
             let fs = NodeFs::new(&ls5);
             s.sample(&fs, SimTime::from_secs(t), &[], &[])
+        })
+    });
+    // The daemon's actual per-tick work: collect, then render the
+    // publish payload. Before/after the interned byte codec — the String
+    // render allocates a fresh message per tick, the `_into` variant
+    // reuses one buffer (what `daemon.rs` ships).
+    g.bench_function("collect_plus_render_string", |b| {
+        let mut s = sampler_for(&node);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let fs = NodeFs::new(&node);
+            let sample = s.sample(&fs, SimTime::from_secs(t), &[], &[]);
+            RawFile::render_message_with_seq(s.header(), &sample, t).len()
+        })
+    });
+    g.bench_function("collect_plus_render_reused_buf", |b| {
+        let mut s = sampler_for(&node);
+        let mut buf: Vec<u8> = Vec::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let fs = NodeFs::new(&node);
+            let sample = s.sample(&fs, SimTime::from_secs(t), &[], &[]);
+            buf.clear();
+            codec::render_message_into(s.header(), &sample, Some(t), &mut buf);
+            buf.len()
         })
     });
     g.finish();

@@ -1,0 +1,431 @@
+//! Sample-path before/after bench: legacy String representation vs the
+//! interned, buffer-reusing byte codec, measured in both wall-clock and
+//! allocations per operation (a counting global allocator wraps the
+//! system one — bench binaries are separate crates, so the library's
+//! `forbid(unsafe_code)` does not extend here).
+//!
+//! "Before" is the seed's data path, reconstructed line for line from
+//! the pre-refactor sources: render builds a fresh `String` per message
+//! through per-value `itoa` Strings and per-event `format!` calls
+//! (exactly the seed's `render_message`), parse copies the payload into
+//! an owned `String` and then materializes the owned name Strings the
+//! seed's parser returned (hostname, schema event names, instances,
+//! comms — the shared parser now interns those, so "before" must
+//! re-create the allocations), and the accumulator keys per-instance
+//! state by `(DeviceType, String)` with a cloned instance name per
+//! record. "After" is the shipped path: `codec::render_message_into`
+//! into a reused buffer, zero-copy `codec::parse_bytes`, and the
+//! `Sym`-keyed `JobAccum`.
+//!
+//! Results are printed and written to `BENCH_sample_path.json` at the
+//! workspace root so the numbers ride along with the tree.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use tacc_collect::codec;
+use tacc_collect::discovery::{discover, BuildOptions};
+use tacc_collect::engine::Sampler;
+use tacc_collect::record::{HostHeader, RawFile, Sample, FORMAT_VERSION};
+use tacc_metrics::accum::JobAccum;
+use tacc_simnode::counter::wrapping_delta;
+use tacc_simnode::pseudofs::NodeFs;
+use tacc_simnode::schema::{DeviceType, EventKind, Schema};
+use tacc_simnode::topology::NodeTopology;
+use tacc_simnode::workload::NodeDemand;
+use tacc_simnode::{SimDuration, SimNode, SimTime};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts allocation events (allocs and
+/// growing reallocs — the events buffer reuse is meant to eliminate).
+struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to the system allocator;
+// the counter is a relaxed atomic with no effect on allocation results.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// ns/op and allocations/op over `iters` runs of `f`, after warmup.
+fn measure<R>(iters: u64, mut f: impl FnMut() -> R) -> (f64, f64) {
+    for _ in 0..5 {
+        black_box(f());
+    }
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let dt = t0.elapsed();
+    let da = ALLOCS.load(Ordering::Relaxed) - a0;
+    (
+        dt.as_nanos() as f64 / iters as f64,
+        da as f64 / iters as f64,
+    )
+}
+
+/// A realistic node: WRF-like process, full device complement, two
+/// samples 600 s apart (so counters have deltas to accumulate).
+fn fixture() -> (HostHeader, Vec<Sample>) {
+    let mut node = SimNode::new("c401-0001", NodeTopology::stampede());
+    node.spawn_process("wrf.exe", 5000, 16, u64::MAX);
+    let demand = NodeDemand {
+        active_cores: 16,
+        cpu_user_frac: 0.8,
+        flops_per_sec: 1e10,
+        mem_bw_bytes_per_sec: 1e9,
+        mem_used_bytes: 8 << 30,
+        ..NodeDemand::default()
+    };
+    let fs = NodeFs::new(&node);
+    let cfg = discover(&fs, BuildOptions::default()).expect("discovery");
+    let mut s = Sampler::new("c401-0001", &cfg);
+    let mut samples = Vec::new();
+    for k in 1..=4u64 {
+        node.advance(SimDuration::from_secs(600), &demand);
+        let fs = NodeFs::new(&node);
+        samples.push(s.sample(&fs, SimTime::from_secs(600 * k), &["3001".to_string()], &[]));
+    }
+    (s.header().clone(), samples)
+}
+
+/// The seed's `itoa`: one heap String per rendered numeric value.
+fn legacy_itoa(mut v: u64) -> String {
+    if v == 0 {
+        return "0".to_string();
+    }
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    while v > 0 {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+    }
+    String::from_utf8_lossy(&buf[i..]).into_owned()
+}
+
+/// The seed's `Schema::render`: per-event `format!` String.
+fn legacy_schema_render(schema: &Schema) -> String {
+    let mut out = String::new();
+    for (i, e) in schema.events.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let kind = match e.kind {
+            EventKind::Counter => "C",
+            EventKind::Gauge => "G",
+        };
+        out.push_str(&format!(
+            "{},{},{},{}",
+            e.name,
+            e.unit.label(),
+            kind,
+            e.width
+        ));
+    }
+    out
+}
+
+/// The seed's `RawFile::render_message`, reconstructed byte for byte
+/// (header via `format!` per line, sample via `itoa` per value).
+fn legacy_render_message(header: &HostHeader, s: &Sample) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("$tacc_stats {FORMAT_VERSION}\n"));
+    out.push_str(&format!("$hostname {}\n", header.hostname));
+    out.push_str(&format!("$arch {}\n", header.arch.name()));
+    for (dt, schema) in &header.schemas {
+        out.push_str(&format!(
+            "!{} {}\n",
+            dt.name(),
+            legacy_schema_render(schema)
+        ));
+    }
+    out.push_str(&format!(
+        "{} {}\n",
+        s.time.as_secs(),
+        if s.jobids.is_empty() {
+            "-".to_string()
+        } else {
+            s.jobids.join(",")
+        }
+    ));
+    for m in &s.marks {
+        out.push('%');
+        out.push_str(m);
+        out.push('\n');
+    }
+    for d in &s.devices {
+        out.push_str(d.dev_type.name());
+        out.push(' ');
+        out.push_str(d.instance.as_str());
+        for v in &d.values {
+            out.push(' ');
+            out.push_str(legacy_itoa(*v).as_str());
+        }
+        out.push('\n');
+    }
+    for p in &s.processes {
+        out.push_str("ps ");
+        out.push_str(legacy_itoa(u64::from(p.pid)).as_str());
+        out.push(' ');
+        out.push_str(p.comm.as_str());
+        out.push(' ');
+        out.push_str(legacy_itoa(u64::from(p.uid)).as_str());
+        for v in &p.values {
+            out.push(' ');
+            out.push_str(legacy_itoa(*v).as_str());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The seed's parser returned owned Strings for every name; the shared
+/// parser now interns them, so the "before" measurement re-creates
+/// those allocations after parsing. Returns total bytes to keep the
+/// work observable.
+fn legacy_materialize(rf: &RawFile) -> usize {
+    let mut n = black_box(rf.header.hostname.as_str().to_string()).len();
+    for schema in rf.header.schemas.values() {
+        for e in &schema.events {
+            n += black_box(e.name.as_str().to_string()).len();
+        }
+    }
+    for s in &rf.samples {
+        for d in &s.devices {
+            n += black_box(d.instance.as_str().to_string()).len();
+        }
+        for p in &s.processes {
+            n += black_box(p.comm.as_str().to_string()).len();
+        }
+    }
+    n
+}
+
+/// The seed's accumulator keying, reconstructed: per-instance state in a
+/// `(DeviceType, String)`-keyed map, one cloned instance name per device
+/// record per sample. Delta math matches `HostAccum::feed` so the two
+/// paths do identical arithmetic work.
+type LegacyKey = (DeviceType, String);
+
+#[derive(Default)]
+struct LegacyAccum {
+    prev: HashMap<LegacyKey, (u64, Vec<u64>)>,
+    cum: HashMap<DeviceType, Vec<f64>>,
+}
+
+impl LegacyAccum {
+    fn feed(&mut self, header: &HostHeader, sample: &Sample) {
+        let t = sample.time.as_secs();
+        for rec in &sample.devices {
+            let Some(schema) = header.schemas.get(&rec.dev_type) else {
+                continue;
+            };
+            if rec.values.len() != schema.len() {
+                continue;
+            }
+            let key = (rec.dev_type, rec.instance.to_string());
+            let prev = self.prev.insert(key, (t, rec.values.clone()));
+            let Some((_pt, prev_vals)) = prev else {
+                continue;
+            };
+            let cum = self
+                .cum
+                .entry(rec.dev_type)
+                .or_insert_with(|| vec![0.0; schema.len()]);
+            for (i, ev) in schema.events.iter().enumerate() {
+                if ev.kind != EventKind::Counter {
+                    continue;
+                }
+                cum[i] += wrapping_delta(prev_vals[i], rec.values[i], ev.width) as f64;
+            }
+        }
+    }
+}
+
+struct Case {
+    name: &'static str,
+    before: (f64, f64),
+    after: (f64, f64),
+}
+
+fn main() {
+    let (header, samples) = fixture();
+    let n_devices = samples[0].devices.len();
+    let msg = RawFile::render_message(&header, &samples[0]);
+    let payloads: Vec<Vec<u8>> = samples
+        .iter()
+        .map(|s| {
+            let mut v = Vec::new();
+            codec::render_message_into(&header, s, None, &mut v);
+            v
+        })
+        .collect();
+    println!("\n=== sample-path before/after (String path vs interned byte codec) ===");
+    println!(
+        "  fixture: one stampede-node sample, {} bytes, {} device records",
+        msg.len(),
+        n_devices
+    );
+
+    const ITERS: u64 = 2_000;
+    let mut cases = Vec::new();
+
+    // --- render ---
+    let legacy_msg = legacy_render_message(&header, &samples[0]);
+    assert_eq!(
+        legacy_msg, msg,
+        "legacy render reconstruction must stay byte-identical"
+    );
+    let before = measure(ITERS, || legacy_render_message(&header, &samples[0]));
+    let mut buf: Vec<u8> = Vec::new();
+    let after = measure(ITERS, || {
+        buf.clear();
+        codec::render_message_into(&header, &samples[0], None, &mut buf);
+        buf.len()
+    });
+    cases.push(Case {
+        name: "render",
+        before,
+        after,
+    });
+
+    // --- parse ---
+    let payload = payloads[0].clone();
+    let before = measure(ITERS, || {
+        // Seed consumer: copy payload into an owned String, parse, and
+        // come away holding owned name Strings.
+        let text = String::from_utf8(payload.clone()).expect("utf8");
+        let rf = RawFile::parse(&text).expect("parses");
+        legacy_materialize(&rf)
+    });
+    let after = measure(ITERS, || codec::parse_bytes(&payload).expect("parses"));
+    cases.push(Case {
+        name: "parse",
+        before,
+        after,
+    });
+
+    // --- accumulate (fresh accumulator per run: samples must stay in
+    // time order, and one accumulator per job is the real usage) ---
+    let before = measure(ITERS, || {
+        let mut legacy = LegacyAccum::default();
+        for s in &samples {
+            legacy.feed(&header, s);
+        }
+        legacy.prev.len()
+    });
+    let after = measure(ITERS, || {
+        let mut acc = JobAccum::new();
+        for s in &samples {
+            acc.feed(&header, s);
+        }
+        acc.n_hosts()
+    });
+    cases.push(Case {
+        name: "accumulate",
+        before,
+        after,
+    });
+
+    // --- consumer→accumulator end to end ---
+    let before = measure(ITERS, || {
+        let mut legacy = LegacyAccum::default();
+        for p in &payloads {
+            let text = String::from_utf8(p.clone()).expect("utf8");
+            let rf = RawFile::parse(&text).expect("parses");
+            black_box(legacy_materialize(&rf));
+            for s in &rf.samples {
+                legacy.feed(&rf.header, s);
+            }
+        }
+        legacy.prev.len()
+    });
+    let after = measure(ITERS, || {
+        let mut acc = JobAccum::new();
+        for p in &payloads {
+            let rf = codec::parse_bytes(p).expect("parses");
+            for s in &rf.samples {
+                acc.feed(&rf.header, s);
+            }
+        }
+        acc.n_hosts()
+    });
+    let e2e_n = payloads.len() as f64;
+    cases.push(Case {
+        name: "consumer_to_accum",
+        before,
+        after,
+    });
+
+    // --- report + JSON ---
+    let mut json = String::from("{\n  \"bench\": \"sample_path\",\n");
+    json.push_str(&format!(
+        "  \"fixture\": {{\"message_bytes\": {}, \"device_records\": {}, \"iters\": {}}},\n  \"cases\": {{\n",
+        msg.len(),
+        n_devices,
+        ITERS
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        let (bns, ba) = c.before;
+        let (ans, aa) = c.after;
+        let alloc_ratio = if aa > 0.0 { ba / aa } else { f64::INFINITY };
+        let speedup = if ans > 0.0 { bns / ans } else { f64::INFINITY };
+        println!(
+            "  {:<18} before: {:>9.0} ns/op {:>7.1} allocs/op   after: {:>9.0} ns/op {:>7.1} allocs/op   ({:.1}x fewer allocs, {:.2}x faster)",
+            c.name, bns, ba, ans, aa, alloc_ratio, speedup
+        );
+        let ratio_json = if alloc_ratio.is_finite() {
+            format!("{alloc_ratio:.2}")
+        } else {
+            "null".to_string()
+        };
+        json.push_str(&format!(
+            "    \"{}\": {{\"before\": {{\"ns_per_op\": {:.1}, \"allocs_per_op\": {:.2}}}, \"after\": {{\"ns_per_op\": {:.1}, \"allocs_per_op\": {:.2}}}, \"alloc_ratio\": {}, \"speedup\": {:.2}}}{}\n",
+            c.name,
+            bns,
+            ba,
+            ans,
+            aa,
+            ratio_json,
+            speedup,
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+    }
+    let (e2e_before_ns, _) = cases[3].before;
+    let (e2e_after_ns, _) = cases[3].after;
+    println!(
+        "  consumer→accumulator throughput: {:.0} samples/s before, {:.0} samples/s after",
+        e2e_n * 1e9 / e2e_before_ns,
+        e2e_n * 1e9 / e2e_after_ns
+    );
+    json.push_str(&format!(
+        "  }},\n  \"consumer_to_accum_samples_per_sec\": {{\"before\": {:.0}, \"after\": {:.0}}}\n}}\n",
+        e2e_n * 1e9 / e2e_before_ns,
+        e2e_n * 1e9 / e2e_after_ns
+    ));
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_sample_path.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("  wrote {}", out.display()),
+        Err(e) => println!("  could not write {}: {e}", out.display()),
+    }
+}

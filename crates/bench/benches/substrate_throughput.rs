@@ -13,6 +13,7 @@ use std::time::Duration;
 use tacc_bench::{report_header, report_row};
 use tacc_broker::tcp::{BrokerClient, BrokerServer};
 use tacc_broker::Broker;
+use tacc_collect::codec;
 use tacc_collect::discovery::{discover, BuildOptions};
 use tacc_collect::engine::Sampler;
 use tacc_collect::record::RawFile;
@@ -85,15 +86,30 @@ fn bench(c: &mut Criterion) {
     });
     g.finish();
 
-    // Raw-file codec (the consumer parses every message).
+    // Raw-file codec (the consumer parses every message). The `*_bytes`
+    // / `*_into` variants are the shipped sample path: zero-copy parse
+    // and buffer-reusing render; the String variants are the seed's
+    // behavior, kept as compatibility APIs.
     let mut g = c.benchmark_group("raw_format");
     g.throughput(Throughput::Bytes(msg.len() as u64));
     g.bench_function("parse_message", |b| {
         b.iter(|| RawFile::parse(&msg).unwrap())
     });
+    g.bench_function("parse_message_bytes", |b| {
+        let payload = msg.as_bytes();
+        b.iter(|| codec::parse_bytes(payload).unwrap())
+    });
     let parsed = RawFile::parse(&msg).unwrap();
     g.bench_function("render_message", |b| {
         b.iter(|| RawFile::render_message(&parsed.header, &parsed.samples[0]))
+    });
+    g.bench_function("render_message_into_reused_buf", |b| {
+        let mut buf: Vec<u8> = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            codec::render_message_into(&parsed.header, &parsed.samples[0], None, &mut buf);
+            buf.len()
+        })
     });
     g.finish();
 }

@@ -57,8 +57,9 @@ fn write_frame(stream: &mut TcpStream, op: u8, body: &[u8]) -> io::Result<()> {
     let len = u32::try_from(body.len() + 1).map_err(|_| {
         io::Error::new(io::ErrorKind::InvalidInput, "frame body exceeds u32 length")
     })?;
-    let mut header = len.to_be_bytes().to_vec();
-    header.push(op);
+    // Stack-assembled header: framing must not allocate per message.
+    let [l0, l1, l2, l3] = len.to_be_bytes();
+    let header = [l0, l1, l2, l3, op];
     stream.write_all(&header)?;
     stream.write_all(body)?;
     stream.flush()
@@ -165,6 +166,9 @@ fn serve_connection(mut stream: TcpStream, broker: Broker) -> io::Result<()> {
     // Per-connection consumers; dropped (⇒ redelivery) when the
     // connection closes.
     let mut consumers: HashMap<String, Consumer> = HashMap::new();
+    // Delivery frames are built in one reused buffer per connection;
+    // `clear` keeps the high-water-mark capacity across messages.
+    let mut out = BytesMut::new();
     loop {
         let (op, mut body) = match read_frame(&mut stream) {
             Ok(f) => f,
@@ -201,7 +205,7 @@ fn serve_connection(mut stream: TcpStream, broker: Broker) -> io::Result<()> {
                 };
                 match consumer.get(Duration::from_millis(timeout_ms as u64)) {
                     Some(d) => {
-                        let mut out = BytesMut::with_capacity(16 + d.payload.len());
+                        out.clear();
                         out.put_u64(d.tag);
                         out.put_u8(d.redelivered as u8);
                         match put_str(&mut out, &d.routing_key) {
@@ -251,6 +255,11 @@ pub struct BrokerClient {
     max_backoff: Duration,
     backoff: Duration,
     max_attempts: u32,
+    /// Request bodies are assembled here and the buffer is reused
+    /// across requests (taken out for the duration of a call, put
+    /// back after), so steady-state publishing does not allocate for
+    /// framing — only the payload copy into the kernel remains.
+    scratch: BytesMut,
 }
 
 impl BrokerClient {
@@ -282,6 +291,7 @@ impl BrokerClient {
             max_backoff,
             backoff: base_backoff,
             max_attempts,
+            scratch: BytesMut::new(),
         };
         client.ensure_stream()?;
         Ok(client)
@@ -332,9 +342,11 @@ impl BrokerClient {
 
     /// Declare a queue.
     pub fn declare(&mut self, queue: &str) -> io::Result<()> {
-        let mut b = BytesMut::new();
-        put_str(&mut b, queue)?;
-        let (re, _) = self.roundtrip(OP_DECLARE, &b)?;
+        let mut b = std::mem::take(&mut self.scratch);
+        b.clear();
+        let result = put_str(&mut b, queue).and_then(|()| self.roundtrip(OP_DECLARE, &b));
+        self.scratch = b;
+        let (re, _) = result?;
         if re == RE_OK {
             Ok(())
         } else {
@@ -344,11 +356,16 @@ impl BrokerClient {
 
     /// Publish a payload.
     pub fn publish(&mut self, queue: &str, routing_key: &str, payload: &[u8]) -> io::Result<()> {
-        let mut b = BytesMut::with_capacity(payload.len() + 64);
-        put_str(&mut b, queue)?;
-        put_str(&mut b, routing_key)?;
-        b.put_slice(payload);
-        let (re, _) = self.roundtrip(OP_PUBLISH, &b)?;
+        let mut b = std::mem::take(&mut self.scratch);
+        b.clear();
+        let result = put_str(&mut b, queue)
+            .and_then(|()| put_str(&mut b, routing_key))
+            .and_then(|()| {
+                b.put_slice(payload);
+                self.roundtrip(OP_PUBLISH, &b)
+            });
+        self.scratch = b;
+        let (re, _) = result?;
         if re == RE_OK {
             Ok(())
         } else {
@@ -358,10 +375,14 @@ impl BrokerClient {
 
     /// Fetch the next message, waiting up to `timeout` server-side.
     pub fn get(&mut self, queue: &str, timeout: Duration) -> io::Result<Option<Delivery>> {
-        let mut b = BytesMut::new();
-        put_str(&mut b, queue)?;
-        b.put_u32(timeout.as_millis().min(u32::MAX as u128) as u32);
-        let (re, mut body) = self.roundtrip(OP_GET, &b)?;
+        let mut b = std::mem::take(&mut self.scratch);
+        b.clear();
+        let result = put_str(&mut b, queue).and_then(|()| {
+            b.put_u32(timeout.as_millis().min(u32::MAX as u128) as u32);
+            self.roundtrip(OP_GET, &b)
+        });
+        self.scratch = b;
+        let (re, mut body) = result?;
         match re {
             RE_DELIVERY => {
                 if body.remaining() < 9 {
@@ -384,10 +405,14 @@ impl BrokerClient {
 
     /// Acknowledge a delivery.
     pub fn ack(&mut self, queue: &str, tag: u64) -> io::Result<bool> {
-        let mut b = BytesMut::new();
-        put_str(&mut b, queue)?;
-        b.put_u64(tag);
-        let (re, _) = self.roundtrip(OP_ACK, &b)?;
+        let mut b = std::mem::take(&mut self.scratch);
+        b.clear();
+        let result = put_str(&mut b, queue).and_then(|()| {
+            b.put_u64(tag);
+            self.roundtrip(OP_ACK, &b)
+        });
+        self.scratch = b;
+        let (re, _) = result?;
         Ok(re == RE_OK)
     }
 }

@@ -171,7 +171,7 @@ impl Archive {
         let mut out: Vec<(String, Sample)> = Vec::new();
         for rf in self.parse_all()? {
             for s in rf.samples {
-                out.push((rf.header.hostname.clone(), s));
+                out.push((rf.header.hostname.to_string(), s));
             }
         }
         out.sort_by_key(|(_, s)| s.time.0);
@@ -194,7 +194,7 @@ mod tests {
             DeviceType::Mdc.schema(CpuArch::SandyBridge),
         );
         let h = HostHeader {
-            hostname: host.to_string(),
+            hostname: host.into(),
             arch: CpuArch::SandyBridge,
             schemas,
         };

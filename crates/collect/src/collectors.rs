@@ -12,6 +12,7 @@
 //! Collectors return an empty vector when their device is absent.
 
 use crate::record::{DeviceRecord, PsRecord};
+use tacc_simnode::intern::Sym;
 use tacc_simnode::node::{
     UncoreDev, MSR_DRAM_ENERGY_STATUS, MSR_FIXED_CTR0, MSR_FIXED_CTR1, MSR_FIXED_CTR2,
     MSR_PKG_ENERGY_STATUS, MSR_PMC0, MSR_PP0_ENERGY_STATUS,
@@ -28,10 +29,12 @@ pub trait Collector: Send + Sync {
     fn collect(&self, fs: &NodeFs<'_>) -> Vec<DeviceRecord>;
 }
 
-fn rec(dev_type: DeviceType, instance: impl Into<String>, values: Vec<u64>) -> DeviceRecord {
+fn rec(dev_type: DeviceType, instance: impl AsRef<str>, values: Vec<u64>) -> DeviceRecord {
     DeviceRecord {
         dev_type,
-        instance: instance.into(),
+        // Instance names recur every sample; interning makes this a
+        // table lookup after the first collection.
+        instance: Sym::new(instance.as_ref()),
         values,
     }
 }
@@ -583,7 +586,7 @@ impl PsCollector {
             let Some(status) = fs.read(&format!("/proc/{pid}/status")) else {
                 continue; // raced with process exit
             };
-            let mut comm = String::new();
+            let mut comm = Sym::default();
             let mut uid = 0u32;
             let mut fields: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
             for line in status.lines() {
@@ -592,7 +595,7 @@ impl PsCollector {
                 };
                 let val = val.trim();
                 match key {
-                    "Name" => comm = val.to_string(),
+                    "Name" => comm = Sym::new(val),
                     "Uid" => {
                         uid = val
                             .split_whitespace()

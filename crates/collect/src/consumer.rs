@@ -6,11 +6,13 @@
 //! (§VI-B) without waiting for the daily archive cycle.
 
 use crate::archive::Archive;
-use crate::record::{RawFile, Sample};
+use crate::codec;
+use crate::record::Sample;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 use tacc_broker::{Broker, Consumer};
+use tacc_simnode::intern::Sym;
 use tacc_simnode::SimTime;
 
 /// Drains a broker queue into the archive and hands each sample to an
@@ -28,11 +30,16 @@ pub struct StatsConsumer {
     broker: Broker,
     archive: Arc<Archive>,
     /// `(host, day)` pairs whose archive file already has a header.
-    headered: HashSet<(String, u64)>,
+    /// Hosts are interned: the key is two machine words, and inserts
+    /// hash an integer instead of re-hashing the hostname text.
+    headered: HashSet<(Sym, u64)>,
     /// Per-host sequence numbers already archived.
-    seen: HashMap<String, HashSet<u64>>,
+    seen: HashMap<Sym, HashSet<u64>>,
     /// Per-host highest sequence number seen.
-    max_seq: HashMap<String, u64>,
+    max_seq: HashMap<Sym, u64>,
+    /// Reused render buffer for archive appends: cleared (capacity
+    /// kept) per sample instead of building a fresh `String` each time.
+    render_buf: Vec<u8>,
     dead_letter: Option<String>,
     /// Messages processed (unique — duplicates excluded).
     pub received: u64,
@@ -60,6 +67,7 @@ impl StatsConsumer {
             headered: HashSet::new(),
             seen: HashMap::new(),
             max_seq: HashMap::new(),
+            render_buf: Vec::new(),
             dead_letter: None,
             received: 0,
             parse_failures: 0,
@@ -88,16 +96,19 @@ impl StatsConsumer {
 
     /// Has this host's sequence number been archived?
     pub fn has_seen(&self, host: &str, seq: u64) -> bool {
-        self.seen.get(host).is_some_and(|s| s.contains(&seq))
+        self.seen
+            .get(&Sym::new(host))
+            .is_some_and(|s| s.contains(&seq))
     }
 
     /// Sequence numbers below the host's high-water mark that never
     /// arrived — the candidates for dropped/lost classification.
     pub fn missing(&self, host: &str) -> Vec<u64> {
-        let Some(seen) = self.seen.get(host) else {
+        let host = Sym::new(host);
+        let Some(seen) = self.seen.get(&host) else {
             return Vec::new();
         };
-        let max = self.max_seq.get(host).copied().unwrap_or(0);
+        let max = self.max_seq.get(&host).copied().unwrap_or(0);
         (0..=max).filter(|s| !seen.contains(s)).collect()
     }
 
@@ -118,25 +129,22 @@ impl StatsConsumer {
 
     /// Process at most one message. `now` is the (simulated) arrival
     /// time used for data-availability latency accounting. Returns the
-    /// hostname and sample if a message was processed.
-    pub fn poll_once(&mut self, now: SimTime, timeout: Duration) -> Option<(String, Sample)> {
+    /// (interned) hostname and sample if a message was processed.
+    pub fn poll_once(&mut self, now: SimTime, timeout: Duration) -> Option<(Sym, Sample)> {
         // Rejected and duplicate messages are consumed without yielding a
         // sample; keep pulling so one poison message can't stall a drain.
         loop {
             let delivery = self.consumer.get(timeout)?;
-            let rf = match std::str::from_utf8(&delivery.payload)
-                .ok()
-                .and_then(|text| RawFile::parse(text).ok())
-            {
-                Some(rf) => rf,
-                None => {
+            let rf = match codec::parse_bytes(&delivery.payload) {
+                Ok(rf) => rf,
+                Err(_) => {
                     self.reject(&delivery);
                     continue;
                 }
             };
-            let host = rf.header.hostname.clone();
+            let host = rf.header.hostname;
             if let Some(seq) = rf.seq {
-                let seen = self.seen.entry(host.clone()).or_default();
+                let seen = self.seen.entry(host).or_default();
                 if !seen.insert(seq) {
                     // At-least-once replay after a lost ack: already
                     // archived, skip.
@@ -148,20 +156,26 @@ impl StatsConsumer {
                 if seq > expected {
                     self.gap_events += 1;
                 }
-                let max = self.max_seq.entry(host.clone()).or_insert(0);
+                let max = self.max_seq.entry(host).or_insert(0);
                 *max = (*max).max(seq);
             }
             let mut last = None;
             for sample in rf.samples {
                 let t = sample.time.time();
                 let day = t.start_of_day();
-                let key = (host.clone(), day.as_secs());
-                let mut text = String::new();
-                if self.headered.insert(key) && !self.archive.has_file(&host, day) {
-                    text.push_str(&rf.header.render());
+                let key = (host, day.as_secs());
+                self.render_buf.clear();
+                if self.headered.insert(key) && !self.archive.has_file(host.as_str(), day) {
+                    codec::render_header_into(&rf.header, &mut self.render_buf);
                 }
-                text.push_str(&RawFile::render_sample(&sample));
-                self.archive.append(&host, day, &text, &[t], now);
+                codec::render_sample_into(&sample, &mut self.render_buf);
+                // The codec emits only `&str` bytes and ASCII digits, so
+                // the buffer is always valid UTF-8; the check (rather
+                // than a conversion that could panic) keeps this
+                // delivery path panic-free.
+                if let Ok(text) = std::str::from_utf8(&self.render_buf) {
+                    self.archive.append(host.as_str(), day, text, &[t], now);
+                }
                 last = Some(sample);
             }
             self.consumer.ack(delivery.tag);
@@ -171,7 +185,7 @@ impl StatsConsumer {
     }
 
     /// Drain everything currently queued; returns the processed samples.
-    pub fn drain(&mut self, now: SimTime) -> Vec<(String, Sample)> {
+    pub fn drain(&mut self, now: SimTime) -> Vec<(Sym, Sample)> {
         let mut out = Vec::new();
         while let Some(hs) = self.poll_once(now, Duration::from_millis(0)) {
             out.push(hs);

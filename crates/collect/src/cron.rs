@@ -129,7 +129,7 @@ impl CronCollector {
     fn sync(&mut self, archive: &Archive, now: SimTime) {
         for (day, log) in self.pending.drain(..) {
             archive.append(
-                &self.sampler.header().hostname,
+                self.sampler.header().hostname.as_str(),
                 day,
                 &log.text,
                 &log.sample_times,

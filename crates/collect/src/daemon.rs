@@ -30,8 +30,8 @@
 //! ~0.09 s collection window is busy *and* the slot is full are missed
 //! until the next collection.
 
+use crate::codec;
 use crate::engine::Sampler;
-use crate::record::RawFile;
 use crate::spool::{Spool, SpoolConfig};
 use bytes::Bytes;
 use tacc_broker::Broker;
@@ -111,6 +111,12 @@ pub struct TaccStatsd {
     seq: u64,
     spool: Spool,
     lost_seqs: Vec<u64>,
+    /// The rendered `$`/`!` header block, cached once: the header is
+    /// immutable for the daemon's lifetime and prefixes every message.
+    header_buf: Vec<u8>,
+    /// Reused per-message render buffer (cleared between messages so
+    /// its capacity, sized by the first message, is paid once).
+    render_buf: Vec<u8>,
     /// Samples collected (each consumed one sequence number).
     pub collected: u64,
     /// Messages successfully published (first attempts + replays).
@@ -134,10 +140,13 @@ impl TaccStatsd {
         let jitter_seed = sampler
             .header()
             .hostname
+            .as_str()
             .bytes()
             .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
                 (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
             });
+        let mut header_buf = Vec::new();
+        codec::render_header_into(sampler.header(), &mut header_buf);
         TaccStatsd {
             sampler,
             interval,
@@ -149,6 +158,8 @@ impl TaccStatsd {
             seq: 0,
             spool: Spool::new(SpoolConfig::default(), jitter_seed),
             lost_seqs: Vec::new(),
+            header_buf,
+            render_buf: Vec::new(),
             collected: 0,
             published: 0,
             publish_failures: 0,
@@ -230,9 +241,18 @@ impl TaccStatsd {
         let seq = self.seq;
         self.seq += 1;
         self.collected += 1;
-        let msg = RawFile::render_message_with_seq(self.sampler.header(), &sample, seq);
-        let host = self.sampler.header().hostname.clone();
-        let payload = Bytes::from(msg);
+        // One reused buffer: cached header prefix, `$seq` line, sample.
+        // `clear()` keeps the capacity, so steady state renders without
+        // allocating; the only per-message allocation is the shared
+        // `Bytes` handed to the broker.
+        self.render_buf.clear();
+        self.render_buf.extend_from_slice(&self.header_buf);
+        codec::render_seq(seq, &mut self.render_buf);
+        codec::render_sample_into(&sample, &mut self.render_buf);
+        // Interned: resolving the routing key is a table lookup, not a
+        // per-message String clone.
+        let host = self.sampler.header().hostname.as_str();
+        let payload = Bytes::copy_from_slice(&self.render_buf);
         if !self.spool.is_empty() {
             // Earlier messages are still waiting: spool behind them so
             // the per-host sequence order is preserved on the wire.
@@ -242,7 +262,7 @@ impl TaccStatsd {
             self.try_replay(now);
         } else if self
             .publisher
-            .publish(&self.queue, &host, seq, payload.clone())
+            .publish(&self.queue, host, seq, payload.clone())
         {
             self.published += 1;
         } else {
@@ -255,7 +275,7 @@ impl TaccStatsd {
     /// Replay spooled messages in order while the backoff schedule
     /// allows and publishes keep succeeding.
     fn try_replay(&mut self, now: SimTime) {
-        let host = self.sampler.header().hostname.clone();
+        let host = self.sampler.header().hostname.as_str();
         while self.spool.ready(now) {
             // `ready` implies non-empty, but the hot path must not bet
             // the daemon's life on it: an empty front just ends replay.
@@ -263,7 +283,7 @@ impl TaccStatsd {
                 break;
             };
             let (seq, payload) = (front.seq, front.payload.clone());
-            if self.publisher.publish(&self.queue, &host, seq, payload) {
+            if self.publisher.publish(&self.queue, host, seq, payload) {
                 self.spool.pop();
                 self.spool.on_success();
                 self.published += 1;
@@ -324,6 +344,7 @@ impl TaccStatsd {
 mod tests {
     use super::*;
     use crate::discovery::{discover, BuildOptions};
+    use crate::record::RawFile;
     use std::time::Duration;
     use tacc_simnode::topology::NodeTopology;
     use tacc_simnode::SimNode;

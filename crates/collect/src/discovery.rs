@@ -21,6 +21,7 @@ use crate::collectors::{
 };
 use crate::record::HostHeader;
 use std::collections::{BTreeMap, BTreeSet};
+use tacc_simnode::intern::Sym;
 use tacc_simnode::node::UncoreDev;
 use tacc_simnode::pseudofs::NodeFs;
 use tacc_simnode::schema::DeviceType;
@@ -202,7 +203,7 @@ impl NodeConfig {
             .map(|dt| (dt, dt.schema(self.arch)))
             .collect();
         HostHeader {
-            hostname: hostname.to_string(),
+            hostname: Sym::new(hostname),
             arch: self.arch,
             schemas,
         }

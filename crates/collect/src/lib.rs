@@ -6,7 +6,12 @@
 //! * [`record`] — the raw-stats file format: a header carrying hostname,
 //!   architecture, and per-device schemas, followed by timestamped record
 //!   groups (one value vector per device instance). Serialization and
-//!   parsing round-trip.
+//!   parsing round-trip. Identity strings (instances, comms, hostnames)
+//!   are interned [`tacc_simnode::intern::Sym`]s.
+//! * [`codec`] — the buffer-reusing byte codec for that format:
+//!   `render_*_into(&mut Vec<u8>)` appends without per-sample
+//!   allocations, `parse_bytes` parses payloads without building an
+//!   owned `String`.
 //! * [`collectors`] — one collector per device type. MSR- and PCI-space
 //!   collectors read binary registers via [`tacc_simnode::SimNode`]
 //!   accessors; everything else genuinely parses the procfs/sysfs-style
@@ -31,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod archive;
+pub mod codec;
 pub mod collectors;
 pub mod consumer;
 pub mod cron;

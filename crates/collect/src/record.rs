@@ -23,9 +23,11 @@
 //! new timestamped record group ("sample"). Everything round-trips:
 //! `parse(render(f)) == f`.
 
+use crate::codec;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use tacc_simnode::intern::Sym;
 use tacc_simnode::schema::{DeviceType, Schema};
 use tacc_simnode::topology::CpuArch;
 use tacc_simnode::SimTime;
@@ -38,8 +40,10 @@ pub const FORMAT_VERSION: &str = "2.1";
 pub struct DeviceRecord {
     /// Device type.
     pub dev_type: DeviceType,
-    /// Instance name (CPU number, socket number, filesystem, port, …).
-    pub instance: String,
+    /// Instance name (CPU number, socket number, filesystem, port, …),
+    /// interned: the same few names recur every sample, so records
+    /// carry a `Copy` symbol instead of re-allocating the text.
+    pub instance: Sym,
     /// Register values in schema order.
     pub values: Vec<u64>,
 }
@@ -49,8 +53,9 @@ pub struct DeviceRecord {
 pub struct PsRecord {
     /// Process id.
     pub pid: u32,
-    /// Executable name.
-    pub comm: String,
+    /// Executable name, interned (a node runs the same few binaries
+    /// for the duration of a job).
+    pub comm: Sym,
     /// Owning uid.
     pub uid: u32,
     /// Values per the `ps` schema (VmSize, VmHWM, VmRSS, VmLck, VmData,
@@ -117,8 +122,9 @@ impl Sample {
 /// record lines.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HostHeader {
-    /// Hostname.
-    pub hostname: String,
+    /// Hostname, interned (one distinct value per node for the life of
+    /// the process; every message repeats it).
+    pub hostname: Sym,
     /// Detected architecture.
     pub arch: CpuArch,
     /// Schema per device type present on the host.
@@ -129,12 +135,7 @@ impl HostHeader {
     /// Render the `$`/`!` header block.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("$tacc_stats {FORMAT_VERSION}\n"));
-        out.push_str(&format!("$hostname {}\n", self.hostname));
-        out.push_str(&format!("$arch {}\n", self.arch.name()));
-        for (dt, schema) in &self.schemas {
-            out.push_str(&format!("!{} {}\n", dt.name(), schema.render()));
-        }
+        codec::render_header(self, &mut out);
         out
     }
 }
@@ -186,27 +187,34 @@ impl RawFile {
 
     /// Render the whole file.
     pub fn render(&self) -> String {
-        let mut out = self.header.render();
+        let mut out = String::new();
+        codec::render_header(&self.header, &mut out);
         if let Some(n) = self.seq {
-            out.push_str(&format!("$seq {n}\n"));
+            codec::render_seq(n, &mut out);
         }
         for s in &self.samples {
-            out.push_str(&render_sample(s));
+            codec::render_sample(s, &mut out);
         }
         out
     }
 
     /// Render one sample as it would be appended to an existing log.
+    /// Hot-path callers should prefer [`codec::render_sample_into`]
+    /// with a reused buffer.
     pub fn render_sample(s: &Sample) -> String {
-        render_sample(s)
+        let mut out = String::new();
+        codec::render_sample(s, &mut out);
+        out
     }
 
     /// Render a single-sample message for the daemon→broker path: full
     /// header plus one sample, so the consumer can interpret it without
-    /// out-of-band state.
+    /// out-of-band state. Hot-path callers should prefer
+    /// [`codec::render_message_into`] with a reused buffer.
     pub fn render_message(header: &HostHeader, s: &Sample) -> String {
-        let mut out = header.render();
-        out.push_str(&render_sample(s));
+        let mut out = String::new();
+        codec::render_header(header, &mut out);
+        codec::render_sample(s, &mut out);
         out
     }
 
@@ -214,9 +222,10 @@ impl RawFile {
     /// sequence number (`$seq` header line) for at-least-once delivery
     /// accounting.
     pub fn render_message_with_seq(header: &HostHeader, s: &Sample, seq: u64) -> String {
-        let mut out = header.render();
-        out.push_str(&format!("$seq {seq}\n"));
-        out.push_str(&render_sample(s));
+        let mut out = String::new();
+        codec::render_header(header, &mut out);
+        codec::render_seq(seq, &mut out);
+        codec::render_sample(s, &mut out);
         out
     }
 
@@ -248,7 +257,7 @@ impl RawFile {
                         return Err(err(lineno, &format!("unsupported version {value}")));
                     }
                     "tacc_stats" => {}
-                    "hostname" => hostname = Some(value.to_string()),
+                    "hostname" => hostname = Some(Sym::new(value)),
                     "arch" => {
                         arch = Some(
                             CpuArch::HOST_ARCHS
@@ -319,14 +328,15 @@ impl RawFile {
                     .ok_or_else(|| err(lineno, "ps line missing pid"))?;
                 let comm = toks
                     .next()
-                    .ok_or_else(|| err(lineno, "ps line missing comm"))?
-                    .to_string();
+                    .map(Sym::new)
+                    .ok_or_else(|| err(lineno, "ps line missing comm"))?;
                 let uid: u32 = toks
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| err(lineno, "ps line missing uid"))?;
-                let values: Result<Vec<u64>, _> = toks.map(|t| t.parse()).collect();
-                let values = values.map_err(|_| err(lineno, "bad ps value"))?;
+                let expect = schemas.get(&DeviceType::Ps).map(Schema::len);
+                let values =
+                    collect_values(toks, expect).map_err(|()| err(lineno, "bad ps value"))?;
                 if let Some(schema) = schemas.get(&DeviceType::Ps) {
                     if values.len() != schema.len() {
                         return Err(err(lineno, "ps value count mismatch"));
@@ -341,10 +351,10 @@ impl RawFile {
             } else {
                 let instance = toks
                     .next()
-                    .ok_or_else(|| err(lineno, "record missing instance"))?
-                    .to_string();
-                let values: Result<Vec<u64>, _> = toks.map(|t| t.parse()).collect();
-                let values = values.map_err(|_| err(lineno, "bad value"))?;
+                    .map(Sym::new)
+                    .ok_or_else(|| err(lineno, "record missing instance"))?;
+                let expect = schemas.get(&dt).map(Schema::len);
+                let values = collect_values(toks, expect).map_err(|()| err(lineno, "bad value"))?;
                 if let Some(schema) = schemas.get(&dt) {
                     if values.len() != schema.len() {
                         return Err(err(
@@ -381,58 +391,19 @@ impl RawFile {
     }
 }
 
-fn render_sample(s: &Sample) -> String {
-    let mut out = String::with_capacity(64 * (s.devices.len() + s.processes.len() + 2));
-    let jobids = if s.jobids.is_empty() {
-        "-".to_string()
-    } else {
-        s.jobids.join(",")
-    };
-    out.push_str(&format!("{} {}\n", s.time.as_secs(), jobids));
-    for m in &s.marks {
-        out.push('%');
-        out.push_str(m);
-        out.push('\n');
+/// Collect whitespace-split values into a Vec pre-sized from the
+/// schema: `collect` on a `split_whitespace` iterator cannot size
+/// itself, and its doubling growth is the parse hot path's realloc
+/// traffic.
+fn collect_values<'a>(
+    toks: impl Iterator<Item = &'a str>,
+    expect: Option<usize>,
+) -> Result<Vec<u64>, ()> {
+    let mut values = Vec::with_capacity(expect.unwrap_or(0));
+    for t in toks {
+        values.push(t.parse().map_err(|_| ())?);
     }
-    for d in &s.devices {
-        out.push_str(d.dev_type.name());
-        out.push(' ');
-        out.push_str(&d.instance);
-        for v in &d.values {
-            out.push(' ');
-            out.push_str(itoa(*v).as_str());
-        }
-        out.push('\n');
-    }
-    for p in &s.processes {
-        out.push_str("ps ");
-        out.push_str(itoa(p.pid as u64).as_str());
-        out.push(' ');
-        out.push_str(&p.comm);
-        out.push(' ');
-        out.push_str(itoa(p.uid as u64).as_str());
-        for v in &p.values {
-            out.push(' ');
-            out.push_str(itoa(*v).as_str());
-        }
-        out.push('\n');
-    }
-    out
-}
-
-/// Allocation-light u64 → decimal (hot path: every value of every sample).
-fn itoa(mut v: u64) -> String {
-    if v == 0 {
-        return "0".to_string();
-    }
-    let mut buf = Vec::with_capacity(20);
-    while v > 0 {
-        buf.push(b'0' + (v % 10) as u8);
-        v /= 10;
-    }
-    buf.reverse();
-    // Digits are pure ASCII, so the conversion cannot fail.
-    String::from_utf8(buf).unwrap_or_default()
+    Ok(values)
 }
 
 #[cfg(test)]
@@ -452,7 +423,7 @@ mod tests {
             schemas.insert(dt, dt.schema(arch));
         }
         HostHeader {
-            hostname: "c401-0001".to_string(),
+            hostname: "c401-0001".into(),
             arch,
             schemas,
         }
@@ -466,18 +437,18 @@ mod tests {
             devices: vec![
                 DeviceRecord {
                     dev_type: DeviceType::Cpu,
-                    instance: "0".to_string(),
+                    instance: "0".into(),
                     values: vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
                 },
                 DeviceRecord {
                     dev_type: DeviceType::Mdc,
-                    instance: "scratch".to_string(),
+                    instance: "scratch".into(),
                     values: vec![100, 5000],
                 },
             ],
             processes: vec![PsRecord {
                 pid: 1001,
-                comm: "wrf.exe".to_string(),
+                comm: "wrf.exe".into(),
                 uid: 5000,
                 values: vec![10, 20, 30, 0, 5, 1, 2, 16, 12345, 0xFFFF, 3],
             }],
@@ -507,7 +478,7 @@ mod tests {
                 let mut schemas = BTreeMap::new();
                 schemas.insert(dt, dt.schema(arch));
                 let h = HostHeader {
-                    hostname: "c401-0001".to_string(),
+                    hostname: "c401-0001".into(),
                     arch,
                     schemas,
                 };
@@ -525,7 +496,7 @@ mod tests {
                 schemas.insert(dt, dt.schema(arch));
             }
             let h = HostHeader {
-                hostname: "c401-0001".to_string(),
+                hostname: "c401-0001".into(),
                 arch,
                 schemas,
             };
@@ -647,7 +618,7 @@ mod tests {
             schemas.insert(DeviceType::Mdc, DeviceType::Mdc.schema(CpuArch::Haswell));
             let f = RawFile {
                 header: HostHeader {
-                    hostname: "h".to_string(),
+                    hostname: "h".into(),
                     arch: CpuArch::Haswell,
                     schemas,
                 },
@@ -658,7 +629,7 @@ mod tests {
                     marks: vec![],
                     devices: vec![DeviceRecord {
                         dev_type: DeviceType::Mdc,
-                        instance: "scratch".to_string(),
+                        instance: "scratch".into(),
                         values: vals.clone(),
                     }],
                     processes: vec![],

@@ -1,0 +1,10 @@
+//! Re-export of the shared interning layer.
+//!
+//! The intern table lives at the bottom of the dependency graph (in
+//! `tacc-simnode`, which every sample-path crate already depends on) so
+//! that collectors, the broker framing, the accumulator, and the tsdb
+//! can all share one table. This module re-exports it under the
+//! top-level façade so downstream users reach it as `tacc_core::intern`
+//! without caring where in the graph it lives.
+
+pub use tacc_simnode::intern::{Sym, SymbolTable};

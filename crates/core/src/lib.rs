@@ -21,11 +21,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod intern;
 pub mod online;
 pub mod population;
 pub mod system;
 
 pub use config::{Mode, SystemConfig};
+pub use intern::{Sym, SymbolTable};
 pub use online::{Alert, AlertKind, OnlineAnalyzer};
 pub use population::{PopulationResult, PopulationRunner};
 pub use system::{DeliveryReport, MonitoringSystem};

@@ -16,6 +16,7 @@
 use std::collections::{HashMap, HashSet};
 use tacc_collect::record::{HostHeader, Sample};
 use tacc_simnode::counter::wrapping_delta;
+use tacc_simnode::intern::Sym;
 use tacc_simnode::schema::DeviceType;
 use tacc_simnode::SimTime;
 
@@ -78,8 +79,8 @@ struct PrevCounters {
 /// Streaming analyzer over the consumer output.
 pub struct OnlineAnalyzer {
     cfg: OnlineConfig,
-    prev: HashMap<String, PrevCounters>,
-    last_seen: HashMap<String, SimTime>,
+    prev: HashMap<Sym, PrevCounters>,
+    last_seen: HashMap<Sym, SimTime>,
     raised: HashSet<(String, AlertKind)>,
     alerts: Vec<Alert>,
 }
@@ -133,8 +134,8 @@ impl OnlineAnalyzer {
     /// Observe one sample as the consumer processes it. Returns any
     /// newly raised alerts.
     pub fn observe(&mut self, now: SimTime, header: &HostHeader, sample: &Sample) -> Vec<Alert> {
-        let host = header.hostname.clone();
-        self.last_seen.insert(host.clone(), now);
+        let host = header.hostname;
+        self.last_seen.insert(host, now);
         let t = sample.time.as_secs();
         let mdc_reqs: u64 = {
             let idx = header
@@ -174,7 +175,7 @@ impl OnlineAnalyzer {
                 if md_rate > self.cfg.md_rate_per_host {
                     if let Some(a) = self.raise(
                         now,
-                        &host,
+                        host.as_str(),
                         &sample.jobids,
                         AlertKind::MetadataStorm,
                         md_rate,
@@ -184,9 +185,13 @@ impl OnlineAnalyzer {
                 }
                 let net_rate = wrapping_delta(prev.net_bytes, net_bytes, 64) as f64 / dt;
                 if net_rate > self.cfg.gige_rate {
-                    if let Some(a) =
-                        self.raise(now, &host, &sample.jobids, AlertKind::GigeTraffic, net_rate)
-                    {
+                    if let Some(a) = self.raise(
+                        now,
+                        host.as_str(),
+                        &sample.jobids,
+                        AlertKind::GigeTraffic,
+                        net_rate,
+                    ) {
                         out.push(a);
                     }
                 }
@@ -207,15 +212,15 @@ impl OnlineAnalyzer {
     /// configured window. Call once per driver step.
     pub fn check_silence(&mut self, now: SimTime) -> Vec<Alert> {
         let mut out = Vec::new();
-        let silent: Vec<(String, SimTime)> = self
+        let silent: Vec<(Sym, SimTime)> = self
             .last_seen
             .iter()
             .filter(|(_, last)| now.duration_since(**last).as_secs() >= self.cfg.silence_secs)
-            .map(|(h, last)| (h.clone(), *last))
+            .map(|(h, last)| (*h, *last))
             .collect();
         for (host, last) in silent {
             let silence = now.duration_since(last).as_secs() as f64;
-            if let Some(a) = self.raise(now, &host, &[], AlertKind::SilentNode, silence) {
+            if let Some(a) = self.raise(now, host.as_str(), &[], AlertKind::SilentNode, silence) {
                 out.push(a);
             }
         }
@@ -241,7 +246,7 @@ mod tests {
             DeviceType::Net.schema(CpuArch::SandyBridge),
         );
         HostHeader {
-            hostname: host.to_string(),
+            hostname: host.into(),
             arch: CpuArch::SandyBridge,
             schemas,
         }
@@ -255,12 +260,12 @@ mod tests {
             devices: vec![
                 DeviceRecord {
                     dev_type: DeviceType::Mdc,
-                    instance: "scratch".to_string(),
+                    instance: "scratch".into(),
                     values: vec![mdc_reqs, mdc_reqs * 200],
                 },
                 DeviceRecord {
                     dev_type: DeviceType::Net,
-                    instance: "eth0".to_string(),
+                    instance: "eth0".into(),
                     values: vec![net_bytes / 2, 0, net_bytes / 2, 0],
                 },
             ],

@@ -54,7 +54,7 @@ impl TsdbMirror {
 
     fn feed(&mut self, header: &HostHeader, sample: &Sample, tsdb: &TsDb) {
         let t = sample.time.as_secs();
-        let host = &header.hostname;
+        let host = header.hostname.as_str();
         let mut track = |dt: DeviceType, event: &str, value: u64| {
             let key = SeriesKey::new(host, dt.name(), "all", event);
             if let Some((pt, pv)) = self.prev.get(&key).copied() {
@@ -322,7 +322,7 @@ impl MonitoringSystem {
             d.set_publisher(Box::new(ChaosPublisher {
                 broker: broker.clone(),
                 plan: plan.clone(),
-                host: self.headers[i].hostname.clone(),
+                host: self.headers[i].hostname.to_string(),
             }));
         }
         self.fault_plan = Some(plan);
@@ -337,6 +337,7 @@ impl MonitoringSystem {
         for (i, d) in ds.iter_mut().enumerate() {
             let seed = self.headers[i]
                 .hostname
+                .as_str()
                 .bytes()
                 .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
                     (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
@@ -525,7 +526,7 @@ impl MonitoringSystem {
         let consumer = self.consumer.as_ref().expect("daemon mode has a consumer");
         let mut r = DeliveryReport::default();
         for (i, d) in ds.iter().enumerate() {
-            let host = &self.headers[i].hostname;
+            let host = self.headers[i].hostname.as_str();
             r.collected += d.collected;
             r.degraded_reads += d.sampler().degraded_reads();
             for seq in 0..d.next_seq() {
@@ -769,7 +770,7 @@ impl MonitoringSystem {
         let mut to_suspend: Vec<JobId> = Vec::new();
         if let Some(consumer) = &mut self.consumer {
             for (host, sample) in consumer.drain(now2) {
-                let Some(idx) = self.host_index(&host) else {
+                let Some(idx) = self.host_index(host.as_str()) else {
                     continue;
                 };
                 Self::feed_sample(

@@ -10,11 +10,50 @@
 //! through in one pass.
 
 use crate::table1::{JobMetrics, MetricId};
+use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use tacc_collect::record::{HostHeader, Sample};
 use tacc_simnode::counter::wrapping_delta;
+use tacc_simnode::intern::Sym;
 use tacc_simnode::schema::{DeviceType, EventKind, Schema};
 use tacc_simnode::topology::CpuArch;
+
+/// Where a counter's per-interval delta lands in [`IntervalDelta`].
+///
+/// Resolved once per schema at construction ([`slot_kind`]), so `feed`
+/// dispatches on a dense per-event `Vec<SlotKind>` instead of matching
+/// event-name strings for every value of every sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotKind {
+    /// Counter feeds cumulative deltas only.
+    None,
+    /// Lustre metadata requests (MetaDataRate numerator).
+    MdcReqs,
+    /// Lnet tx/rx bytes (LnetMaxBW numerator).
+    LnetBytes,
+    /// Infiniband xmit/rcv words — scaled ×4 to bytes on accumulate.
+    IbBytes4x,
+    /// cpustat `user` jiffies (counted in both user and total).
+    CpuUser,
+    /// Any other cpustat counter (total jiffies only).
+    CpuOther,
+}
+
+/// Map one schema event to its interval slot. The `(DeviceType, "name")`
+/// pairs here are the interval-tracked quantities of §IV-A's Maximum
+/// metrics; `cargo xtask lint` cross-checks them against the schemas.
+fn slot_kind(dt: DeviceType, event: &str) -> SlotKind {
+    match (dt, event) {
+        (DeviceType::Mdc, "reqs") => SlotKind::MdcReqs,
+        (DeviceType::Lnet, "tx_bytes") | (DeviceType::Lnet, "rx_bytes") => SlotKind::LnetBytes,
+        (DeviceType::Ib, "port_xmit_data") | (DeviceType::Ib, "port_rcv_data") => {
+            SlotKind::IbBytes4x
+        }
+        (DeviceType::Cpustat, "user") => SlotKind::CpuUser,
+        (DeviceType::Cpustat, _) => SlotKind::CpuOther,
+        _ => SlotKind::None,
+    }
+}
 
 /// Per-interval deltas needed by Maximum metrics and `catastrophe`.
 #[derive(Clone, Copy, Debug, Default)]
@@ -31,8 +70,13 @@ struct IntervalDelta {
 pub struct HostAccum {
     arch: CpuArch,
     schemas: BTreeMap<DeviceType, Schema>,
-    /// (device type, instance) → (time secs, previous raw values).
-    prev: HashMap<(DeviceType, String), (u64, Vec<u64>)>,
+    /// Per-device interval slots in schema-event order, precomputed from
+    /// the schemas so `feed` never matches event names per value.
+    slots: BTreeMap<DeviceType, Vec<SlotKind>>,
+    /// (device type, interned instance) → (time secs, previous raw
+    /// values). `Sym` keys make the per-sample lookup a hash of two
+    /// integers and the insert allocation-free.
+    prev: HashMap<(DeviceType, Sym), (u64, Vec<u64>)>,
     /// Cumulative deltas per device type, summed over instances, in
     /// schema-event order.
     cum: BTreeMap<DeviceType, Vec<f64>>,
@@ -47,9 +91,22 @@ pub struct HostAccum {
 impl HostAccum {
     /// New accumulator for a host described by `header`.
     pub fn new(header: &HostHeader) -> HostAccum {
+        let slots = header
+            .schemas
+            .iter()
+            .map(|(dt, schema)| {
+                let kinds = schema
+                    .events
+                    .iter()
+                    .map(|ev| slot_kind(*dt, ev.name.as_str()))
+                    .collect();
+                (*dt, kinds)
+            })
+            .collect();
         HostAccum {
             arch: header.arch,
             schemas: header.schemas.clone(),
+            slots,
             prev: HashMap::new(),
             cum: BTreeMap::new(),
             intervals: BTreeMap::new(),
@@ -105,38 +162,48 @@ impl HostAccum {
                 }
                 continue;
             }
-            let key = (rec.dev_type, rec.instance.clone());
-            let prev = self.prev.insert(key, (t, rec.values.clone()));
-            let Some((_pt, prev_vals)) = prev else {
-                continue; // first observation of this instance
+            let key = (rec.dev_type, rec.instance);
+            // Steady state reuses the stored buffer in place: one
+            // allocation per instance for the life of the accumulator,
+            // not one clone per record per sample.
+            let prev_slot = match self.prev.entry(key) {
+                Entry::Vacant(v) => {
+                    v.insert((t, rec.values.clone()));
+                    continue; // first observation of this instance
+                }
+                Entry::Occupied(o) => o.into_mut(),
             };
             let cum = self
                 .cum
                 .entry(rec.dev_type)
                 .or_insert_with(|| vec![0.0; schema.len()]);
+            let slots = self.slots.get(&rec.dev_type);
             for (i, ev) in schema.events.iter().enumerate() {
                 if ev.kind != EventKind::Counter {
                     continue;
                 }
-                let d = wrapping_delta(prev_vals[i], rec.values[i], ev.width) as f64;
+                let d = wrapping_delta(prev_slot.1[i], rec.values[i], ev.width) as f64;
                 cum[i] += d;
-                // Interval-tracked quantities.
-                match (rec.dev_type, ev.name.as_str()) {
-                    (DeviceType::Mdc, "reqs") => iv.mdc_reqs += d,
-                    (DeviceType::Lnet, "tx_bytes") | (DeviceType::Lnet, "rx_bytes") => {
-                        iv.lnet_bytes += d
-                    }
-                    (DeviceType::Ib, "port_xmit_data") | (DeviceType::Ib, "port_rcv_data") => {
-                        iv.ib_bytes += d * 4.0
-                    }
-                    (DeviceType::Cpustat, "user") => {
+                // Interval-tracked quantities, by precomputed slot.
+                let slot = slots
+                    .and_then(|s| s.get(i))
+                    .copied()
+                    .unwrap_or(SlotKind::None);
+                match slot {
+                    SlotKind::MdcReqs => iv.mdc_reqs += d,
+                    SlotKind::LnetBytes => iv.lnet_bytes += d,
+                    SlotKind::IbBytes4x => iv.ib_bytes += d * 4.0,
+                    SlotKind::CpuUser => {
                         iv.user_jiffies += d;
                         iv.total_jiffies += d;
                     }
-                    (DeviceType::Cpustat, _) => iv.total_jiffies += d,
-                    _ => {}
+                    SlotKind::CpuOther => iv.total_jiffies += d,
+                    SlotKind::None => {}
                 }
             }
+            prev_slot.0 = t;
+            prev_slot.1.clear();
+            prev_slot.1.extend_from_slice(&rec.values);
         }
         self.mem_max_kib = self.mem_max_kib.max(mem_now);
         if interval_len > 0.0 {
@@ -169,7 +236,10 @@ impl HostAccum {
 /// Accumulates all hosts of one job and finalizes into [`JobMetrics`].
 #[derive(Default)]
 pub struct JobAccum {
-    hosts: BTreeMap<String, HostAccum>,
+    /// Interned hostname → accumulator. `Sym` orders by resolved string,
+    /// so iteration stays hostname-sorted; the per-sample entry lookup
+    /// allocates nothing.
+    hosts: BTreeMap<Sym, HostAccum>,
 }
 
 impl JobAccum {
@@ -187,7 +257,7 @@ impl JobAccum {
     /// header on first sight).
     pub fn feed(&mut self, header: &HostHeader, sample: &Sample) {
         self.hosts
-            .entry(header.hostname.clone())
+            .entry(header.hostname)
             .or_insert_with(|| HostAccum::new(header))
             .feed(sample);
     }

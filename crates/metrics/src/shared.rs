@@ -163,7 +163,7 @@ mod tests {
     fn ps(pid: u32, uid: u32, rss: u64, hwm: u64, utime: u64, mask: u64) -> PsRecord {
         PsRecord {
             pid,
-            comm: format!("p{pid}"),
+            comm: format!("p{pid}").as_str().into(),
             uid,
             values: vec![rss + 100, hwm, rss, 0, rss / 2, 8, 4, 1, utime, mask, 3],
         }

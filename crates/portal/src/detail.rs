@@ -65,7 +65,7 @@ fn cum_events(
     };
     let mut total = 0.0;
     for cur_rec in cur.devices_of(dt) {
-        let Some(prev_vals) = prev.device(dt, &cur_rec.instance) else {
+        let Some(prev_vals) = prev.device(dt, cur_rec.instance.as_str()) else {
             continue;
         };
         for ev in events {
@@ -88,7 +88,7 @@ impl JobTimeSeries {
             for s in &rf.samples {
                 if s.jobids.iter().any(|j| j == jobid) {
                     per_host
-                        .entry(rf.header.hostname.clone())
+                        .entry(rf.header.hostname.to_string())
                         .or_default()
                         .push((rf, s));
                 }
@@ -236,7 +236,7 @@ pub fn process_report(sample: &Sample) -> String {
         .map(|p| {
             vec![
                 p.pid.to_string(),
-                p.comm.clone(),
+                p.comm.to_string(),
                 p.uid.to_string(),
                 format!("{:.0}", p.values[1] as f64 / 1024.0),
                 format!("{:.0}", p.values[2] as f64 / 1024.0),

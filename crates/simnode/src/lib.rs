@@ -33,6 +33,7 @@ pub mod cluster;
 pub mod counter;
 pub mod devices;
 pub mod faults;
+pub mod intern;
 pub mod lustre_server;
 pub mod node;
 pub mod pseudofs;
@@ -43,5 +44,6 @@ pub mod workload;
 pub use clock::{SimClock, SimDuration, SimTime};
 pub use cluster::SimCluster;
 pub use faults::FaultPlan;
+pub use intern::{Sym, SymbolTable};
 pub use node::SimNode;
 pub use topology::{CpuArch, NodeTopology};

@@ -14,6 +14,7 @@
 //! (CPU time accounting, memory, Infiniband, Ethernet, Lustre llite / MDC /
 //! OSC / lnet).
 
+use crate::intern::Sym;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -121,8 +122,10 @@ pub enum EventKind {
 /// A single event in a device schema.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EventDesc {
-    /// Event name, e.g. `FIXED_CTR0` or `port_xmit_data`.
-    pub name: String,
+    /// Event name, e.g. `FIXED_CTR0` or `port_xmit_data` — interned:
+    /// the same few hundred names label every schema of every host, so
+    /// parsing or cloning a schema never copies them.
+    pub name: Sym,
     /// Unit of the value.
     pub unit: Unit,
     /// Counter vs gauge.
@@ -135,7 +138,7 @@ impl EventDesc {
     /// Cumulative counter event.
     pub fn counter(name: &str, unit: Unit, width: u32) -> Self {
         EventDesc {
-            name: name.to_string(),
+            name: Sym::new(name),
             unit,
             kind: EventKind::Counter,
             width,
@@ -145,7 +148,7 @@ impl EventDesc {
     /// Gauge (snapshot) event.
     pub fn gauge(name: &str, unit: Unit) -> Self {
         EventDesc {
-            name: name.to_string(),
+            name: Sym::new(name),
             unit,
             kind: EventKind::Gauge,
             width: 64,
@@ -201,7 +204,9 @@ impl Schema {
 
     /// Parse a schema rendered by [`Schema::render`].
     pub fn parse(s: &str) -> Option<Schema> {
-        let mut events = Vec::new();
+        // Pre-count tokens so `events` is sized in one allocation; the
+        // second pass over the line is cheaper than realloc doubling.
+        let mut events = Vec::with_capacity(s.split_whitespace().count());
         for tok in s.split_whitespace() {
             let mut parts = tok.split(',');
             let name = parts.next()?;
@@ -216,7 +221,7 @@ impl Schema {
                 return None;
             }
             events.push(EventDesc {
-                name: name.to_string(),
+                name: Sym::new(name),
                 unit,
                 kind,
                 width,

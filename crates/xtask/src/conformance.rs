@@ -16,7 +16,11 @@
 //!    `define_metric_ids!` macro; re-asserted here for the report);
 //! 4. every `(DeviceType, "event")` pair referenced *textually* in the
 //!    accumulator source (`crates/metrics/src/accum.rs`) also resolves
-//!    against some schema — catching consumers that bypass `events()`.
+//!    against some schema — catching consumers that bypass `events()`;
+//! 5. the accumulator keys its per-instance state by `(DeviceType,
+//!    Sym)` — interned symbols, not owned strings. A `(DeviceType,
+//!    String)` key would reintroduce a per-sample allocation on the
+//!    accumulate hot path.
 
 use std::fs;
 use std::path::Path;
@@ -78,7 +82,30 @@ pub fn check(root: &Path) -> Result<Vec<String>, String> {
         );
     }
 
+    // 5. Interned accumulator keys.
+    errors.extend(check_interned_keys(&source));
+
     Ok(errors)
+}
+
+/// Step 5: the accumulator's per-instance maps must be `Sym`-keyed.
+fn check_interned_keys(source: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    if source.contains("(DeviceType, String)") {
+        errors.push(format!(
+            "conformance: {ACCUM_SRC} keys per-instance state by \
+             (DeviceType, String) — use interned (DeviceType, Sym) keys \
+             so the accumulate hot path stays allocation-free"
+        ));
+    }
+    if !source.contains("(DeviceType, Sym)") {
+        errors.push(format!(
+            "conformance: {ACCUM_SRC} has no (DeviceType, Sym)-keyed \
+             per-instance state — the accumulator is expected to key \
+             previous-sample values by interned instance symbols"
+        ));
+    }
+    errors
 }
 
 /// Validate one `(device, event)` consumption site against the schemas.
@@ -181,5 +208,19 @@ mod tests {
         assert!(pairs.contains(&(DeviceType::Mem, "MemUsed".into())));
         assert!(!pairs.iter().any(|(d, _)| *d == DeviceType::Cpustat));
         assert!(!pairs.iter().any(|(d, _)| *d == DeviceType::Ib));
+    }
+
+    #[test]
+    fn interned_key_check_flags_string_keys() {
+        // Assembled at runtime so this fixture itself never matches a
+        // source-tree sweep for the banned key type.
+        let bad = format!(
+            "prev: HashMap<(DeviceType, {}), (u64, Vec<u64>)>,",
+            "String"
+        );
+        let errs = check_interned_keys(&bad);
+        assert_eq!(errs.len(), 2, "{errs:?}"); // String key present, Sym key absent
+        let good = "prev: HashMap<(DeviceType, Sym), (u64, Vec<u64>)>,";
+        assert!(check_interned_keys(good).is_empty());
     }
 }

@@ -19,7 +19,10 @@
 //! A hard deny-list covers the modules the pipeline's delivery
 //! guarantees depend on — `collect::daemon`, `collect::spool`,
 //! `broker::queue`, plus the transport endpoints `broker::tcp` and
-//! `collect::consumer`. Those may never appear in the allowlist at all.
+//! `collect::consumer`, and the shared data-representation layer every
+//! sample now rides: the interner (`simnode::intern` and its
+//! `core::intern` re-export) and the byte codec (`collect::codec`).
+//! Those may never appear in the allowlist at all.
 
 use crate::lexer::{scan, LintKind};
 use std::collections::BTreeMap;
@@ -27,11 +30,15 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
-/// Hot-path source trees the lint walks (workspace-relative).
+/// Hot-path source trees (or single files) the lint walks
+/// (workspace-relative). `crates/core/src/intern.rs` is a file entry:
+/// the rest of `tacc-core` is orchestration, but the interner re-export
+/// is part of the sample path's data representation.
 pub const SCOPE: &[&str] = &[
     "crates/collect/src",
     "crates/broker/src",
     "crates/simnode/src",
+    "crates/core/src/intern.rs",
 ];
 
 /// Modules whose allowance is pinned to zero: never allowlisted.
@@ -39,8 +46,11 @@ pub const DENY: &[&str] = &[
     "crates/collect/src/daemon.rs",
     "crates/collect/src/spool.rs",
     "crates/collect/src/consumer.rs",
+    "crates/collect/src/codec.rs",
     "crates/broker/src/queue.rs",
     "crates/broker/src/tcp.rs",
+    "crates/simnode/src/intern.rs",
+    "crates/core/src/intern.rs",
 ];
 
 /// Workspace-relative path of the allowlist file.
@@ -98,7 +108,13 @@ pub fn check(root: &Path) -> Result<Vec<String>, String> {
 fn walk_scope(root: &Path) -> Result<Vec<String>, String> {
     let mut files = Vec::new();
     for dir in SCOPE {
-        let mut stack = vec![root.join(dir)];
+        let top = root.join(dir);
+        // SCOPE entries may name a single source file directly.
+        if top.is_file() {
+            files.push(relative(root, &top));
+            continue;
+        }
+        let mut stack = vec![top];
         while let Some(d) = stack.pop() {
             let entries = fs::read_dir(&d)
                 .map_err(|e| format!("panic-lint: read_dir {}: {e}", d.display()))?;

@@ -58,7 +58,7 @@ fn daemon_pipeline_archive_roundtrip_and_detail_view() {
     let raw: Vec<RawFile> = sys.archive().parse_all().expect("archive parses");
     assert!(!raw.is_empty());
     for rf in &raw {
-        assert!(rf.header.hostname.starts_with("c401-"));
+        assert!(rf.header.hostname.as_str().starts_with("c401-"));
         assert!(!rf.samples.is_empty());
     }
 

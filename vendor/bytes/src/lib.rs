@@ -165,6 +165,12 @@ impl BytesMut {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+
+    /// Clear the buffer without releasing its capacity, as in the real
+    /// crate — the reuse primitive for per-connection scratch buffers.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
 }
 
 impl Deref for BytesMut {
