@@ -241,7 +241,7 @@ impl LegacyAccum {
                 continue;
             }
             let key = (rec.dev_type, rec.instance.to_string());
-            let prev = self.prev.insert(key, (t, rec.values.clone()));
+            let prev = self.prev.insert(key, (t, rec.values.to_vec()));
             let Some((_pt, prev_vals)) = prev else {
                 continue;
             };

@@ -1,0 +1,514 @@
+//! Storage-path before/after bench: the seed's copy-out storage layer
+//! (String day map in the archive, point-vec tsdb, copy-out `range`)
+//! versus the columnar zero-copy path (byte day map parsed in place,
+//! block-encoded series, streaming reads). Same counting-allocator
+//! methodology as `sample_path`: a wrapper around the system allocator
+//! counts allocation events, and each case reports ns/op and allocs/op.
+//!
+//! "Before" is reconstructed line for line from the pre-refactor
+//! sources: the archive kept each host-day file as an owned `String`
+//! and `read` cloned it out, after which replay parsed the clone and —
+//! in the seed — came away holding owned name Strings (hostname, event
+//! names, instances, comms), re-created here by `legacy_materialize`.
+//! The tsdb kept `BTreeMap<SeriesKey, Vec<DataPoint>>` and `range`
+//! copied the window out with `to_vec`. "After" is the shipped path:
+//! `Archive::parse_all` borrowing stored bytes under the lock,
+//! `SeriesBlocks` columnar storage, and `TsDb::range_for_each`.
+//!
+//! Results are printed and written to `BENCH_storage_path.json` at the
+//! workspace root so the numbers ride along with the tree.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use tacc_collect::archive::Archive;
+use tacc_collect::codec;
+use tacc_collect::discovery::{discover, BuildOptions};
+use tacc_collect::engine::Sampler;
+use tacc_collect::record::RawFile;
+use tacc_portal::detail::{render_job_detail, JobTimeSeries};
+use tacc_simnode::pseudofs::NodeFs;
+use tacc_simnode::topology::NodeTopology;
+use tacc_simnode::workload::NodeDemand;
+use tacc_simnode::{SimDuration, SimNode, SimTime};
+use tacc_tsdb::{Aggregation, DataPoint, SeriesKey, TagFilter, TsDb};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts allocation events (allocs and
+/// reallocs — the events zero-copy reads are meant to eliminate).
+struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to the system allocator;
+// the counter is a relaxed atomic with no effect on allocation results.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// ns/op and allocations/op over `iters` runs of `f`, after warmup.
+fn measure<R>(iters: u64, mut f: impl FnMut() -> R) -> (f64, f64) {
+    for _ in 0..3 {
+        black_box(f());
+    }
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let dt = t0.elapsed();
+    let da = ALLOCS.load(Ordering::Relaxed) - a0;
+    (
+        dt.as_nanos() as f64 / iters as f64,
+        da as f64 / iters as f64,
+    )
+}
+
+// ---------------------------------------------------------------------
+// "Before": the seed's point-vec tsdb, reconstructed from the
+// pre-refactor store (no lock — strictly favourable to "before").
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct LegacyTsDb {
+    series: BTreeMap<SeriesKey, Vec<DataPoint>>,
+}
+
+impl LegacyTsDb {
+    fn insert(&mut self, key: SeriesKey, t: u64, v: f64) {
+        let pts = self.series.entry(key).or_default();
+        match pts.last() {
+            Some(last) if last.t > t => {
+                let idx = pts.partition_point(|p| p.t <= t);
+                pts.insert(idx, DataPoint { t, v });
+            }
+            _ => pts.push(DataPoint { t, v }),
+        }
+    }
+
+    fn range(&self, key: &SeriesKey, t0: u64, t1: u64) -> Vec<DataPoint> {
+        self.series
+            .get(key)
+            .map(|pts| {
+                let lo = pts.partition_point(|p| p.t < t0);
+                let hi = pts.partition_point(|p| p.t < t1);
+                pts[lo..hi].to_vec()
+            })
+            .unwrap_or_default()
+    }
+
+    fn aggregate(
+        &self,
+        filter: &TagFilter,
+        agg: Aggregation,
+        t0: u64,
+        t1: u64,
+        bucket_secs: u64,
+    ) -> Vec<DataPoint> {
+        let mut buckets: BTreeMap<u64, (f64, usize, f64, f64)> = BTreeMap::new();
+        for (key, pts) in &self.series {
+            if !filter.matches(key) {
+                continue;
+            }
+            let lo = pts.partition_point(|p| p.t < t0);
+            let hi = pts.partition_point(|p| p.t < t1);
+            for p in &pts[lo..hi] {
+                let b = (p.t - t0) / bucket_secs;
+                let e = buckets
+                    .entry(b)
+                    .or_insert((0.0, 0, f64::NEG_INFINITY, f64::INFINITY));
+                e.0 += p.v;
+                e.1 += 1;
+                e.2 = e.2.max(p.v);
+                e.3 = e.3.min(p.v);
+            }
+        }
+        buckets
+            .into_iter()
+            .map(|(b, (sum, n, max, min))| DataPoint {
+                t: t0 + b * bucket_secs,
+                v: match agg {
+                    Aggregation::Sum => sum,
+                    Aggregation::Avg => sum / n as f64,
+                    Aggregation::Max => max,
+                    Aggregation::Min => min,
+                },
+            })
+            .collect()
+    }
+}
+
+/// The seed's parser returned owned Strings for every name; the shared
+/// parser interns them, so the "before" replay re-creates those
+/// allocations after parsing. Returns total bytes to keep the work
+/// observable.
+fn legacy_materialize(rf: &RawFile) -> usize {
+    let mut n = black_box(rf.header.hostname.as_str().to_string()).len();
+    for schema in rf.header.schemas.values() {
+        for e in &schema.events {
+            n += black_box(e.name.as_str().to_string()).len();
+        }
+    }
+    for s in &rf.samples {
+        for d in &s.devices {
+            n += black_box(d.instance.as_str().to_string()).len();
+        }
+        for p in &s.processes {
+            n += black_box(p.comm.as_str().to_string()).len();
+        }
+    }
+    n
+}
+
+/// A day of archives: `n_hosts` stampede nodes, hourly samples for 24
+/// hours, rendered through the real codec into one day file per host.
+/// Returns the zero-copy archive and the seed's String day map holding
+/// identical content.
+fn archive_fixture(n_hosts: usize) -> (Archive, BTreeMap<(String, u64), String>) {
+    let archive = Archive::new();
+    let mut legacy: BTreeMap<(String, u64), String> = BTreeMap::new();
+    let demand = NodeDemand {
+        active_cores: 16,
+        cpu_user_frac: 0.8,
+        flops_per_sec: 1e10,
+        mem_bw_bytes_per_sec: 1e9,
+        mem_used_bytes: 8 << 30,
+        ..NodeDemand::default()
+    };
+    for h in 0..n_hosts {
+        let hostname = format!("c401-{h:04}");
+        let mut node = SimNode::new(&hostname, NodeTopology::stampede());
+        node.spawn_process("wrf.exe", 5000, 16, u64::MAX);
+        let cfg = {
+            let fs = NodeFs::new(&node);
+            discover(&fs, BuildOptions::default()).expect("discovery")
+        };
+        let mut sampler = Sampler::new(&hostname, &cfg);
+        let mut text = String::new();
+        let mut buf = Vec::new();
+        for k in 0..24u64 {
+            if k > 0 {
+                node.advance(SimDuration::from_secs(3600), &demand);
+            }
+            let fs = NodeFs::new(&node);
+            let t = SimTime::from_secs(3600 * k);
+            let s = sampler.sample(&fs, t, &["3001".to_string()], &[]);
+            buf.clear();
+            if k == 0 {
+                codec::render_header_into(sampler.header(), &mut buf);
+            }
+            codec::render_sample_into(&s, &mut buf);
+            text.push_str(std::str::from_utf8(&buf).expect("codec emits utf8"));
+            archive.append_bytes(
+                tacc_simnode::intern::Sym::new(&hostname),
+                SimTime::from_secs(0),
+                &buf,
+                &[t],
+                t,
+            );
+        }
+        legacy.insert((hostname, 0), text);
+    }
+    (archive, legacy)
+}
+
+/// A month of Table-I-shaped series: `n_hosts` hosts × the eight §IV-A
+/// job metrics, one point per 10-minute collection interval for 30
+/// days. Values follow a deterministic diurnal-ish curve so the value
+/// column sees realistic (non-constant) deltas.
+const MONTH_EVENTS: [&str; 8] = [
+    "gflops",
+    "mem_bw",
+    "mem_used",
+    "lustre_bw",
+    "lustre_iops",
+    "md_reqs",
+    "ib_bw",
+    "cpu_user",
+];
+const MONTH_SECS: u64 = 30 * 86_400;
+const CADENCE: u64 = 600;
+
+fn month_points(n_hosts: usize) -> Vec<(SeriesKey, u64, f64)> {
+    let mut out = Vec::new();
+    for h in 0..n_hosts {
+        let hostname = format!("c401-{h:04}");
+        for (e, ev) in MONTH_EVENTS.iter().enumerate() {
+            let key = SeriesKey::new(&hostname, "job", "table1", ev);
+            for i in 0..(MONTH_SECS / CADENCE) {
+                let t = i * CADENCE;
+                let v = (h + 1) as f64 * 100.0
+                    + (e + 1) as f64 * ((t % 86_400) as f64 / 8640.0)
+                    + (i % 7) as f64 * 0.25;
+                out.push((key.clone(), t, v));
+            }
+        }
+    }
+    out
+}
+
+/// Raw files for one job across `n_hosts` nodes: 24 samples at the
+/// paper's 10-minute cadence, produced by the real sampler — the
+/// input the seed portal re-parsed on every detail-page hit.
+fn job_fixture(n_hosts: usize) -> Vec<RawFile> {
+    let demand = NodeDemand {
+        active_cores: 16,
+        cpu_user_frac: 0.8,
+        flops_per_sec: 1e10,
+        mem_bw_bytes_per_sec: 1e9,
+        mem_used_bytes: 8 << 30,
+        ..NodeDemand::default()
+    };
+    let mut out = Vec::new();
+    for h in 0..n_hosts {
+        let hostname = format!("c401-{h:04}");
+        let mut node = SimNode::new(&hostname, NodeTopology::stampede());
+        node.spawn_process("wrf.exe", 5000, 16, u64::MAX);
+        let cfg = {
+            let fs = NodeFs::new(&node);
+            discover(&fs, BuildOptions::default()).expect("discovery")
+        };
+        let mut sampler = Sampler::new(&hostname, &cfg);
+        let mut rf = RawFile::new(sampler.header().clone());
+        for k in 0..24u64 {
+            if k > 0 {
+                node.advance(SimDuration::from_secs(600), &demand);
+            }
+            let fs = NodeFs::new(&node);
+            let t = SimTime::from_secs(600 * k);
+            rf.samples
+                .push(sampler.sample(&fs, t, &["4242".to_string()], &[]));
+        }
+        out.push(rf);
+    }
+    out
+}
+
+struct Case {
+    name: &'static str,
+    before: (f64, f64),
+    after: (f64, f64),
+}
+
+fn main() {
+    println!("\n=== storage-path before/after (copy-out storage vs columnar zero-copy) ===");
+    let mut cases = Vec::new();
+
+    // --- archive replay: parse every host-day file of a simulated day ---
+    let (archive, legacy_map) = archive_fixture(4);
+    let n_keys = archive.keys().len();
+    let day_bytes: usize = legacy_map.values().map(String::len).sum();
+    println!(
+        "  archive fixture: {} host-day files, {} bytes total",
+        n_keys, day_bytes
+    );
+    {
+        let replay_before = measure(300, || {
+            // Seed replay: `keys()` cloned the host String per entry,
+            // `read` cloned the file String out of the day map, and the
+            // parser came away holding owned name Strings.
+            let keys: Vec<(String, u64)> = legacy_map.keys().cloned().collect();
+            let mut samples = 0usize;
+            for key in &keys {
+                let text = legacy_map.get(key).cloned().expect("present");
+                let rf = RawFile::parse(&text).expect("parses");
+                black_box(legacy_materialize(&rf));
+                samples += rf.samples.len();
+            }
+            samples
+        });
+        let replay_after = measure(300, || {
+            // Zero-copy replay: every file parsed in place from the
+            // stored bytes; file contents are never copied.
+            let rfs = archive.parse_all().expect("parses");
+            rfs.iter().map(|rf| rf.samples.len()).sum::<usize>()
+        });
+        cases.push(Case {
+            name: "archive_replay",
+            before: replay_before,
+            after: replay_after,
+        });
+    }
+
+    // --- tsdb ingest: a month of Table-I series ---
+    let points = month_points(4);
+    println!(
+        "  tsdb fixture: {} series, {} points (30 days @ {}s cadence)",
+        4 * MONTH_EVENTS.len(),
+        points.len(),
+        CADENCE
+    );
+    let ingest_before = measure(10, || {
+        let mut db = LegacyTsDb::default();
+        for (k, t, v) in &points {
+            db.insert(k.clone(), *t, *v);
+        }
+        db.series.len()
+    });
+    let ingest_after = measure(10, || {
+        let db = TsDb::new();
+        for (k, t, v) in &points {
+            db.insert(k.clone(), *t, *v);
+        }
+        db.n_series()
+    });
+    cases.push(Case {
+        name: "tsdb_ingest_month",
+        before: ingest_before,
+        after: ingest_after,
+    });
+
+    // Populated stores for the read-side cases.
+    let mut legacy_db = LegacyTsDb::default();
+    let db = TsDb::new();
+    for (k, t, v) in &points {
+        legacy_db.insert(k.clone(), *t, *v);
+        db.insert(k.clone(), *t, *v);
+    }
+    let point_vec_bytes = db.n_points() * 16;
+    let columnar_bytes = db.storage_bytes();
+    println!(
+        "  storage: point-vec {} KiB vs columnar {} KiB ({:.1}x smaller, {} sealed blocks)",
+        point_vec_bytes / 1024,
+        columnar_bytes / 1024,
+        point_vec_bytes as f64 / columnar_bytes as f64,
+        db.n_sealed_blocks()
+    );
+
+    // --- cluster-wide aggregation over the whole month, 1 h buckets ---
+    let filter = TagFilter::any().event("md_reqs");
+    let agg_before = measure(50, || {
+        legacy_db
+            .aggregate(&filter, Aggregation::Sum, 0, MONTH_SECS, 3600)
+            .len()
+    });
+    let agg_after = measure(50, || {
+        db.aggregate(&filter, Aggregation::Sum, 0, MONTH_SECS, 3600)
+            .len()
+    });
+    cases.push(Case {
+        name: "aggregate_month_1h",
+        before: agg_before,
+        after: agg_after,
+    });
+
+    // --- detail-page reads: one week of every series ---
+    let keys = db.keys(&TagFilter::any());
+    let (w0, w1) = (7 * 86_400, 14 * 86_400);
+    let detail_before = measure(200, || {
+        // Seed detail path: `range` copies the window out as a
+        // `Vec<DataPoint>` per series.
+        let mut acc = 0.0f64;
+        for k in &keys {
+            for p in legacy_db.range(k, w0, w1) {
+                acc += p.v;
+            }
+        }
+        acc
+    });
+    let detail_after = measure(200, || {
+        // Streaming path: blocks decoded in place, values visited
+        // through the borrowing callback; nothing is materialized.
+        let mut acc = 0.0f64;
+        for k in &keys {
+            db.range_for_each(k, w0, w1, |_, v| acc += v);
+        }
+        acc
+    });
+    cases.push(Case {
+        name: "detail_week_reads",
+        before: detail_before,
+        after: detail_after,
+    });
+
+    // --- portal detail page: the system-level query path ---
+    // The seed portal had no storage tier behind the job detail page:
+    // every page hit re-extracted the job's panel series from the raw
+    // files and rendered it. With the columnar tsdb the panels are
+    // stored once at ingest and a page hit is a streamed read.
+    let job_files = job_fixture(4);
+    let panel_db = TsDb::new();
+    JobTimeSeries::extract(&job_files, "4242").store(&panel_db);
+    let hit_before = measure(40, || {
+        JobTimeSeries::extract(&job_files, "4242").render().len()
+    });
+    let hit_after = measure(40, || render_job_detail(&panel_db, "4242").len());
+    cases.push(Case {
+        name: "portal_detail_hit",
+        before: hit_before,
+        after: hit_after,
+    });
+
+    // --- report + JSON ---
+    let mut json = String::from("{\n  \"bench\": \"storage_path\",\n");
+    json.push_str(&format!(
+        "  \"fixture\": {{\"archive_files\": {}, \"archive_bytes\": {}, \"series\": {}, \"points\": {}, \"point_vec_bytes\": {}, \"columnar_bytes\": {}}},\n  \"cases\": {{\n",
+        n_keys,
+        day_bytes,
+        4 * MONTH_EVENTS.len(),
+        points.len(),
+        point_vec_bytes,
+        columnar_bytes
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        let (bns, ba) = c.before;
+        let (ans, aa) = c.after;
+        let alloc_ratio = if aa > 0.0 { ba / aa } else { f64::INFINITY };
+        let speedup = if ans > 0.0 { bns / ans } else { f64::INFINITY };
+        println!(
+            "  {:<20} before: {:>10.0} ns/op {:>8.1} allocs/op   after: {:>10.0} ns/op {:>8.1} allocs/op   ({:.1}x fewer allocs, {:.2}x faster)",
+            c.name, bns, ba, ans, aa, alloc_ratio, speedup
+        );
+        let ratio_json = if alloc_ratio.is_finite() {
+            format!("{alloc_ratio:.2}")
+        } else {
+            "null".to_string()
+        };
+        json.push_str(&format!(
+            "    \"{}\": {{\"before\": {{\"ns_per_op\": {:.1}, \"allocs_per_op\": {:.2}}}, \"after\": {{\"ns_per_op\": {:.1}, \"allocs_per_op\": {:.2}}}, \"alloc_ratio\": {}, \"speedup\": {:.2}}}{}\n",
+            c.name,
+            bns,
+            ba,
+            ans,
+            aa,
+            ratio_json,
+            speedup,
+            if i + 1 == cases.len() { "" } else { "," }
+        ));
+    }
+    let week_points = points.len() as f64 * (w1 - w0) as f64 / MONTH_SECS as f64;
+    let (dbns, _) = cases[3].before;
+    let (dans, _) = cases[3].after;
+    println!(
+        "  detail-read throughput: {:.1} Mpoints/s before, {:.1} Mpoints/s after",
+        week_points * 1e3 / dbns,
+        week_points * 1e3 / dans
+    );
+    json.push_str(&format!(
+        "  }},\n  \"detail_read_mpoints_per_sec\": {{\"before\": {:.2}, \"after\": {:.2}}}\n}}\n",
+        week_points * 1e3 / dbns,
+        week_points * 1e3 / dans
+    ));
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_storage_path.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("  wrote {}", out.display()),
+        Err(e) => println!("  could not write {}: {e}", out.display()),
+    }
+}

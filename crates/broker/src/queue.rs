@@ -1,19 +1,25 @@
 //! In-process broker core: queues, publish, consume, ack, redelivery.
 
 use crate::sync::{AtomicBool, Condvar, Mutex, Ordering};
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
+use tacc_simnode::intern::Sym;
 
 /// A message delivered to a consumer. Must be [`Consumer::ack`]ed, or it
 /// is redelivered when the consumer disconnects.
+///
+/// Routing keys are hostnames — a small, stable vocabulary — so they
+/// are interned [`Sym`]s: cloning a delivery for the unacked table is a
+/// refcount bump on the payload plus four machine words, with no text
+/// allocation per message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Delivery {
     /// Per-queue delivery tag (monotonically increasing).
     pub tag: u64,
     /// Routing key the producer attached (e.g. the node hostname).
-    pub routing_key: String,
+    pub routing_key: Sym,
     /// Message payload.
     pub payload: Bytes,
     /// True if this message was delivered before and requeued.
@@ -138,7 +144,7 @@ impl Broker {
         inner.published += 1;
         inner.ready.push_back(Delivery {
             tag,
-            routing_key: routing_key.to_string(),
+            routing_key: Sym::new(routing_key),
             payload,
             redelivered: false,
         });
@@ -283,6 +289,20 @@ impl Consumer {
         }
     }
 
+    /// Acknowledge a delivery *and* try to reclaim its payload buffer
+    /// for reuse. The ack drops the queue's retained copy, so if the
+    /// caller's `delivery` held the only other handle the backing
+    /// buffer comes back as a `BytesMut` (full capacity, ready to be a
+    /// render or read buffer); `None` when the payload is still shared
+    /// (e.g. a spool retains it) or the ack failed.
+    pub fn ack_recycle(&self, delivery: Delivery) -> (bool, Option<BytesMut>) {
+        let acked = self.ack(delivery.tag);
+        if !acked {
+            return (false, None);
+        }
+        (true, delivery.payload.try_into_mut().ok())
+    }
+
     /// Negatively acknowledge: requeue the message at the front.
     pub fn nack(&self, tag: u64) -> bool {
         let mut inner = self.queue.inner.lock();
@@ -399,6 +419,34 @@ mod tests {
     }
 
     #[test]
+    fn ack_recycle_reclaims_unique_payload() {
+        let b = Broker::new();
+        b.declare("q");
+        b.publish("q", "n", payload("recyclable"));
+        let c = b.consume("q").unwrap();
+        let d = c.try_get().unwrap();
+        let (acked, buf) = c.ack_recycle(d);
+        assert!(acked);
+        let buf = buf.expect("consumer held the only handle after ack");
+        assert_eq!(&buf[..], b"recyclable");
+
+        // A payload someone else still holds is not reclaimed.
+        b.publish("q", "n", payload("shared"));
+        let d = c.try_get().unwrap();
+        let keep = d.payload.clone();
+        let (acked, buf) = c.ack_recycle(d);
+        assert!(acked && buf.is_none());
+        assert_eq!(&keep[..], b"shared");
+
+        // A failed ack (already-acked tag) reclaims nothing.
+        b.publish("q", "n", payload("x"));
+        let d = c.try_get().unwrap();
+        assert!(c.ack(d.tag));
+        let (acked, buf) = c.ack_recycle(d);
+        assert!(!acked && buf.is_none());
+    }
+
+    #[test]
     fn nack_requeues_at_front() {
         let b = Broker::new();
         b.declare("q");
@@ -456,12 +504,12 @@ mod tests {
         .unwrap();
         let c = b.consume("q").unwrap();
         let mut seen = 0;
-        let mut per_key: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut per_key: HashMap<Sym, Vec<u32>> = HashMap::new();
         while let Some(d) = c.try_get() {
             let body = String::from_utf8(d.payload.to_vec()).unwrap();
             let (_, i) = body.split_once(':').unwrap();
             per_key
-                .entry(d.routing_key.clone())
+                .entry(d.routing_key)
                 .or_default()
                 .push(i.parse().unwrap());
             c.ack(d.tag);

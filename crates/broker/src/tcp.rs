@@ -19,6 +19,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use tacc_simnode::intern::Sym;
 
 const OP_DECLARE: u8 = 0x01;
 const OP_PUBLISH: u8 = 0x02;
@@ -41,7 +42,11 @@ fn put_str(buf: &mut BytesMut, s: &str) -> io::Result<()> {
     Ok(())
 }
 
-fn get_str(buf: &mut Bytes) -> io::Result<String> {
+/// Read a `u16`-length-prefixed string straight off the frame buffer
+/// into the intern table — no owned `String` per frame. Queue names and
+/// routing keys are a bounded vocabulary (hosts, a handful of queues),
+/// which is exactly what interning assumes.
+fn get_sym(buf: &mut Bytes) -> io::Result<Sym> {
     if buf.remaining() < 2 {
         return Err(io::ErrorKind::UnexpectedEof.into());
     }
@@ -50,7 +55,24 @@ fn get_str(buf: &mut Bytes) -> io::Result<String> {
         return Err(io::ErrorKind::UnexpectedEof.into());
     }
     let s = buf.split_to(len);
-    String::from_utf8(s.to_vec()).map_err(|_| io::ErrorKind::InvalidData.into())
+    let text = std::str::from_utf8(&s).map_err(|_| io::Error::from(io::ErrorKind::InvalidData))?;
+    Ok(Sym::new(text))
+}
+
+/// How many spare frame buffers each connection keeps. Small: a
+/// request/response protocol has at most a frame or two in flight, and
+/// anything beyond that is just pinned memory.
+const POOL_CAP: usize = 8;
+
+/// Return a frame buffer to `pool` if it can be reclaimed — i.e. the
+/// caller held the last handle to its storage — and the pool has room.
+fn recycle_into(pool: &mut Vec<BytesMut>, body: Bytes) {
+    if pool.len() < POOL_CAP {
+        if let Ok(mut b) = body.try_into_mut() {
+            b.clear();
+            pool.push(b);
+        }
+    }
 }
 
 fn write_frame(stream: &mut TcpStream, op: u8, body: &[u8]) -> io::Result<()> {
@@ -65,16 +87,22 @@ fn write_frame(stream: &mut TcpStream, op: u8, body: &[u8]) -> io::Result<()> {
     stream.flush()
 }
 
-fn read_frame(stream: &mut TcpStream) -> io::Result<(u8, Bytes)> {
+/// Read one frame, filling a buffer popped from `pool` instead of
+/// allocating `vec![0u8; len]` per frame. The returned `Bytes` owns the
+/// buffer; when the last handle is dropped via [`recycle_into`] the
+/// storage goes back to the pool, so a steady-state consume loop reads
+/// every frame into the same few buffers.
+fn read_frame_into(stream: &mut TcpStream, pool: &mut Vec<BytesMut>) -> io::Result<(u8, Bytes)> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf)?;
     let len = u32::from_be_bytes(len_buf) as usize;
     if len == 0 || len > 64 << 20 {
         return Err(io::ErrorKind::InvalidData.into());
     }
-    let mut body = vec![0u8; len];
+    let mut body = pool.pop().unwrap_or_default();
+    body.resize(len, 0);
     stream.read_exact(&mut body)?;
-    let mut b = Bytes::from(body);
+    let mut b = body.freeze();
     let op = b.get_u8();
     Ok((op, b))
 }
@@ -164,51 +192,64 @@ impl Drop for BrokerServer {
 fn serve_connection(mut stream: TcpStream, broker: Broker) -> io::Result<()> {
     stream.set_nodelay(true)?;
     // Per-connection consumers; dropped (⇒ redelivery) when the
-    // connection closes.
-    let mut consumers: HashMap<String, Consumer> = HashMap::new();
+    // connection closes. Keyed by interned queue name so GET/ACK frames
+    // don't allocate a lookup key.
+    let mut consumers: HashMap<Sym, Consumer> = HashMap::new();
     // Delivery frames are built in one reused buffer per connection;
     // `clear` keeps the high-water-mark capacity across messages.
     let mut out = BytesMut::new();
+    // Request-frame buffers cycle through this pool: every opcode except
+    // PUBLISH (whose body *becomes* the queued payload) hands its buffer
+    // back once decoded.
+    let mut pool: Vec<BytesMut> = Vec::new();
     loop {
-        let (op, mut body) = match read_frame(&mut stream) {
+        let (op, mut body) = match read_frame_into(&mut stream, &mut pool) {
             Ok(f) => f,
             Err(_) => return Ok(()), // peer closed
         };
         match op {
             OP_DECLARE => {
-                let q = get_str(&mut body)?;
-                broker.declare(&q);
+                let q = get_sym(&mut body)?;
+                broker.declare(q.as_str());
+                recycle_into(&mut pool, body);
                 write_frame(&mut stream, RE_OK, &[])?;
             }
             OP_PUBLISH => {
-                let q = get_str(&mut body)?;
-                let key = get_str(&mut body)?;
-                let ok = broker.publish(&q, &key, body);
+                let q = get_sym(&mut body)?;
+                let key = get_sym(&mut body)?;
+                // `body` now views exactly the payload bytes; it is
+                // enqueued as-is — the network read buffer IS the queued
+                // message, no copy.
+                let ok = broker.publish(q.as_str(), key.as_str(), body);
                 write_frame(&mut stream, if ok { RE_OK } else { RE_ERR }, &[])?;
             }
             OP_GET => {
-                let q = get_str(&mut body)?;
+                let q = get_sym(&mut body)?;
                 if body.remaining() < 4 {
+                    recycle_into(&mut pool, body);
                     write_frame(&mut stream, RE_ERR, &[])?;
                     continue;
                 }
                 let timeout_ms = body.get_u32();
-                let consumer = match consumers.entry(q.clone()) {
+                recycle_into(&mut pool, body);
+                let consumer = match consumers.entry(q) {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                    std::collections::hash_map::Entry::Vacant(e) => match broker.consume(&q) {
-                        Some(c) => e.insert(c),
-                        None => {
-                            write_frame(&mut stream, RE_ERR, &[])?;
-                            continue;
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        match broker.consume(q.as_str()) {
+                            Some(c) => e.insert(c),
+                            None => {
+                                write_frame(&mut stream, RE_ERR, &[])?;
+                                continue;
+                            }
                         }
-                    },
+                    }
                 };
                 match consumer.get(Duration::from_millis(timeout_ms as u64)) {
                     Some(d) => {
                         out.clear();
                         out.put_u64(d.tag);
                         out.put_u8(d.redelivered as u8);
-                        match put_str(&mut out, &d.routing_key) {
+                        match put_str(&mut out, d.routing_key.as_str()) {
                             Ok(()) => {
                                 out.put_slice(&d.payload);
                                 write_frame(&mut stream, RE_DELIVERY, &out)?;
@@ -225,12 +266,14 @@ fn serve_connection(mut stream: TcpStream, broker: Broker) -> io::Result<()> {
                 }
             }
             OP_ACK => {
-                let q = get_str(&mut body)?;
+                let q = get_sym(&mut body)?;
                 if body.remaining() < 8 {
+                    recycle_into(&mut pool, body);
                     write_frame(&mut stream, RE_ERR, &[])?;
                     continue;
                 }
                 let tag = body.get_u64();
+                recycle_into(&mut pool, body);
                 let ok = consumers.get(&q).map(|c| c.ack(tag)).unwrap_or(false);
                 write_frame(&mut stream, if ok { RE_OK } else { RE_ERR }, &[])?;
             }
@@ -260,6 +303,11 @@ pub struct BrokerClient {
     /// back after), so steady-state publishing does not allocate for
     /// framing — only the payload copy into the kernel remains.
     scratch: BytesMut,
+    /// Response frames are read into buffers from this pool. Delivery
+    /// payloads borrow their frame buffer; [`BrokerClient::ack_delivery`]
+    /// (or [`BrokerClient::recycle`]) returns it here, so a consume loop
+    /// cycles the same few buffers instead of allocating per frame.
+    pool: Vec<BytesMut>,
 }
 
 impl BrokerClient {
@@ -292,6 +340,7 @@ impl BrokerClient {
             backoff: base_backoff,
             max_attempts,
             scratch: BytesMut::new(),
+            pool: Vec::new(),
         };
         client.ensure_stream()?;
         Ok(client)
@@ -303,16 +352,13 @@ impl BrokerClient {
         self.stream = None;
     }
 
-    fn ensure_stream(&mut self) -> io::Result<&mut TcpStream> {
+    fn ensure_stream(&mut self) -> io::Result<()> {
         if self.stream.is_none() {
             let stream = TcpStream::connect(self.addr)?;
             stream.set_nodelay(true)?;
             self.stream = Some(stream);
         }
-        match self.stream.as_mut() {
-            Some(stream) => Ok(stream),
-            None => Err(io::ErrorKind::NotConnected.into()),
-        }
+        Ok(())
     }
 
     fn roundtrip(&mut self, op: u8, body: &[u8]) -> io::Result<(u8, Bytes)> {
@@ -322,10 +368,17 @@ impl BrokerClient {
                 std::thread::sleep(self.backoff);
                 self.backoff = (self.backoff * 2).min(self.max_backoff);
             }
-            let result = self.ensure_stream().and_then(|stream| {
-                write_frame(stream, op, body)?;
-                read_frame(stream)
-            });
+            let result = match self.ensure_stream() {
+                Ok(()) => {
+                    let pool = &mut self.pool;
+                    match self.stream.as_mut() {
+                        Some(stream) => write_frame(stream, op, body)
+                            .and_then(|()| read_frame_into(stream, pool)),
+                        None => Err(io::ErrorKind::NotConnected.into()),
+                    }
+                }
+                Err(e) => Err(e),
+            };
             match result {
                 Ok(frame) => {
                     self.backoff = self.base_backoff;
@@ -346,7 +399,8 @@ impl BrokerClient {
         b.clear();
         let result = put_str(&mut b, queue).and_then(|()| self.roundtrip(OP_DECLARE, &b));
         self.scratch = b;
-        let (re, _) = result?;
+        let (re, body) = result?;
+        recycle_into(&mut self.pool, body);
         if re == RE_OK {
             Ok(())
         } else {
@@ -365,7 +419,8 @@ impl BrokerClient {
                 self.roundtrip(OP_PUBLISH, &b)
             });
         self.scratch = b;
-        let (re, _) = result?;
+        let (re, body) = result?;
+        recycle_into(&mut self.pool, body);
         if re == RE_OK {
             Ok(())
         } else {
@@ -390,7 +445,11 @@ impl BrokerClient {
                 }
                 let tag = body.get_u64();
                 let redelivered = body.get_u8() != 0;
-                let routing_key = get_str(&mut body)?;
+                let routing_key = get_sym(&mut body)?;
+                // The payload is the tail of the frame buffer — parsed
+                // in place, never copied out. Hand the whole delivery to
+                // `ack_delivery` (or the payload to `recycle`) when done
+                // to return the buffer to this connection's read pool.
                 Ok(Some(Delivery {
                     tag,
                     routing_key,
@@ -398,7 +457,10 @@ impl BrokerClient {
                     redelivered,
                 }))
             }
-            RE_EMPTY => Ok(None),
+            RE_EMPTY => {
+                recycle_into(&mut self.pool, body);
+                Ok(None)
+            }
             _ => Err(io::ErrorKind::Other.into()),
         }
     }
@@ -412,8 +474,25 @@ impl BrokerClient {
             self.roundtrip(OP_ACK, &b)
         });
         self.scratch = b;
-        let (re, _) = result?;
+        let (re, body) = result?;
+        recycle_into(&mut self.pool, body);
         Ok(re == RE_OK)
+    }
+
+    /// Acknowledge a delivery *and* recycle its frame buffer into this
+    /// connection's read pool. The recycle succeeds when the caller
+    /// finished with the payload (no clones outstanding), which is the
+    /// common consume-loop shape: get → parse in place → ack.
+    pub fn ack_delivery(&mut self, queue: &str, delivery: Delivery) -> io::Result<bool> {
+        let tag = delivery.tag;
+        recycle_into(&mut self.pool, delivery.payload);
+        self.ack(queue, tag)
+    }
+
+    /// Return a finished payload buffer to the read pool without
+    /// acking — for rejected or dead-lettered deliveries.
+    pub fn recycle(&mut self, payload: Bytes) {
+        recycle_into(&mut self.pool, payload);
     }
 }
 
@@ -448,6 +527,36 @@ mod tests {
             .unwrap()
             .is_none());
         assert_eq!(server.broker().stats().queues["stats"].acked, 2);
+    }
+
+    #[test]
+    fn ack_delivery_recycles_frame_buffer() {
+        let server = BrokerServer::start(Broker::new()).unwrap();
+        let mut p = BrokerClient::connect(server.addr()).unwrap();
+        p.declare("stats").unwrap();
+        p.publish("stats", "n", b"payload-one").unwrap();
+        p.publish("stats", "n", b"payload-two").unwrap();
+
+        let mut c = BrokerClient::connect(server.addr()).unwrap();
+        let d = c
+            .get("stats", Duration::from_secs(1))
+            .unwrap()
+            .expect("message 1");
+        assert_eq!(&d.payload[..], b"payload-one");
+        let before = c.pool.len();
+        assert!(c.ack_delivery("stats", d).unwrap());
+        assert!(
+            c.pool.len() > before,
+            "delivery frame buffer must return to the read pool"
+        );
+        // The recycled buffer backs the next delivery read.
+        let d2 = c
+            .get("stats", Duration::from_secs(1))
+            .unwrap()
+            .expect("message 2");
+        assert_eq!(&d2.payload[..], b"payload-two");
+        assert!(c.ack_delivery("stats", d2).unwrap());
+        assert!(c.pool.len() <= POOL_CAP);
     }
 
     #[test]

@@ -4,19 +4,36 @@
 //! day; daemon mode appends samples as the consumer receives them. The
 //! archive is keyed by `(hostname, day)` like the real
 //! `/scratch/projects/tacc_stats/archive/<host>/<day>` layout, stores the
-//! raw text format, and tracks **data-availability latency** — the time
+//! raw byte format, and tracks **data-availability latency** — the time
 //! between a sample's collection and its arrival in the archive — which
 //! is the quantity Fig. 1 vs Fig. 2 trades off.
+//!
+//! # Zero-copy replay
+//!
+//! Day files are stored as raw byte buffers keyed by interned hostnames
+//! (`(Sym, u64)`), and every parse ([`Archive::parse`],
+//! [`Archive::parse_all`], [`Archive::all_samples`]) feeds the stored
+//! bytes to [`codec::parse_bytes`] *in place*, under the archive lock —
+//! replaying a day of archives never copies file contents. Disk loads
+//! ([`Archive::load_from_dir`]) read each file's bytes straight into
+//! the buffer the archive keeps (`std::fs::read`, one right-sized
+//! allocation, no UTF-8 re-validation staging); a true `mmap` needs
+//! `unsafe` plus a platform crate this workspace doesn't vendor, and a
+//! day file is small enough (~1 MiB) that a single positioned read is
+//! the same number of page faults. The borrow-based readers
+//! ([`Archive::with_bytes`]) extend the same contract to callers.
 
+use crate::codec;
 use crate::record::{ParseError, RawFile, Sample};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use tacc_simnode::intern::Sym;
 use tacc_simnode::{SimDuration, SimTime};
 
 #[derive(Default)]
 struct ArchiveInner {
-    /// (hostname, day-start seconds) → raw file text.
-    files: BTreeMap<(String, u64), String>,
+    /// (interned hostname, day-start seconds) → raw file bytes.
+    files: BTreeMap<(Sym, u64), Vec<u8>>,
     /// Collection→availability latencies, one per stored sample.
     latencies: Vec<SimDuration>,
 }
@@ -55,9 +72,32 @@ impl Archive {
         sample_times: &[SimTime],
         stored_at: SimTime,
     ) {
+        self.append_bytes(
+            Sym::new(host),
+            day_start,
+            text.as_bytes(),
+            sample_times,
+            stored_at,
+        );
+    }
+
+    /// Byte-level [`Archive::append`]: the consumer hands its render
+    /// buffer over without a UTF-8 round-trip, and the hostname arrives
+    /// pre-interned so the day-map key allocates nothing.
+    pub fn append_bytes(
+        &self,
+        host: Sym,
+        day_start: SimTime,
+        bytes: &[u8],
+        sample_times: &[SimTime],
+        stored_at: SimTime,
+    ) {
         let mut inner = self.inner.lock();
-        let key = (host.to_string(), day_start.as_secs());
-        inner.files.entry(key).or_default().push_str(text);
+        inner
+            .files
+            .entry((host, day_start.as_secs()))
+            .or_default()
+            .extend_from_slice(bytes);
         for t in sample_times {
             inner.latencies.push(stored_at.duration_since(*t));
         }
@@ -68,43 +108,65 @@ impl Archive {
         self.inner
             .lock()
             .files
-            .contains_key(&(host.to_string(), day_start.as_secs()))
+            .contains_key(&(Sym::new(host), day_start.as_secs()))
     }
 
     /// Raw text of one host-day file.
+    ///
+    /// Copies the file out (and lossily patches any invalid UTF-8);
+    /// replay paths should use [`Archive::parse`] or
+    /// [`Archive::with_bytes`], which borrow the stored bytes instead.
     pub fn read(&self, host: &str, day_start: SimTime) -> Option<String> {
         self.inner
             .lock()
             .files
-            .get(&(host.to_string(), day_start.as_secs()))
-            .cloned()
+            .get(&(Sym::new(host), day_start.as_secs()))
+            .map(|b| String::from_utf8_lossy(b).into_owned())
     }
 
-    /// Parse one host-day file.
+    /// Run `f` over the raw bytes of one host-day file, borrowed in
+    /// place under the archive lock — the zero-copy reader.
+    pub fn with_bytes<R>(
+        &self,
+        host: &str,
+        day_start: SimTime,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Option<R> {
+        self.inner
+            .lock()
+            .files
+            .get(&(Sym::new(host), day_start.as_secs()))
+            .map(|b| f(b))
+    }
+
+    /// Parse one host-day file, straight from the stored bytes.
     pub fn parse(&self, host: &str, day_start: SimTime) -> Option<Result<RawFile, ParseError>> {
-        self.read(host, day_start).map(|t| RawFile::parse(&t))
+        self.with_bytes(host, day_start, codec::parse_bytes)
     }
 
-    /// All `(host, day-start)` keys present.
-    pub fn keys(&self) -> Vec<(String, SimTime)> {
+    /// All `(host, day-start)` keys present. Hostnames come back as the
+    /// interned day-map keys; `.as_str()` resolves them for display.
+    pub fn keys(&self) -> Vec<(Sym, SimTime)> {
         self.inner
             .lock()
             .files
             .keys()
-            .map(|(h, d)| (h.clone(), SimTime::from_secs(*d)))
+            .map(|&(h, d)| (h, SimTime::from_secs(d)))
             .collect()
     }
 
-    /// Parse every stored file. The archive normally contains only
-    /// well-formed data (it stores what the pipeline rendered), so an
-    /// error here means corruption — reported to the caller, never a
+    /// Parse every stored file, in place. The archive normally contains
+    /// only well-formed data (it stores what the pipeline rendered), so
+    /// an error here means corruption — reported to the caller, never a
     /// panic.
     pub fn parse_all(&self) -> Result<Vec<RawFile>, String> {
         let inner = self.inner.lock();
         inner
             .files
             .iter()
-            .map(|((h, d), text)| RawFile::parse(text).map_err(|e| format!("archive {h}/{d}: {e}")))
+            .map(|(&(h, d), bytes)| {
+                codec::parse_bytes(bytes).map_err(|e| format!("archive {h}/{d}: {e}"))
+            })
             .collect()
     }
 
@@ -132,16 +194,18 @@ impl Archive {
     pub fn write_to_dir(&self, dir: &std::path::Path) -> std::io::Result<usize> {
         let inner = self.inner.lock();
         let mut written = 0;
-        for ((host, day), text) in &inner.files {
-            let host_dir = dir.join(host);
+        for (&(host, day), bytes) in &inner.files {
+            let host_dir = dir.join(host.as_str());
             std::fs::create_dir_all(&host_dir)?;
-            std::fs::write(host_dir.join(day.to_string()), text)?;
+            std::fs::write(host_dir.join(day.to_string()), bytes)?;
             written += 1;
         }
         Ok(written)
     }
 
     /// Load an archive previously written by [`Archive::write_to_dir`].
+    /// Each file's bytes are read directly into the buffer the archive
+    /// stores — no `read_to_string` validation pass, no re-copy.
     /// Latency bookkeeping is not reconstructed (files carry no arrival
     /// times); analyses over the raw data work as usual.
     pub fn load_from_dir(dir: &std::path::Path) -> std::io::Result<Archive> {
@@ -151,15 +215,15 @@ impl Archive {
             if !host_entry.file_type()?.is_dir() {
                 continue;
             }
-            let host = host_entry.file_name().to_string_lossy().into_owned();
+            let host = Sym::new(&host_entry.file_name().to_string_lossy());
             for day_entry in std::fs::read_dir(host_entry.path())? {
                 let day_entry = day_entry?;
                 let Ok(day_secs) = day_entry.file_name().to_string_lossy().parse::<u64>() else {
                     continue;
                 };
-                let text = std::fs::read_to_string(day_entry.path())?;
+                let bytes = std::fs::read(day_entry.path())?;
                 let mut inner = archive.inner.lock();
-                inner.files.insert((host.clone(), day_secs), text);
+                inner.files.insert((host, day_secs), bytes);
             }
         }
         Ok(archive)
@@ -258,6 +322,25 @@ mod tests {
         let parsed = a.parse("c1", day).unwrap().unwrap();
         assert_eq!(parsed.samples.len(), 2);
         assert_eq!(parsed.samples[1].devices[0].values, vec![9, 900]);
+    }
+
+    #[test]
+    fn append_bytes_and_with_bytes_borrow_in_place() {
+        let a = Archive::new();
+        let day = SimTime::from_secs(0);
+        let text = tiny_file_text("c1", 600);
+        a.append_bytes(
+            Sym::new("c1"),
+            day,
+            text.as_bytes(),
+            &[SimTime::from_secs(600)],
+            SimTime::from_secs(700),
+        );
+        assert!(a.has_file("c1", day));
+        let len = a.with_bytes("c1", day, |b| b.len()).unwrap();
+        assert_eq!(len, text.len());
+        assert!(a.with_bytes("ghost", day, |b| b.len()).is_none());
+        assert_eq!(a.read("c1", day).unwrap(), text);
     }
 
     #[test]

@@ -304,7 +304,7 @@ mod tests {
                     .map(|(inst, values)| DeviceRecord {
                         dev_type: DeviceType::Mdc,
                         instance: Sym::new(inst),
-                        values,
+                        values: values.into(),
                     })
                     .collect(),
                 processes: procs
@@ -313,7 +313,7 @@ mod tests {
                         pid,
                         comm: Sym::new(comm),
                         uid,
-                        values: vec![0; ps_len],
+                        values: vec![0; ps_len].into(),
                     })
                     .collect(),
             }],

@@ -35,7 +35,7 @@ fn rec(dev_type: DeviceType, instance: impl AsRef<str>, values: Vec<u64>) -> Dev
         // Instance names recur every sample; interning makes this a
         // table lookup after the first collection.
         instance: Sym::new(instance.as_ref()),
-        values,
+        values: values.into(),
     }
 }
 
@@ -646,7 +646,7 @@ impl PsCollector {
                 pid,
                 comm,
                 uid,
-                values: vec![
+                values: [
                     g("VmSize"),
                     g("VmHWM"),
                     g("VmRSS"),
@@ -658,7 +658,9 @@ impl PsCollector {
                     utime,
                     g("Cpus_allowed"),
                     g("Mems_allowed"),
-                ],
+                ]
+                .into_iter()
+                .collect(),
             });
         }
         out

@@ -112,19 +112,36 @@ impl StatsConsumer {
         (0..=max).filter(|s| !seen.contains(s)).collect()
     }
 
-    fn reject(&mut self, delivery: &tacc_broker::Delivery) {
+    /// Adopt a frame buffer reclaimed at ack time as the render buffer's
+    /// backing storage when it is the larger of the two — the consume
+    /// loop then cycles one allocation between "network frame" and
+    /// "archive render" roles instead of growing each separately.
+    fn adopt_buffer(&mut self, buf: bytes::BytesMut) {
+        let mut v: Vec<u8> = buf.into();
+        if v.capacity() > self.render_buf.capacity() {
+            v.clear();
+            self.render_buf = v;
+        }
+    }
+
+    fn reject(&mut self, delivery: tacc_broker::Delivery) {
         self.parse_failures += 1;
         if let Some(dlq) = &self.dead_letter {
             // Keep the original routing key so operators can trace the
             // poison message back to its producer.
             if self
                 .broker
-                .publish(dlq, &delivery.routing_key, delivery.payload.clone())
+                .publish(dlq, delivery.routing_key.as_str(), delivery.payload.clone())
             {
                 self.dead_lettered += 1;
             }
         }
-        self.consumer.ack(delivery.tag);
+        // Dead-lettered payloads stay alive on the DLQ, so the recycle
+        // only reclaims the buffer when the message was truly dropped.
+        let (_, buf) = self.consumer.ack_recycle(delivery);
+        if let Some(b) = buf {
+            self.adopt_buffer(b);
+        }
     }
 
     /// Process at most one message. `now` is the (simulated) arrival
@@ -135,10 +152,12 @@ impl StatsConsumer {
         // sample; keep pulling so one poison message can't stall a drain.
         loop {
             let delivery = self.consumer.get(timeout)?;
+            // Parse straight out of the delivered frame buffer — the
+            // payload is never copied into an intermediate `String`.
             let rf = match codec::parse_bytes(&delivery.payload) {
                 Ok(rf) => rf,
                 Err(_) => {
-                    self.reject(&delivery);
+                    self.reject(delivery);
                     continue;
                 }
             };
@@ -147,9 +166,12 @@ impl StatsConsumer {
                 let seen = self.seen.entry(host).or_default();
                 if !seen.insert(seq) {
                     // At-least-once replay after a lost ack: already
-                    // archived, skip.
+                    // archived, skip (and reclaim the frame buffer).
                     self.duplicates += 1;
-                    self.consumer.ack(delivery.tag);
+                    let (_, buf) = self.consumer.ack_recycle(delivery);
+                    if let Some(b) = buf {
+                        self.adopt_buffer(b);
+                    }
                     continue;
                 }
                 let expected = self.max_seq.get(&host).map(|m| m + 1).unwrap_or(0);
@@ -169,16 +191,19 @@ impl StatsConsumer {
                     codec::render_header_into(&rf.header, &mut self.render_buf);
                 }
                 codec::render_sample_into(&sample, &mut self.render_buf);
-                // The codec emits only `&str` bytes and ASCII digits, so
-                // the buffer is always valid UTF-8; the check (rather
-                // than a conversion that could panic) keeps this
-                // delivery path panic-free.
-                if let Ok(text) = std::str::from_utf8(&self.render_buf) {
-                    self.archive.append(host.as_str(), day, text, &[t], now);
-                }
+                // The archive stores bytes now, so the rendered sample
+                // goes in directly — no UTF-8 revalidation, no copy into
+                // an intermediate `String`.
+                self.archive
+                    .append_bytes(host, day, &self.render_buf, &[t], now);
                 last = Some(sample);
             }
-            self.consumer.ack(delivery.tag);
+            // Ack and recycle: if nobody else kept the payload alive the
+            // frame buffer comes back and is reused as render scratch.
+            let (_, buf) = self.consumer.ack_recycle(delivery);
+            if let Some(b) = buf {
+                self.adopt_buffer(b);
+            }
             self.received += 1;
             return last.map(|s| (host, s));
         }
@@ -328,7 +353,7 @@ mod tests {
                                             // again.
         let c = broker.consume("stats").unwrap();
         let orig = c.try_get().unwrap();
-        broker.publish("stats", &orig.routing_key, orig.payload.clone());
+        broker.publish("stats", orig.routing_key.as_str(), orig.payload.clone());
         c.nack(orig.tag); // put the original back too
         drop(c);
         consumer.drain(SimTime::from_secs(1));

@@ -35,6 +35,164 @@ use tacc_simnode::SimTime;
 /// Format version string written in the `$tacc_stats` header line.
 pub const FORMAT_VERSION: &str = "2.1";
 
+/// Value column of one record line, stored inline when it fits.
+///
+/// Every schema in Table I is at most 11 events wide (`ps`), so nearly
+/// every record's values live in the inline buffer and parsing a raw
+/// file allocates nothing per record line — the per-line `Vec<u64>` was
+/// the dominant allocation of archive replay. Wider rows (future
+/// schemas) spill to a heap `Vec` transparently. Dereferences to
+/// `&[u64]`, so readers treat it exactly like the old `Vec`.
+#[derive(Clone)]
+pub enum ValueVec {
+    /// Up to [`ValueVec::INLINE`] values stored in place.
+    Inline {
+        /// Number of live values in `buf`.
+        len: u8,
+        /// Inline storage; only `buf[..len]` is meaningful.
+        buf: [u64; ValueVec::INLINE],
+    },
+    /// Spill representation for rows wider than the inline buffer.
+    Heap(Vec<u64>),
+}
+
+impl ValueVec {
+    /// Inline capacity: the widest Table-I schema (`ps`, 11 events)
+    /// plus one slot of slack.
+    pub const INLINE: usize = 12;
+
+    /// New empty column.
+    pub fn new() -> ValueVec {
+        ValueVec::Inline {
+            len: 0,
+            buf: [0; ValueVec::INLINE],
+        }
+    }
+
+    /// New column ready to hold `n` values without reallocating.
+    pub fn with_capacity(n: usize) -> ValueVec {
+        if n <= ValueVec::INLINE {
+            ValueVec::new()
+        } else {
+            ValueVec::Heap(Vec::with_capacity(n))
+        }
+    }
+
+    /// Append a value, spilling to the heap on inline overflow.
+    pub fn push(&mut self, v: u64) {
+        match self {
+            ValueVec::Inline { len, buf } => {
+                let i = usize::from(*len);
+                if let Some(slot) = buf.get_mut(i) {
+                    *slot = v;
+                    *len += 1;
+                } else {
+                    let mut heap = Vec::with_capacity(ValueVec::INLINE * 2);
+                    heap.extend_from_slice(buf.as_slice());
+                    heap.push(v);
+                    *self = ValueVec::Heap(heap);
+                }
+            }
+            ValueVec::Heap(vs) => vs.push(v),
+        }
+    }
+
+    /// The live values as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        match self {
+            ValueVec::Inline { len, buf } => buf.get(..usize::from(*len)).unwrap_or(&[]),
+            ValueVec::Heap(vs) => vs.as_slice(),
+        }
+    }
+}
+
+impl Default for ValueVec {
+    fn default() -> ValueVec {
+        ValueVec::new()
+    }
+}
+
+impl std::ops::Deref for ValueVec {
+    type Target = [u64];
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for ValueVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+/// Content equality regardless of representation: an inline column and
+/// a spilled column holding the same values compare equal.
+impl PartialEq for ValueVec {
+    fn eq(&self, other: &ValueVec) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ValueVec {}
+
+impl PartialEq<Vec<u64>> for ValueVec {
+    fn eq(&self, other: &Vec<u64>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<ValueVec> for Vec<u64> {
+    fn eq(&self, other: &ValueVec) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[u64]> for ValueVec {
+    fn eq(&self, other: &[u64]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[u64; N]> for ValueVec {
+    fn eq(&self, other: &[u64; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<u64>> for ValueVec {
+    fn from(vs: Vec<u64>) -> ValueVec {
+        if vs.len() <= ValueVec::INLINE {
+            vs.into_iter().collect()
+        } else {
+            ValueVec::Heap(vs)
+        }
+    }
+}
+
+impl FromIterator<u64> for ValueVec {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> ValueVec {
+        let mut out = ValueVec::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a ValueVec {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+// The workspace's serde is the vendored marker stub (no code path
+// serialises through it), so these are marker impls like the derives.
+impl Serialize for ValueVec {}
+
+impl<'de> Deserialize<'de> for ValueVec {}
+
 /// Values read from one device instance at one sample.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DeviceRecord {
@@ -44,8 +202,9 @@ pub struct DeviceRecord {
     /// interned: the same few names recur every sample, so records
     /// carry a `Copy` symbol instead of re-allocating the text.
     pub instance: Sym,
-    /// Register values in schema order.
-    pub values: Vec<u64>,
+    /// Register values in schema order, inline up to
+    /// [`ValueVec::INLINE`] wide.
+    pub values: ValueVec,
 }
 
 /// Per-process record from the procfs collector (§III-B item 4).
@@ -59,8 +218,9 @@ pub struct PsRecord {
     /// Owning uid.
     pub uid: u32,
     /// Values per the `ps` schema (VmSize, VmHWM, VmRSS, VmLck, VmData,
-    /// VmStk, VmExe, Threads, utime).
-    pub values: Vec<u64>,
+    /// VmStk, VmExe, Threads, utime), inline up to
+    /// [`ValueVec::INLINE`] wide.
+    pub values: ValueVec,
 }
 
 /// One timestamped record group: everything collected on a node at one
@@ -391,15 +551,15 @@ impl RawFile {
     }
 }
 
-/// Collect whitespace-split values into a Vec pre-sized from the
-/// schema: `collect` on a `split_whitespace` iterator cannot size
-/// itself, and its doubling growth is the parse hot path's realloc
-/// traffic.
+/// Collect whitespace-split values into a [`ValueVec`]: Table-I-width
+/// rows land in the inline buffer (no allocation per record line), and
+/// wider rows pre-size the spill Vec from the schema so there is no
+/// doubling growth on the parse hot path.
 fn collect_values<'a>(
     toks: impl Iterator<Item = &'a str>,
     expect: Option<usize>,
-) -> Result<Vec<u64>, ()> {
-    let mut values = Vec::with_capacity(expect.unwrap_or(0));
+) -> Result<ValueVec, ()> {
+    let mut values = ValueVec::with_capacity(expect.unwrap_or(0));
     for t in toks {
         values.push(t.parse().map_err(|_| ())?);
     }
@@ -438,19 +598,19 @@ mod tests {
                 DeviceRecord {
                     dev_type: DeviceType::Cpu,
                     instance: "0".into(),
-                    values: vec![1, 2, 3, 4, 5, 6, 7, 8, 9],
+                    values: vec![1, 2, 3, 4, 5, 6, 7, 8, 9].into(),
                 },
                 DeviceRecord {
                     dev_type: DeviceType::Mdc,
                     instance: "scratch".into(),
-                    values: vec![100, 5000],
+                    values: vec![100, 5000].into(),
                 },
             ],
             processes: vec![PsRecord {
                 pid: 1001,
                 comm: "wrf.exe".into(),
                 uid: 5000,
-                values: vec![10, 20, 30, 0, 5, 1, 2, 16, 12345, 0xFFFF, 3],
+                values: vec![10, 20, 30, 0, 5, 1, 2, 16, 12345, 0xFFFF, 3].into(),
             }],
         }
     }
@@ -630,7 +790,7 @@ mod tests {
                     devices: vec![DeviceRecord {
                         dev_type: DeviceType::Mdc,
                         instance: "scratch".into(),
-                        values: vals.clone(),
+                        values: vals.clone().into(),
                     }],
                     processes: vec![],
                 }],

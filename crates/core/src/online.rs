@@ -261,12 +261,12 @@ mod tests {
                 DeviceRecord {
                     dev_type: DeviceType::Mdc,
                     instance: "scratch".into(),
-                    values: vec![mdc_reqs, mdc_reqs * 200],
+                    values: vec![mdc_reqs, mdc_reqs * 200].into(),
                 },
                 DeviceRecord {
                     dev_type: DeviceType::Net,
                     instance: "eth0".into(),
-                    values: vec![net_bytes / 2, 0, net_bytes / 2, 0],
+                    values: vec![net_bytes / 2, 0, net_bytes / 2, 0].into(),
                 },
             ],
             processes: vec![],

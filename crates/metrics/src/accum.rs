@@ -168,7 +168,7 @@ impl HostAccum {
             // not one clone per record per sample.
             let prev_slot = match self.prev.entry(key) {
                 Entry::Vacant(v) => {
-                    v.insert((t, rec.values.clone()));
+                    v.insert((t, rec.values.to_vec()));
                     continue; // first observation of this instance
                 }
                 Entry::Occupied(o) => o.into_mut(),

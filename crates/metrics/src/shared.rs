@@ -165,7 +165,7 @@ mod tests {
             pid,
             comm: format!("p{pid}").as_str().into(),
             uid,
-            values: vec![rss + 100, hwm, rss, 0, rss / 2, 8, 4, 1, utime, mask, 3],
+            values: vec![rss + 100, hwm, rss, 0, rss / 2, 8, 4, 1, utime, mask, 3].into(),
         }
     }
 

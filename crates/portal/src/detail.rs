@@ -13,7 +13,9 @@ use tacc_collect::record::{RawFile, Sample};
 use tacc_metrics::flags::{Flag, FlagContext, FlagRules};
 use tacc_metrics::table1::JobMetrics;
 use tacc_simnode::counter::wrapping_delta;
+use tacc_simnode::intern::Sym;
 use tacc_simnode::schema::DeviceType;
+use tacc_tsdb::{SeriesKey, TagFilter, TsDb};
 
 /// One point of the six-panel series.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -179,33 +181,96 @@ impl JobTimeSeries {
         }
     }
 
+    /// Store the six panels into `db`, one series per host per panel,
+    /// keyed `(host, "panel", <jobid>, <panel event>)` — the long-lived
+    /// form the portal serves repeat detail-page hits from without
+    /// re-reading raw files.
+    pub fn store(&self, db: &TsDb) {
+        for h in &self.hosts {
+            for (_, ev) in PANELS {
+                let key = SeriesKey::new(&h.hostname, "panel", &self.jobid, ev);
+                for p in &h.points {
+                    db.insert(key.clone(), p.t, panel_value(p, ev));
+                }
+            }
+        }
+    }
+
     /// Render the six panels, one sparkline per node per panel.
     pub fn render(&self) -> String {
-        type PanelFn = fn(&PanelPoint) -> f64;
-        let panels: [(&str, PanelFn); 6] = [
-            ("Gigaflops", |p| p.gflops),
-            ("Memory Bandwidth (GB/s)", |p| p.mbw_gbs),
-            ("Memory Usage (GB)", |p| p.mem_gb),
-            ("Lustre Bandwidth (MB/s)", |p| p.lustre_mbs),
-            ("Infiniband MPI (MB/s)", |p| p.ib_mbs),
-            ("CPU User Fraction", |p| p.cpu_user),
-        ];
         let mut out = format!("=== Job {} detail (Fig. 5 panels) ===\n", self.jobid);
-        for (title, f) in panels {
+        for (title, ev) in PANELS {
             out.push_str(&format!("--- {title} ---\n"));
             for h in &self.hosts {
-                let vals: Vec<f64> = h.points.iter().map(f).collect();
-                let max = vals.iter().cloned().fold(0.0, f64::max);
-                out.push_str(&format!(
-                    "  {:<12} {} (max {})\n",
-                    h.hostname,
-                    render::sparkline(&vals),
-                    render::num(max)
-                ));
+                let vals: Vec<f64> = h.points.iter().map(|p| panel_value(p, ev)).collect();
+                out.push_str(&panel_line(&h.hostname, &vals));
             }
         }
         out
     }
+}
+
+/// The six Fig. 5 panels: display title and the event tag the series is
+/// stored under in the time-series database.
+const PANELS: [(&str, &str); 6] = [
+    ("Gigaflops", "gflops"),
+    ("Memory Bandwidth (GB/s)", "mbw_gbs"),
+    ("Memory Usage (GB)", "mem_gb"),
+    ("Lustre Bandwidth (MB/s)", "lustre_mbs"),
+    ("Infiniband MPI (MB/s)", "ib_mbs"),
+    ("CPU User Fraction", "cpu_user"),
+];
+
+fn panel_value(p: &PanelPoint, ev: &str) -> f64 {
+    match ev {
+        "gflops" => p.gflops,
+        "mbw_gbs" => p.mbw_gbs,
+        "mem_gb" => p.mem_gb,
+        "lustre_mbs" => p.lustre_mbs,
+        "ib_mbs" => p.ib_mbs,
+        "cpu_user" => p.cpu_user,
+        _ => 0.0,
+    }
+}
+
+fn panel_line(host: impl std::fmt::Display, vals: &[f64]) -> String {
+    let max = vals.iter().cloned().fold(0.0, f64::max);
+    format!(
+        "  {:<12} {} (max {})\n",
+        host,
+        render::sparkline(vals),
+        render::num(max)
+    )
+}
+
+/// Render the Fig. 5 detail panels straight out of the time-series
+/// store. Each series is streamed through [`TsDb::range_for_each`] into
+/// one reused value buffer — no intermediate `Vec<DataPoint>` is
+/// materialized per series, which is what keeps repeat detail-page
+/// renders off the allocator.
+pub fn render_job_detail(db: &TsDb, jobid: &str) -> String {
+    let filter = TagFilter::any().dev_type("panel").device(jobid);
+    let keys = db.keys(&filter);
+    // Keys sort host-first (string order), so hosts come out sorted.
+    let mut hosts: Vec<Sym> = keys.iter().map(|k| k.host).collect();
+    hosts.dedup();
+    let mut out = format!("=== Job {jobid} detail (Fig. 5 panels) ===\n");
+    let mut vals: Vec<f64> = Vec::new();
+    for (title, ev) in PANELS {
+        out.push_str(&format!("--- {title} ---\n"));
+        for &host in &hosts {
+            let key = SeriesKey {
+                host,
+                dev_type: Sym::new("panel"),
+                device: Sym::new(jobid),
+                event: Sym::new(ev),
+            };
+            vals.clear();
+            db.range_for_each(&key, 0, u64::MAX, |_, v| vals.push(v));
+            out.push_str(&panel_line(host.as_str(), &vals));
+        }
+    }
+    out
 }
 
 /// The metric pass/fail report shown on the detail page ("a report
@@ -355,6 +420,22 @@ mod tests {
         }
         assert!(s.contains("c401-0000"));
         assert!(s.contains("c401-0001"));
+    }
+
+    #[test]
+    fn tsdb_backed_render_matches_in_memory_render() {
+        let files = job_raw_files();
+        let ts = JobTimeSeries::extract(&files, "4242");
+        let db = TsDb::new();
+        ts.store(&db);
+        assert_eq!(db.n_series(), 12, "6 panels x 2 hosts");
+        // Streaming the panels back out of the store reproduces the
+        // point-vec render byte for byte.
+        assert_eq!(render_job_detail(&db, "4242"), ts.render());
+        // A job with no stored panels renders an empty detail header.
+        let empty = render_job_detail(&db, "999999");
+        assert!(empty.contains("=== Job 999999"));
+        assert!(!empty.contains("c401-"));
     }
 
     #[test]

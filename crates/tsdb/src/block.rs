@@ -1,0 +1,905 @@
+//! Columnar block encoding for one time series.
+//!
+//! A series is stored as a run of immutable [`SealedBlock`]s plus a
+//! small append-only head ([`SeriesBlocks`]). Each sealed block holds
+//! up to [`SEAL_THRESHOLD`] points in two byte columns:
+//!
+//! * **Timestamp column** — first timestamp as a LEB128 varint, then
+//!   the first delta as a varint, then delta-of-delta residuals as
+//!   zigzag varints. Monitoring samples arrive on a fixed cadence, so
+//!   the residual is almost always `0` and costs one byte per point.
+//! * **Value column** — first value's IEEE-754 bits, then `bits XOR
+//!   previous-bits`, each as a control byte (leading/trailing zero
+//!   *byte* counts, Gorilla-style but byte-aligned) followed by the
+//!   meaningful middle bytes. A repeated value costs one byte; a
+//!   varying `f64` costs one byte more than its span of non-zero
+//!   bytes. Byte alignment is deliberate: decode is one control byte
+//!   and one unaligned load, not a bit-at-a-time (or varint
+//!   byte-at-a-time) loop, which is what makes block scans competitive
+//!   with raw-vector scans. The round-trip is bit-exact for every
+//!   `f64` including NaN payloads.
+//!
+//! All arithmetic is wrapping, which makes the encoding a bijection on
+//! `u64`: `delta.wrapping_sub(prev)` zigzagged and later
+//! `prev.wrapping_add(residual)` invert each other for *every* input,
+//! so correctness never depends on timestamps being "reasonable".
+//!
+//! Inserts land in the head, which is kept sorted (out-of-order
+//! arrivals use a binary-search insert, matching the point-vec store
+//! this module replaced: a new point sorts *after* existing points
+//! with an equal timestamp). When the head reaches the seal threshold
+//! it is compressed into a sealed block. A point older than the sealed
+//! range — rare: only replay after a very late redelivery — is merged
+//! by decoding the one overlapping block, inserting, and re-encoding
+//! it; no other block is touched.
+//!
+//! Queries never materialize an intermediate `Vec<DataPoint>`:
+//! [`SeriesBlocks::for_each_in`] streams decoded points to a closure,
+//! and [`SeriesCursor`] is the pull-based equivalent for callers that
+//! want to drive iteration themselves (the portal's detail reads).
+//!
+//! This module is on the `cargo xtask lint` deny list: no panicking
+//! constructs, no unchecked indexing.
+
+/// Number of points the mutable head accumulates before it is
+/// compressed into a sealed block.
+///
+/// At the paper's 10-minute cadence this is ~3.5 days of one series
+/// per block; small enough that the decode-merge-reencode path for a
+/// late out-of-order point stays cheap, large enough that the varint
+/// columns amortize their two-word header.
+pub const SEAL_THRESHOLD: usize = 512;
+
+/// Append a LEB128 varint.
+fn put_varint(out: &mut Vec<u8>, mut x: u64) {
+    while x >= 0x80 {
+        out.push((x as u8) | 0x80);
+        x >>= 7;
+    }
+    out.push(x as u8);
+}
+
+/// Encoded length of a LEB128 varint, in bytes (1–10). Lets the
+/// encoder size each column exactly before writing, so sealing a block
+/// performs one allocation per column and zero reallocs.
+fn varint_len(x: u64) -> usize {
+    let bits = 64 - (x | 1).leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+/// Read a LEB128 varint at `*pos`, advancing it. `None` on truncation.
+fn get_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    // Fast path: the steady-state timestamp byte (zero delta-of-delta
+    // residual) is a single sub-0x80 byte.
+    let &b0 = bytes.get(*pos)?;
+    if b0 < 0x80 {
+        *pos += 1;
+        return Some(u64::from(b0));
+    }
+    let mut x: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes.get(*pos)?;
+        *pos += 1;
+        x |= u64::from(b & 0x7f) << shift;
+        if b < 0x80 {
+            return Some(x);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+/// Encoded length of a value word in the byte-aligned XOR scheme:
+/// one control byte plus the meaningful middle bytes.
+fn xor_len(x: u64) -> usize {
+    if x == 0 {
+        return 1;
+    }
+    let lead = (x.leading_zeros() / 8) as usize;
+    let trail = (x.trailing_zeros() / 8) as usize;
+    1 + 8 - lead - trail
+}
+
+/// Append a value word: control byte `(leading-zero-bytes << 4) |
+/// trailing-zero-bytes`, then the middle bytes little-endian. Zero is
+/// the single byte `0x80` (8 leading zero bytes, nothing else).
+fn put_xor(out: &mut Vec<u8>, x: u64) {
+    if x == 0 {
+        out.push(0x80);
+        return;
+    }
+    let lead = (x.leading_zeros() / 8) as usize;
+    let trail = (x.trailing_zeros() / 8) as usize;
+    let mid = 8 - lead - trail;
+    out.push(((lead as u8) << 4) | trail as u8);
+    let le = (x >> (8 * trail)).to_le_bytes();
+    out.extend_from_slice(le.get(..mid).unwrap_or(&[]));
+}
+
+/// Number of zero bytes appended after the last value word, so
+/// [`get_xor`] can always load a full eight-byte window instead of a
+/// byte-at-a-time loop. (`XOR_PAD` >= 8: a zero word consumes only its
+/// control byte, leaving the window one byte short of `mid`'s maximum.)
+const XOR_PAD: usize = 8;
+
+/// Read a value word at `*pos`, advancing it. The column must carry
+/// [`XOR_PAD`] trailing zero bytes (encode always pads): the decoder
+/// loads a full eight-byte window unconditionally and masks it down to
+/// the meaningful bytes, so decode is one load, one mask, one shift —
+/// no per-byte loop. `None` on truncation or a corrupt control byte.
+fn get_xor(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let &c = bytes.get(*pos)?;
+    let chunk = bytes.get(*pos + 1..*pos + 9)?;
+    let le: [u8; 8] = chunk.try_into().ok()?;
+    let lead = usize::from(c >> 4);
+    let trail = usize::from(c & 0x0F);
+    let mid = 8usize.checked_sub(lead + trail)?;
+    *pos += 1 + mid;
+    let w = u64::from_le_bytes(le);
+    let w = if mid == 8 {
+        w
+    } else {
+        w & ((1u64 << (8 * mid)) - 1)
+    };
+    // checked_shl guards the corrupt-control case (trail == 8 with
+    // mid == 0); the payload is zero there anyway.
+    Some(w.checked_shl(8 * trail as u32).unwrap_or(0))
+}
+
+/// Zigzag-fold a signed residual into an unsigned varint payload.
+fn zigzag(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+/// Unfold [`zigzag`].
+fn unzigzag(x: u64) -> i64 {
+    ((x >> 1) as i64) ^ -((x & 1) as i64)
+}
+
+/// An immutable compressed run of points, sorted by timestamp.
+#[derive(Clone, Debug, Default)]
+pub struct SealedBlock {
+    /// Number of points in the block.
+    count: usize,
+    /// Timestamp of the first point.
+    min_t: u64,
+    /// Timestamp of the last point.
+    max_t: u64,
+    /// Delta-of-delta zigzag-varint timestamp column.
+    ts: Vec<u8>,
+    /// XOR-previous byte-aligned value column.
+    vs: Vec<u8>,
+}
+
+impl SealedBlock {
+    /// Compress parallel timestamp/value columns (timestamps must be
+    /// sorted; the encoder trusts but never *requires* this — decoding
+    /// reproduces the input order bit-exactly either way).
+    pub fn encode(ts: &[u64], vs: &[f64]) -> SealedBlock {
+        let count = ts.len().min(vs.len());
+        // Pass 1: exact column sizes, so each column is one
+        // right-sized allocation with no realloc during the write.
+        let mut ts_len = 0usize;
+        let mut vs_len = 0usize;
+        let mut prev_t = 0u64;
+        let mut prev_delta = 0u64;
+        let mut prev_bits = 0u64;
+        for (i, (&t, &v)) in ts.iter().zip(vs.iter()).enumerate() {
+            let (tw, vw) = Self::column_words(i, t, v, prev_t, prev_delta, prev_bits);
+            ts_len += varint_len(tw);
+            vs_len += xor_len(vw);
+            prev_delta = t.wrapping_sub(prev_t);
+            prev_t = t;
+            prev_bits = v.to_bits();
+        }
+        let mut block = SealedBlock {
+            count,
+            min_t: ts.first().copied().unwrap_or(0),
+            max_t: ts.last().copied().unwrap_or(0),
+            ts: Vec::with_capacity(ts_len),
+            vs: Vec::with_capacity(vs_len + XOR_PAD),
+        };
+        // Pass 2: write.
+        prev_t = 0;
+        prev_delta = 0;
+        prev_bits = 0;
+        for (i, (&t, &v)) in ts.iter().zip(vs.iter()).enumerate() {
+            let (tw, vw) = Self::column_words(i, t, v, prev_t, prev_delta, prev_bits);
+            put_varint(&mut block.ts, tw);
+            put_xor(&mut block.vs, vw);
+            prev_delta = t.wrapping_sub(prev_t);
+            prev_t = t;
+            prev_bits = v.to_bits();
+        }
+        // Padding window for the decoder's unconditional 8-byte loads.
+        block.vs.extend_from_slice(&[0u8; XOR_PAD]);
+        block
+    }
+
+    /// The column payloads of point `i`: raw timestamp / first delta /
+    /// zigzagged delta-of-delta residual (varint-encoded), and raw
+    /// bits / XOR-previous bits (byte-aligned XOR encoding). Shared by
+    /// the sizing and writing passes of [`SealedBlock::encode`].
+    #[inline]
+    fn column_words(
+        i: usize,
+        t: u64,
+        v: f64,
+        prev_t: u64,
+        prev_delta: u64,
+        prev_bits: u64,
+    ) -> (u64, u64) {
+        match i {
+            0 => (t, v.to_bits()),
+            1 => (t.wrapping_sub(prev_t), v.to_bits() ^ prev_bits),
+            _ => {
+                let delta = t.wrapping_sub(prev_t);
+                (
+                    zigzag(delta.wrapping_sub(prev_delta) as i64),
+                    v.to_bits() ^ prev_bits,
+                )
+            }
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the block holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Timestamp of the first point (0 for an empty block).
+    pub fn min_t(&self) -> u64 {
+        self.min_t
+    }
+
+    /// Timestamp of the last point (0 for an empty block).
+    pub fn max_t(&self) -> u64 {
+        self.max_t
+    }
+
+    /// Encoded size in bytes of both columns.
+    pub fn encoded_bytes(&self) -> usize {
+        self.ts.len() + self.vs.len()
+    }
+
+    /// A streaming decoder positioned at the first point.
+    pub fn cursor(&self) -> BlockCursor<'_> {
+        BlockCursor {
+            ts: &self.ts,
+            vs: &self.vs,
+            ts_pos: 0,
+            vs_pos: 0,
+            emitted: 0,
+            count: self.count,
+            prev_t: 0,
+            prev_delta: 0,
+            prev_bits: 0,
+        }
+    }
+
+    /// Decode every point into the given columns (append).
+    pub fn decode_into(&self, ts: &mut Vec<u64>, vs: &mut Vec<f64>) {
+        ts.reserve(self.count);
+        vs.reserve(self.count);
+        let mut cur = self.cursor();
+        while let Some((t, v)) = cur.next_point() {
+            ts.push(t);
+            vs.push(v);
+        }
+    }
+
+    /// Decode into caller-provided columns (each at least `len()`
+    /// long); returns the number of points written. Decodes each
+    /// column in its own tight loop — the batch path scans use so the
+    /// varint state machine never interleaves with caller work.
+    pub fn decode_to_slices(&self, ts: &mut [u64], vs: &mut [f64]) -> usize {
+        let n = self.count.min(ts.len()).min(vs.len());
+        // Timestamp column: the first two points carry the raw start
+        // and first delta; handling them before the loop keeps the
+        // steady-state body branch-free (one varint, two adds, one
+        // store per point).
+        let mut pos = 0usize;
+        let mut prev_t = 0u64;
+        let mut prev_delta = 0u64;
+        let mut decoded = 0usize;
+        for (i, slot) in ts.iter_mut().take(n).enumerate().take(2) {
+            let Some(w) = get_varint(&self.ts, &mut pos) else {
+                return decoded;
+            };
+            if i == 1 {
+                prev_delta = w;
+                prev_t = prev_t.wrapping_add(w);
+            } else {
+                prev_t = w;
+            }
+            *slot = prev_t;
+            decoded = i + 1;
+        }
+        for slot in ts.iter_mut().take(n).skip(2) {
+            let Some(w) = get_varint(&self.ts, &mut pos) else {
+                return decoded;
+            };
+            prev_delta = prev_delta.wrapping_add(unzigzag(w) as u64);
+            prev_t = prev_t.wrapping_add(prev_delta);
+            *slot = prev_t;
+            decoded += 1;
+        }
+        // Value column, same shape: seed the XOR chain, then a
+        // branch-free body (one load, one xor, one store per point).
+        pos = 0;
+        let mut prev_bits = 0u64;
+        decoded = 0;
+        if let Some(slot) = vs.first_mut().filter(|_| n > 0) {
+            let Some(x) = get_xor(&self.vs, &mut pos) else {
+                return 0;
+            };
+            prev_bits = x;
+            *slot = f64::from_bits(x);
+            decoded = 1;
+        }
+        for slot in vs.iter_mut().take(n).skip(1) {
+            let Some(x) = get_xor(&self.vs, &mut pos) else {
+                return decoded;
+            };
+            prev_bits ^= x;
+            *slot = f64::from_bits(prev_bits);
+            decoded += 1;
+        }
+        n
+    }
+}
+
+/// Streaming decoder over one [`SealedBlock`].
+///
+/// Borrows the block's columns; decoding state is a few machine words,
+/// so skipping to a range start is a cheap decode-and-discard.
+#[derive(Clone, Debug)]
+pub struct BlockCursor<'a> {
+    ts: &'a [u8],
+    vs: &'a [u8],
+    ts_pos: usize,
+    vs_pos: usize,
+    emitted: usize,
+    count: usize,
+    prev_t: u64,
+    prev_delta: u64,
+    prev_bits: u64,
+}
+
+impl BlockCursor<'_> {
+    /// Decode the next point, or `None` at end of block. (A corrupt —
+    /// truncated — column also ends iteration; sealed columns are only
+    /// ever produced by [`SealedBlock::encode`], so in practice this
+    /// path is unreachable.)
+    pub fn next_point(&mut self) -> Option<(u64, f64)> {
+        if self.emitted >= self.count {
+            return None;
+        }
+        let t = match self.emitted {
+            0 => get_varint(self.ts, &mut self.ts_pos)?,
+            1 => {
+                self.prev_delta = get_varint(self.ts, &mut self.ts_pos)?;
+                self.prev_t.wrapping_add(self.prev_delta)
+            }
+            _ => {
+                let dod = unzigzag(get_varint(self.ts, &mut self.ts_pos)?);
+                self.prev_delta = self.prev_delta.wrapping_add(dod as u64);
+                self.prev_t.wrapping_add(self.prev_delta)
+            }
+        };
+        let xored = get_xor(self.vs, &mut self.vs_pos)?;
+        let bits = if self.emitted == 0 {
+            xored
+        } else {
+            self.prev_bits ^ xored
+        };
+        self.prev_t = t;
+        self.prev_bits = bits;
+        self.emitted += 1;
+        Some((t, f64::from_bits(bits)))
+    }
+}
+
+impl Iterator for BlockCursor<'_> {
+    type Item = (u64, f64);
+
+    fn next(&mut self) -> Option<(u64, f64)> {
+        self.next_point()
+    }
+}
+
+/// One series' storage: sealed blocks plus the sorted mutable head.
+///
+/// Invariant: sealed blocks are ordered (`block[i].max_t <=
+/// block[i+1].min_t` — equal only when duplicate timestamps straddle a
+/// seal boundary) and every head timestamp is `>=` the last sealed
+/// block's `max_t`.
+#[derive(Clone, Debug, Default)]
+pub struct SeriesBlocks {
+    sealed: Vec<SealedBlock>,
+    sealed_points: usize,
+    head_t: Vec<u64>,
+    head_v: Vec<f64>,
+}
+
+impl SeriesBlocks {
+    /// New empty series.
+    pub fn new() -> SeriesBlocks {
+        SeriesBlocks::default()
+    }
+
+    /// Total points across sealed blocks and the head.
+    pub fn len(&self) -> usize {
+        self.sealed_points + self.head_t.len()
+    }
+
+    /// True when the series holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of sealed blocks.
+    pub fn n_sealed(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Points living in sealed blocks (the rest are in the head).
+    pub fn sealed_len(&self) -> usize {
+        self.sealed_points
+    }
+
+    /// Encoded bytes across sealed blocks (head excluded).
+    pub fn sealed_bytes(&self) -> usize {
+        self.sealed.iter().map(SealedBlock::encoded_bytes).sum()
+    }
+
+    /// Timestamp of the earliest stored point, from block metadata —
+    /// no decoding.
+    pub fn min_t(&self) -> Option<u64> {
+        self.sealed
+            .first()
+            .map(SealedBlock::min_t)
+            .or_else(|| self.head_t.first().copied())
+    }
+
+    /// Timestamp of the latest stored point, from block metadata — no
+    /// decoding.
+    pub fn max_t(&self) -> Option<u64> {
+        self.head_t
+            .last()
+            .copied()
+            .or_else(|| self.sealed.last().map(SealedBlock::max_t))
+    }
+
+    /// Timestamp after which the head begins: points `>=` this belong
+    /// in the head, older ones inside a sealed block.
+    fn sealed_max(&self) -> Option<u64> {
+        self.sealed.last().map(SealedBlock::max_t)
+    }
+
+    /// Insert one point, preserving timestamp order. A duplicate
+    /// timestamp sorts after the existing equal points, matching the
+    /// point-vec store's `partition_point(|p| p.t <= t)` semantics.
+    pub fn push(&mut self, t: u64, v: f64) {
+        match self.sealed_max() {
+            Some(smax) if t < smax => self.merge_into_sealed(t, v),
+            _ => {
+                match self.head_t.last() {
+                    Some(&last) if last > t => {
+                        let idx = self.head_t.partition_point(|&ht| ht <= t);
+                        self.head_t.insert(idx, t);
+                        self.head_v.insert(idx, v);
+                    }
+                    _ => {
+                        self.head_t.push(t);
+                        self.head_v.push(v);
+                    }
+                }
+                if self.head_t.len() >= SEAL_THRESHOLD {
+                    self.seal_head();
+                }
+            }
+        }
+    }
+
+    /// Compress the head into a sealed block and clear it.
+    fn seal_head(&mut self) {
+        if self.head_t.is_empty() {
+            return;
+        }
+        let block = SealedBlock::encode(&self.head_t, &self.head_v);
+        self.sealed_points += block.len();
+        self.sealed.push(block);
+        self.head_t.clear();
+        self.head_v.clear();
+    }
+
+    /// Out-of-order insert into the sealed range: decode the one
+    /// overlapping block, insert, re-encode. Bounded by the seal
+    /// threshold, and only late redeliveries ever take this path.
+    fn merge_into_sealed(&mut self, t: u64, v: f64) {
+        // Last block whose min_t <= t; points between two blocks'
+        // ranges append to the earlier one. `idx` is in-bounds: this
+        // path only runs when t < sealed max, so at least one block
+        // exists, and saturating_sub pins the "before every block"
+        // case to block 0.
+        let idx = self
+            .sealed
+            .partition_point(|b| b.min_t() <= t)
+            .saturating_sub(1);
+        let mut ts: Vec<u64> = Vec::new();
+        let mut vs: Vec<f64> = Vec::new();
+        if let Some(block) = self.sealed.get(idx) {
+            block.decode_into(&mut ts, &mut vs);
+        }
+        let at = ts.partition_point(|&bt| bt <= t);
+        ts.insert(at, t);
+        vs.insert(at, v);
+        let reencoded = SealedBlock::encode(&ts, &vs);
+        if let Some(slot) = self.sealed.get_mut(idx) {
+            *slot = reencoded;
+            self.sealed_points += 1;
+        }
+    }
+
+    /// Stream every point with `t0 <= t < t1` to `f`, in timestamp
+    /// order, without materializing an intermediate vector.
+    pub fn for_each_in(&self, t0: u64, t1: u64, mut f: impl FnMut(u64, f64)) {
+        if t1 <= t0 {
+            return;
+        }
+        // Batch buffers: a whole block decodes into these stack
+        // columns, then the in-range subslice streams to `f`.
+        let mut ts_buf = [0u64; SEAL_THRESHOLD];
+        let mut vs_buf = [0f64; SEAL_THRESHOLD];
+        for block in &self.sealed {
+            if block.max_t() < t0 {
+                continue;
+            }
+            if block.min_t() >= t1 {
+                break;
+            }
+            if block.len() <= SEAL_THRESHOLD {
+                let n = block.decode_to_slices(&mut ts_buf, &mut vs_buf);
+                let dec_t = ts_buf.get(..n).unwrap_or(&[]);
+                let dec_v = vs_buf.get(..n).unwrap_or(&[]);
+                let lo = dec_t.partition_point(|&t| t < t0);
+                let hi = dec_t.partition_point(|&t| t < t1);
+                let m = hi.saturating_sub(lo);
+                for (&t, &v) in dec_t.iter().skip(lo).zip(dec_v.iter().skip(lo)).take(m) {
+                    f(t, v);
+                }
+            } else {
+                // Out-of-order merges can grow a block past the seal
+                // threshold; stream those through the cursor instead.
+                let mut cur = block.cursor();
+                while let Some((t, v)) = cur.next_point() {
+                    if t >= t1 {
+                        break;
+                    }
+                    if t >= t0 {
+                        f(t, v);
+                    }
+                }
+            }
+        }
+        let lo = self.head_t.partition_point(|&t| t < t0);
+        let hi = self.head_t.partition_point(|&t| t < t1);
+        let n = hi.saturating_sub(lo);
+        for (&t, &v) in self
+            .head_t
+            .iter()
+            .skip(lo)
+            .zip(self.head_v.iter().skip(lo))
+            .take(n)
+        {
+            f(t, v);
+        }
+    }
+
+    /// Stream every stored point to `f`, in timestamp order.
+    pub fn for_each(&self, mut f: impl FnMut(u64, f64)) {
+        for block in &self.sealed {
+            let mut cur = block.cursor();
+            while let Some((t, v)) = cur.next_point() {
+                f(t, v);
+            }
+        }
+        for (&t, &v) in self.head_t.iter().zip(self.head_v.iter()) {
+            f(t, v);
+        }
+    }
+
+    /// A pull-based cursor over `[t0, t1)`, positioned at the first
+    /// in-range point. Borrows the series storage.
+    pub fn cursor_in(&self, t0: u64, t1: u64) -> SeriesCursor<'_> {
+        let lo = self.head_t.partition_point(|&t| t < t0);
+        let head_t = self.head_t.get(lo..).unwrap_or(&[]);
+        let head_v = self.head_v.get(lo..).unwrap_or(&[]);
+        SeriesCursor {
+            blocks: self.sealed.iter(),
+            current: None,
+            head: head_t.iter().zip(head_v.iter()),
+            t0,
+            t1,
+        }
+    }
+}
+
+/// Pull-based borrowing cursor over one series range — the storage-side
+/// half of `TsDb`'s cursor API. Decodes sealed blocks incrementally and
+/// then walks the head; never allocates.
+pub struct SeriesCursor<'a> {
+    blocks: std::slice::Iter<'a, SealedBlock>,
+    current: Option<BlockCursor<'a>>,
+    head: std::iter::Zip<std::slice::Iter<'a, u64>, std::slice::Iter<'a, f64>>,
+    t0: u64,
+    t1: u64,
+}
+
+impl SeriesCursor<'_> {
+    /// The next in-range point, or `None` when the range is exhausted.
+    pub fn next_point(&mut self) -> Option<(u64, f64)> {
+        if self.t1 <= self.t0 {
+            return None;
+        }
+        loop {
+            if let Some(cur) = self.current.as_mut() {
+                for (t, v) in cur.by_ref() {
+                    if t >= self.t1 {
+                        break;
+                    }
+                    if t >= self.t0 {
+                        return Some((t, v));
+                    }
+                }
+                self.current = None;
+            }
+            match self.blocks.next() {
+                Some(block) if block.max_t() < self.t0 => continue,
+                Some(block) if block.min_t() >= self.t1 => {
+                    // Sealed range is past t1; drain the remaining
+                    // blocks so only the head is left to consider.
+                    for _ in self.blocks.by_ref() {}
+                }
+                Some(block) => {
+                    self.current = Some(block.cursor());
+                    continue;
+                }
+                None => {}
+            }
+            // Head: already positioned at the first point >= t0.
+            if let Some((&t, &v)) = self.head.next() {
+                if t < self.t1 {
+                    return Some((t, v));
+                }
+            }
+            return None;
+        }
+    }
+}
+
+impl Iterator for SeriesCursor<'_> {
+    type Item = (u64, f64);
+
+    fn next(&mut self) -> Option<(u64, f64)> {
+        self.next_point()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference model: the point-vec store this module replaced.
+    fn reference_insert(pts: &mut Vec<(u64, f64)>, t: u64, v: f64) {
+        match pts.last() {
+            Some(last) if last.0 > t => {
+                let idx = pts.partition_point(|p| p.0 <= t);
+                pts.insert(idx, (t, v));
+            }
+            _ => pts.push((t, v)),
+        }
+    }
+
+    fn collect_all(s: &SeriesBlocks) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        s.for_each(|t, v| out.push((t, v)));
+        out
+    }
+
+    #[test]
+    fn varint_round_trips() {
+        let mut buf = Vec::new();
+        let samples = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &x in &samples {
+            buf.clear();
+            put_varint(&mut buf, x);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(x));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for x in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(x)), x);
+        }
+    }
+
+    #[test]
+    fn xor_words_round_trip() {
+        let samples = [
+            0u64,
+            1,
+            0xFF,
+            0x100,
+            0xAB00,
+            0xAB_0000_0000,    // leading and trailing zero bytes
+            42.0f64.to_bits(), // real f64 bit pattern
+            f64::NAN.to_bits(),
+            u64::MAX,
+            1 << 63,
+        ];
+        let mut buf = Vec::new();
+        for &x in &samples {
+            buf.clear();
+            put_xor(&mut buf, x);
+            assert_eq!(buf.len(), xor_len(x), "sizing must match for {x:#x}");
+            let word_len = buf.len();
+            buf.extend_from_slice(&[0u8; XOR_PAD]); // decoder's load window
+            let mut pos = 0;
+            assert_eq!(get_xor(&buf, &mut pos), Some(x));
+            assert_eq!(pos, word_len);
+        }
+        // Repeated-value steady state is one byte.
+        let mut buf = Vec::new();
+        put_xor(&mut buf, 0);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn encode_decode_identity() {
+        let ts: Vec<u64> = (0..100).map(|i| 600 * i).collect();
+        let vs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 1e6).collect();
+        let block = SealedBlock::encode(&ts, &vs);
+        assert_eq!(block.len(), 100);
+        assert_eq!(block.min_t(), 0);
+        assert_eq!(block.max_t(), 600 * 99);
+        let (mut dt, mut dv) = (Vec::new(), Vec::new());
+        block.decode_into(&mut dt, &mut dv);
+        assert_eq!(dt, ts);
+        assert_eq!(dv, vs);
+    }
+
+    #[test]
+    fn fixed_cadence_is_about_a_byte_per_timestamp() {
+        // 10-minute cadence, constant value: the steady-state cost is
+        // one byte per point in each column.
+        let ts: Vec<u64> = (0..512).map(|i| 1_450_000_000 + 600 * i).collect();
+        let vs = vec![42.0f64; 512];
+        let block = SealedBlock::encode(&ts, &vs);
+        assert!(
+            block.encoded_bytes() < 512 + 512 + 32,
+            "encoded {} bytes",
+            block.encoded_bytes()
+        );
+    }
+
+    #[test]
+    fn seal_threshold_rolls_blocks() {
+        let mut s = SeriesBlocks::new();
+        for i in 0..(SEAL_THRESHOLD as u64 * 2 + 10) {
+            s.push(i * 600, i as f64);
+        }
+        assert_eq!(s.n_sealed(), 2);
+        assert_eq!(s.len(), SEAL_THRESHOLD * 2 + 10);
+        let all = collect_all(&s);
+        assert_eq!(all.len(), s.len());
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn out_of_order_merges_into_sealed_block() {
+        let mut s = SeriesBlocks::new();
+        for i in 0..(SEAL_THRESHOLD as u64 + 4) {
+            s.push(i * 10, i as f64);
+        }
+        assert_eq!(s.n_sealed(), 1);
+        s.push(55, -1.0); // strictly inside the sealed range
+        let all = collect_all(&s);
+        assert_eq!(all.len(), SEAL_THRESHOLD + 5);
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(all.contains(&(55, -1.0)));
+    }
+
+    #[test]
+    fn range_respects_half_open_bounds() {
+        let mut s = SeriesBlocks::new();
+        for t in [100u64, 200, 300, 400] {
+            s.push(t, t as f64);
+        }
+        let mut got = Vec::new();
+        s.for_each_in(200, 400, |t, _| got.push(t));
+        assert_eq!(got, vec![200, 300]);
+        let cur: Vec<u64> = s.cursor_in(200, 400).map(|(t, _)| t).collect();
+        assert_eq!(cur, vec![200, 300]);
+    }
+
+    #[test]
+    fn empty_and_inverted_ranges_yield_nothing() {
+        let mut s = SeriesBlocks::new();
+        s.push(10, 1.0);
+        let mut n = 0;
+        s.for_each_in(5, 5, |_, _| n += 1);
+        s.for_each_in(20, 10, |_, _| n += 1);
+        assert_eq!(n, 0);
+        assert_eq!(s.cursor_in(20, 10).count(), 0);
+        assert_eq!(SeriesBlocks::new().cursor_in(0, 100).count(), 0);
+    }
+
+    proptest! {
+        /// Round-trip: arbitrary insert sequences (out-of-order and
+        /// duplicate timestamps included) produce exactly the point
+        /// sequence the point-vec reference produces.
+        #[test]
+        fn insert_sequences_match_point_vec_reference(
+            pts in proptest::collection::vec((0u64..5000, -1e12f64..1e12), 0..900)
+        ) {
+            let mut s = SeriesBlocks::new();
+            let mut reference: Vec<(u64, f64)> = Vec::new();
+            for &(t, v) in &pts {
+                s.push(t, v);
+                reference_insert(&mut reference, t, v);
+            }
+            prop_assert_eq!(s.len(), reference.len());
+            prop_assert_eq!(collect_all(&s), reference.clone());
+
+            // Sub-range queries agree with the reference slice, via
+            // both the streaming and the cursor API.
+            for (t0, t1) in [(0u64, 5000u64), (100, 3000), (2500, 2500), (4000, 100)] {
+                let want: Vec<(u64, f64)> = reference
+                    .iter()
+                    .filter(|p| p.0 >= t0 && p.0 < t1)
+                    .copied()
+                    .collect();
+                let mut got = Vec::new();
+                s.for_each_in(t0, t1, |t, v| got.push((t, v)));
+                prop_assert_eq!(&got, &want);
+                let cur: Vec<(u64, f64)> = s.cursor_in(t0, t1).collect();
+                prop_assert_eq!(&cur, &want);
+            }
+        }
+
+        /// Block encode/decode is the identity on sorted columns,
+        /// bit-exact for values.
+        #[test]
+        fn encode_decode_round_trips(
+            mut ts in proptest::collection::vec(any::<u64>(), 0..600),
+            vs in proptest::collection::vec(proptest::num::f64::ANY, 0..600)
+        ) {
+            ts.sort_unstable();
+            let n = ts.len().min(vs.len());
+            ts.truncate(n);
+            let vs = &vs[..n];
+            let block = SealedBlock::encode(&ts, vs);
+            let (mut dt, mut dv) = (Vec::new(), Vec::new());
+            block.decode_into(&mut dt, &mut dv);
+            prop_assert_eq!(dt, ts);
+            // Compare bit patterns so NaN payloads count as equal.
+            let got: Vec<u64> = dv.iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = vs.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

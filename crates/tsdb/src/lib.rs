@@ -17,9 +17,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod series;
 pub mod stats;
 pub mod store;
 
+pub use block::{BlockCursor, SealedBlock, SeriesBlocks, SeriesCursor, SEAL_THRESHOLD};
 pub use series::{SeriesKey, TagFilter};
 pub use store::{Aggregation, DataPoint, TsDb};

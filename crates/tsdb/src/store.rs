@@ -1,6 +1,15 @@
 //! The time-series store: insertion, range queries, aggregation,
 //! downsampling.
+//!
+//! Series are stored columnar: each [`SeriesKey`] maps to sealed
+//! compressed blocks plus a mutable head ([`crate::block`]). Queries
+//! stream decoded points straight into their fold — `aggregate` and
+//! `aligned` never materialize an intermediate `Vec<DataPoint>`, and
+//! the [`TsDb::range_for_each`] / [`TsDb::with_cursor`] APIs let read
+//! paths (the portal's detail page) consume points without the
+//! copy-out `Vec` that [`TsDb::range`] keeps for convenience.
 
+use crate::block::{SeriesBlocks, SeriesCursor};
 use crate::series::{SeriesKey, TagFilter};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -30,7 +39,7 @@ pub enum Aggregation {
 
 #[derive(Default)]
 struct Inner {
-    series: BTreeMap<SeriesKey, Vec<DataPoint>>,
+    series: BTreeMap<SeriesKey, SeriesBlocks>,
 }
 
 /// Thread-safe tagged time-series database.
@@ -46,17 +55,10 @@ impl TsDb {
     }
 
     /// Insert one point. Out-of-order inserts are tolerated (kept
-    /// sorted).
+    /// sorted; a late point older than the sealed range merges into
+    /// the one block it overlaps).
     pub fn insert(&self, key: SeriesKey, t: u64, v: f64) {
-        let mut inner = self.inner.write();
-        let pts = inner.series.entry(key).or_default();
-        match pts.last() {
-            Some(last) if last.t > t => {
-                let idx = pts.partition_point(|p| p.t <= t);
-                pts.insert(idx, DataPoint { t, v });
-            }
-            _ => pts.push(DataPoint { t, v }),
-        }
+        self.inner.write().series.entry(key).or_default().push(t, v);
     }
 
     /// Number of series stored.
@@ -66,7 +68,34 @@ impl TsDb {
 
     /// Total points stored.
     pub fn n_points(&self) -> usize {
-        self.inner.read().series.values().map(Vec::len).sum()
+        self.inner
+            .read()
+            .series
+            .values()
+            .map(SeriesBlocks::len)
+            .sum()
+    }
+
+    /// Bytes held by the stored columns: encoded sealed blocks plus the
+    /// raw mutable heads. Compare against `16 * n_points()` (the
+    /// point-vec representation) for the compression ratio.
+    pub fn storage_bytes(&self) -> usize {
+        self.inner
+            .read()
+            .series
+            .values()
+            .map(|s| s.sealed_bytes() + (s.len() - s.sealed_len()) * 16)
+            .sum()
+    }
+
+    /// Total sealed blocks across all series.
+    pub fn n_sealed_blocks(&self) -> usize {
+        self.inner
+            .read()
+            .series
+            .values()
+            .map(SeriesBlocks::n_sealed)
+            .sum()
     }
 
     /// Keys matching a filter.
@@ -81,17 +110,53 @@ impl TsDb {
     }
 
     /// Raw points of one series within `[t0, t1)`.
+    ///
+    /// Copies points out into a `Vec`; hot read paths should prefer
+    /// [`TsDb::range_for_each`] or [`TsDb::with_cursor`].
     pub fn range(&self, key: &SeriesKey, t0: u64, t1: u64) -> Vec<DataPoint> {
+        let mut out = Vec::new();
+        self.range_for_each(key, t0, t1, |t, v| out.push(DataPoint { t, v }));
+        out
+    }
+
+    /// Stream the points of one series within `[t0, t1)` to `f`, in
+    /// timestamp order, decoding blocks in place — no intermediate
+    /// allocation. Returns the number of points visited.
+    pub fn range_for_each(
+        &self,
+        key: &SeriesKey,
+        t0: u64,
+        t1: u64,
+        mut f: impl FnMut(u64, f64),
+    ) -> usize {
         let inner = self.inner.read();
-        inner
-            .series
-            .get(key)
-            .map(|pts| {
-                let lo = pts.partition_point(|p| p.t < t0);
-                let hi = pts.partition_point(|p| p.t < t1);
-                pts[lo..hi].to_vec()
-            })
-            .unwrap_or_default()
+        let mut n = 0;
+        if let Some(series) = inner.series.get(key) {
+            series.for_each_in(t0, t1, |t, v| {
+                n += 1;
+                f(t, v);
+            });
+        }
+        n
+    }
+
+    /// Run `f` with a pull-based [`SeriesCursor`] over `[t0, t1)` of
+    /// one series. The cursor borrows the store's read lock for the
+    /// duration of `f`, so points are decoded on demand and never
+    /// copied into an intermediate buffer. Returns `None` when the
+    /// series does not exist.
+    pub fn with_cursor<R>(
+        &self,
+        key: &SeriesKey,
+        t0: u64,
+        t1: u64,
+        f: impl FnOnce(&mut SeriesCursor<'_>) -> R,
+    ) -> Option<R> {
+        let inner = self.inner.read();
+        inner.series.get(key).map(|series| {
+            let mut cursor = series.cursor_in(t0, t1);
+            f(&mut cursor)
+        })
     }
 
     /// Aggregate all series matching `filter` over `[t0, t1)`, bucketed
@@ -109,35 +174,91 @@ impl TsDb {
     ) -> Vec<DataPoint> {
         assert!(bucket_secs > 0, "bucket width must be positive");
         let inner = self.inner.read();
-        // bucket index → (sum, count, max, min)
-        let mut buckets: BTreeMap<u64, (f64, usize, f64, f64)> = BTreeMap::new();
-        for (key, pts) in &inner.series {
+        let finish = |sum: f64, n: usize, max: f64, min: f64| match agg {
+            Aggregation::Sum => sum,
+            Aggregation::Avg => sum / n as f64,
+            Aggregation::Max => max,
+            Aggregation::Min => min,
+        };
+        if t1 <= t0 {
+            return Vec::new();
+        }
+        // Clamp the requested window to the data actually present
+        // (block metadata only — nothing is decoded), so open-ended
+        // queries still take the dense-bucket path below.
+        let mut data_min = u64::MAX;
+        let mut data_max = 0u64;
+        let mut any = false;
+        for (key, series) in &inner.series {
             if !filter.matches(key) {
                 continue;
             }
-            let lo = pts.partition_point(|p| p.t < t0);
-            let hi = pts.partition_point(|p| p.t < t1);
-            for p in &pts[lo..hi] {
-                let b = (p.t - t0) / bucket_secs;
+            if let (Some(lo), Some(hi)) = (series.min_t(), series.max_t()) {
+                any = true;
+                data_min = data_min.min(lo);
+                data_max = data_max.max(hi);
+            }
+        }
+        let eff_lo = data_min.max(t0);
+        let eff_hi = data_max.min(t1 - 1); // inclusive upper bound
+        if !any || eff_hi < eff_lo {
+            return Vec::new();
+        }
+        let lo_b = (eff_lo - t0) / bucket_secs;
+        let hi_b = (eff_hi - t0) / bucket_secs;
+        let span = hi_b - lo_b + 1;
+        // A flat bucket array beats a tree for every realistic window
+        // (a month of 1 h buckets is 720 entries); degenerate sparse
+        // spans fall back to the tree.
+        const DENSE_MAX: u64 = 1 << 16;
+        if span <= DENSE_MAX {
+            let mut dense = vec![(0.0f64, 0usize, f64::NEG_INFINITY, f64::INFINITY); span as usize];
+            for (key, series) in &inner.series {
+                if !filter.matches(key) {
+                    continue;
+                }
+                series.for_each_in(t0, t1, |t, v| {
+                    let b = ((t - t0) / bucket_secs).saturating_sub(lo_b) as usize;
+                    if let Some(e) = dense.get_mut(b) {
+                        e.0 += v;
+                        e.1 += 1;
+                        e.2 = e.2.max(v);
+                        e.3 = e.3.min(v);
+                    }
+                });
+            }
+            return dense
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, (_, n, _, _))| n > 0)
+                .map(|(i, (sum, n, max, min))| DataPoint {
+                    t: t0 + (lo_b + i as u64) * bucket_secs,
+                    v: finish(sum, n, max, min),
+                })
+                .collect();
+        }
+        // bucket index → (sum, count, max, min)
+        let mut buckets: BTreeMap<u64, (f64, usize, f64, f64)> = BTreeMap::new();
+        for (key, series) in &inner.series {
+            if !filter.matches(key) {
+                continue;
+            }
+            series.for_each_in(t0, t1, |t, v| {
+                let b = (t - t0) / bucket_secs;
                 let e = buckets
                     .entry(b)
                     .or_insert((0.0, 0, f64::NEG_INFINITY, f64::INFINITY));
-                e.0 += p.v;
+                e.0 += v;
                 e.1 += 1;
-                e.2 = e.2.max(p.v);
-                e.3 = e.3.min(p.v);
-            }
+                e.2 = e.2.max(v);
+                e.3 = e.3.min(v);
+            });
         }
         buckets
             .into_iter()
             .map(|(b, (sum, n, max, min))| DataPoint {
                 t: t0 + b * bucket_secs,
-                v: match agg {
-                    Aggregation::Sum => sum,
-                    Aggregation::Avg => sum / n as f64,
-                    Aggregation::Max => max,
-                    Aggregation::Min => min,
-                },
+                v: finish(sum, n, max, min),
             })
             .collect()
     }
@@ -250,6 +371,54 @@ mod tests {
             600,
         );
         assert_eq!(pairs, vec![(7.0, 70.0)]);
+    }
+
+    #[test]
+    fn range_for_each_streams_in_order() {
+        let db = TsDb::new();
+        // Enough points to roll at least one sealed block.
+        for i in 0..1500u64 {
+            db.insert(key("c1", "reqs"), i * 10, i as f64);
+        }
+        assert!(db.n_sealed_blocks() >= 1);
+        let mut got = Vec::new();
+        let n = db.range_for_each(&key("c1", "reqs"), 100, 300, |t, v| got.push((t, v)));
+        assert_eq!(n, got.len());
+        let want: Vec<(u64, f64)> = db
+            .range(&key("c1", "reqs"), 100, 300)
+            .iter()
+            .map(|p| (p.t, p.v))
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(
+            db.range_for_each(&key("c9", "reqs"), 0, 100, |_, _| {}),
+            0,
+            "missing series visits nothing"
+        );
+    }
+
+    #[test]
+    fn cursor_matches_range() {
+        let db = TsDb::new();
+        for i in 0..2000u64 {
+            db.insert(key("c1", "reqs"), i, (i * 2) as f64);
+        }
+        let via_cursor: Vec<(u64, f64)> = db
+            .with_cursor(&key("c1", "reqs"), 500, 1600, |cur| {
+                let mut out = Vec::new();
+                while let Some(p) = cur.next_point() {
+                    out.push(p);
+                }
+                out
+            })
+            .unwrap();
+        let via_range: Vec<(u64, f64)> = db
+            .range(&key("c1", "reqs"), 500, 1600)
+            .iter()
+            .map(|p| (p.t, p.v))
+            .collect();
+        assert_eq!(via_cursor, via_range);
+        assert!(db.with_cursor(&key("c9", "x"), 0, 1, |_| ()).is_none());
     }
 
     proptest! {

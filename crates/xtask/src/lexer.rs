@@ -467,7 +467,11 @@ pub fn scan(source: &str) -> Vec<Finding> {
                         s -= 1;
                     }
                     let word: String = chars[s..=p].iter().collect();
-                    !NON_INDEX_KEYWORDS.contains(&word.as_str())
+                    // A lifetime before `[` (`&'a [u8]`) is slice type
+                    // syntax, not indexing.
+                    let is_lifetime = s > 0 && chars[s - 1] == '\'';
+                    !is_lifetime
+                        && !NON_INDEX_KEYWORDS.contains(&word.as_str())
                         && !word.chars().next().is_some_and(|c| c.is_ascii_digit())
                 } else {
                     false
@@ -530,6 +534,12 @@ mod tests {
     #[test]
     fn array_literals_and_attributes_are_not_indexing() {
         let src = "#[derive(Debug)]\nstruct S;\nfn g() -> [u8; 2] {\n    let a = [1u8, 2];\n    let v = vec![1, 2];\n    let _ = (a, v);\n    [0, 1]\n}\n";
+        assert!(scan(src).is_empty(), "{:?}", scan(src));
+    }
+
+    #[test]
+    fn lifetime_slice_types_are_not_indexing() {
+        let src = "struct C<'a> {\n    ts: &'a [u8],\n    vs: &'a [u8],\n}\nfn f<'b>(x: &'b [u64]) -> &'b [u64] { x }\n";
         assert!(scan(src).is_empty(), "{:?}", scan(src));
     }
 

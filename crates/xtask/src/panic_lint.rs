@@ -21,8 +21,9 @@
 //! `broker::queue`, plus the transport endpoints `broker::tcp` and
 //! `collect::consumer`, and the shared data-representation layer every
 //! sample now rides: the interner (`simnode::intern` and its
-//! `core::intern` re-export) and the byte codec (`collect::codec`).
-//! Those may never appear in the allowlist at all.
+//! `core::intern` re-export), the byte codec (`collect::codec`), and
+//! the columnar block codec every stored point round-trips through
+//! (`tsdb::block`). Those may never appear in the allowlist at all.
 
 use crate::lexer::{scan, LintKind};
 use std::collections::BTreeMap;
@@ -39,6 +40,7 @@ pub const SCOPE: &[&str] = &[
     "crates/broker/src",
     "crates/simnode/src",
     "crates/core/src/intern.rs",
+    "crates/tsdb/src/block.rs",
 ];
 
 /// Modules whose allowance is pinned to zero: never allowlisted.
@@ -51,6 +53,7 @@ pub const DENY: &[&str] = &[
     "crates/broker/src/tcp.rs",
     "crates/simnode/src/intern.rs",
     "crates/core/src/intern.rs",
+    "crates/tsdb/src/block.rs",
 ];
 
 /// Workspace-relative path of the allowlist file.

@@ -60,6 +60,29 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
+
+    /// Try to recover a mutable buffer from this `Bytes`, as in the
+    /// real crate (1.10+): succeeds only when this is the last handle
+    /// to the storage, returning a [`BytesMut`] holding exactly the
+    /// viewed bytes — with the *full* original capacity, which is what
+    /// makes ack-time buffer recycling possible. Fails (returning
+    /// `self` unchanged) while other clones are alive.
+    ///
+    /// The real crate does this in O(1); this stand-in moves the view
+    /// down to offset 0, an `memmove` bounded by the view length.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        let (start, end) = (self.start, self.end);
+        match Arc::try_unwrap(self.data) {
+            Ok(mut v) => {
+                v.truncate(end);
+                if start > 0 {
+                    v.drain(..start);
+                }
+                Ok(BytesMut(v))
+            }
+            Err(data) => Err(Bytes { data, start, end }),
+        }
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
@@ -171,12 +194,36 @@ impl BytesMut {
     pub fn clear(&mut self) {
         self.0.clear();
     }
+
+    /// Capacity of the backing storage.
+    pub fn capacity(&self) -> usize {
+        self.0.capacity()
+    }
+
+    /// Resize to `new_len`, filling any growth with `value` — how a
+    /// pooled read buffer is sized to an incoming frame before
+    /// `read_exact` fills it.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.0.resize(new_len, value);
+    }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.0
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.0
     }
 }
 
@@ -321,5 +368,43 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn try_into_mut_requires_unique_handle() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        let a = a.try_into_mut().expect_err("shared: must fail");
+        assert_eq!(a, b);
+        drop(b);
+        let m = a.try_into_mut().expect("unique: must succeed");
+        assert_eq!(&m[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn try_into_mut_preserves_view_and_capacity() {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(b"hhhpayload");
+        let mut b = Bytes::from(v);
+        let header = b.split_to(3);
+        let b = b.try_into_mut().expect_err("header view still alive");
+        drop(header);
+        // The advanced view is unique now; reclaim yields exactly the
+        // viewed bytes with the original backing capacity.
+        let got = b.try_into_mut().expect("unique now");
+        assert_eq!(&got[..], b"payload");
+        assert!(got.capacity() >= 64, "full capacity reclaimed");
+        let v: Vec<u8> = got.into();
+        assert_eq!(v, b"payload");
+    }
+
+    #[test]
+    fn resize_and_deref_mut_fill_reads() {
+        let mut m = BytesMut::with_capacity(8);
+        m.resize(4, 0);
+        m[..4].copy_from_slice(b"abcd");
+        assert_eq!(m.len(), 4);
+        let b = m.freeze();
+        assert_eq!(&b[..], b"abcd");
     }
 }
