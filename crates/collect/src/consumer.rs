@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use tacc_broker::{Broker, Consumer};
 use tacc_simnode::intern::Sym;
+use tacc_simnode::pool::WorkerPool;
 use tacc_simnode::SimTime;
 
 /// Drains a broker queue into the archive and hands each sample to an
@@ -217,6 +218,159 @@ impl StatsConsumer {
         }
         out
     }
+
+    /// Drain everything currently queued, fanning the CPU-bound work
+    /// (payload parse + archive-line rendering) out over `pool` while
+    /// keeping every stateful decision sequential in arrival order.
+    ///
+    /// Deliveries are grouped by routing key (the publishing host) and
+    /// each per-host stream is parsed and rendered on the pool as a
+    /// pure function of the payload. The merge then walks the original
+    /// arrival order, so sequence dedup/gap detection, header-once
+    /// bookkeeping, archive appends, dead-lettering, and buffer
+    /// recycling all observe exactly what [`StatsConsumer::drain`]
+    /// would — the result is identical for any grouping, and the
+    /// returned samples come back in arrival order.
+    ///
+    /// A pool with no extra workers runs everything inline anyway, so
+    /// that configuration takes the plain [`StatsConsumer::drain`]
+    /// path and skips the grouping/staging overhead entirely.
+    pub fn drain_parallel(&mut self, now: SimTime, pool: &WorkerPool) -> Vec<(Sym, Sample)> {
+        if pool.workers() <= 1 {
+            return self.drain(now);
+        }
+        let mut deliveries = Vec::new();
+        while let Some(d) = self.consumer.get(Duration::from_millis(0)) {
+            deliveries.push(d);
+        }
+        if deliveries.is_empty() {
+            return Vec::new();
+        }
+        // One partition per publishing host: per-host streams stay
+        // whole, and a slow host's backlog parses alongside the others.
+        let mut by_host: HashMap<Sym, Vec<usize>> = HashMap::new();
+        for (i, d) in deliveries.iter().enumerate() {
+            by_host.entry(d.routing_key).or_default().push(i);
+        }
+        let groups: Vec<Vec<usize>> = by_host.into_values().collect();
+        let parsed_groups = pool.map_parts(groups.len(), |gi, _scratch| {
+            let mut out: Vec<(usize, Result<ParsedMsg, ()>)> = Vec::new();
+            if let Some(idxs) = groups.get(gi) {
+                for &i in idxs {
+                    if let Some(d) = deliveries.get(i) {
+                        out.push((i, parse_message(&d.payload)));
+                    }
+                }
+            }
+            out
+        });
+        let mut parsed: Vec<Option<Result<ParsedMsg, ()>>> =
+            (0..deliveries.len()).map(|_| None).collect();
+        for (i, r) in parsed_groups.into_iter().flatten() {
+            if let Some(slot) = parsed.get_mut(i) {
+                *slot = Some(r);
+            }
+        }
+        // Sequential merge in arrival order: all consumer state mutates
+        // here, exactly as the one-at-a-time path would.
+        let mut out = Vec::new();
+        for (delivery, slot) in deliveries.into_iter().zip(parsed) {
+            // The groups partition 0..n, so the slot is always filled;
+            // re-parse inline rather than assume.
+            let res = slot.unwrap_or_else(|| parse_message(&delivery.payload));
+            let msg = match res {
+                Ok(m) => m,
+                Err(()) => {
+                    self.reject(delivery);
+                    continue;
+                }
+            };
+            if let Some(seq) = msg.seq {
+                let seen = self.seen.entry(msg.host).or_default();
+                if !seen.insert(seq) {
+                    self.duplicates += 1;
+                    let (_, buf) = self.consumer.ack_recycle(delivery);
+                    if let Some(b) = buf {
+                        self.adopt_buffer(b);
+                    }
+                    continue;
+                }
+                let expected = self.max_seq.get(&msg.host).map(|m| m + 1).unwrap_or(0);
+                if seq > expected {
+                    self.gap_events += 1;
+                }
+                let max = self.max_seq.entry(msg.host).or_insert(0);
+                *max = (*max).max(seq);
+            }
+            let mut start = 0usize;
+            for &(t, day, end) in &msg.samples {
+                let key = (msg.host, day.as_secs());
+                self.render_buf.clear();
+                if self.headered.insert(key) && !self.archive.has_file(msg.host.as_str(), day) {
+                    self.render_buf.extend_from_slice(&msg.header);
+                }
+                if let Some(line) = msg.body.get(start..end) {
+                    self.render_buf.extend_from_slice(line);
+                }
+                start = end;
+                self.archive
+                    .append_bytes(msg.host, day, &self.render_buf, &[t], now);
+            }
+            let (_, buf) = self.consumer.ack_recycle(delivery);
+            if let Some(b) = buf {
+                self.adopt_buffer(b);
+            }
+            self.received += 1;
+            if let Some(s) = msg.last {
+                out.push((msg.host, s));
+            }
+        }
+        out
+    }
+}
+
+/// One delivery parsed and rendered off-thread: everything the merge
+/// stage needs, computed purely from the payload bytes.
+struct ParsedMsg {
+    host: Sym,
+    seq: Option<u64>,
+    /// Rendered header block, spliced in front of a sample when its
+    /// `(host, day)` file doesn't have one yet.
+    header: Vec<u8>,
+    /// All samples rendered back-to-back; `samples` records each one's
+    /// end offset.
+    body: Vec<u8>,
+    /// Per sample: timestamp, its archive day, end offset into `body`.
+    samples: Vec<(SimTime, SimTime, usize)>,
+    /// The message's last sample, handed to online analysis.
+    last: Option<Sample>,
+}
+
+/// Parse a payload and pre-render its archive lines. Pure: no consumer
+/// state is read or written, so any number of these can run on pool
+/// workers concurrently.
+fn parse_message(payload: &[u8]) -> Result<ParsedMsg, ()> {
+    let rf = codec::parse_bytes(payload).map_err(|_| ())?;
+    let host = rf.header.hostname;
+    let mut header = Vec::new();
+    codec::render_header_into(&rf.header, &mut header);
+    let mut body = Vec::new();
+    let mut samples = Vec::with_capacity(rf.samples.len());
+    let mut last = None;
+    for sample in rf.samples {
+        codec::render_sample_into(&sample, &mut body);
+        let t = sample.time.time();
+        samples.push((t, t.start_of_day(), body.len()));
+        last = Some(sample);
+    }
+    Ok(ParsedMsg {
+        host,
+        seq: rf.seq,
+        header,
+        body,
+        samples,
+        last,
+    })
 }
 
 #[cfg(test)]
@@ -365,6 +519,121 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(rf.samples.len(), 1, "no double archiving");
+    }
+
+    /// Republish every message from `src` onto two fresh queues of a
+    /// new broker, preserving arrival order and routing keys, so a
+    /// sequential and a parallel consumer see byte-identical streams.
+    fn mirror_stream(src: &Broker) -> Broker {
+        let mirror = Broker::new();
+        mirror.declare("seq");
+        mirror.declare("par");
+        let c = src.consume("stats").unwrap();
+        while let Some(d) = c.try_get() {
+            mirror.publish("seq", d.routing_key.as_str(), d.payload.clone());
+            mirror.publish("par", d.routing_key.as_str(), d.payload.clone());
+            c.ack(d.tag);
+        }
+        mirror
+    }
+
+    #[test]
+    fn drain_parallel_matches_drain() {
+        // A multi-host stream with a duplicate, a gap, and two poison
+        // messages: the parallel fan-out must land in exactly the same
+        // state as the sequential drain.
+        let broker = Broker::new();
+        broker.declare("stats");
+        let mut nodes = Vec::new();
+        for h in ["c401-0001", "c401-0002", "c401-0003"] {
+            let node = SimNode::new(h, NodeTopology::stampede());
+            let fs = NodeFs::new(&node);
+            let cfg = discover(&fs, BuildOptions::default()).unwrap();
+            let sampler = Sampler::new(h, &cfg);
+            let d = TaccStatsd::new(
+                sampler,
+                SimDuration::from_mins(10),
+                "stats",
+                Box::new(LocalPublisher(broker.clone())),
+                SimTime::from_secs(0),
+            );
+            nodes.push((node, d));
+        }
+        for t in [0u64, 600, 1200] {
+            for (node, d) in nodes.iter_mut() {
+                let fs = NodeFs::new(node);
+                d.tick(&fs, SimTime::from_secs(t));
+            }
+        }
+        // Inject an ack-loss replay (duplicate of one host's message)
+        // and two unparseable payloads mid-stream.
+        let c = broker.consume("stats").unwrap();
+        let orig = c.try_get().unwrap();
+        broker.publish("stats", orig.routing_key.as_str(), orig.payload.clone());
+        c.nack(orig.tag);
+        drop(c);
+        broker.publish(
+            "stats",
+            "weird",
+            bytes::Bytes::from_static(b"not a raw file"),
+        );
+        broker.publish(
+            "stats",
+            "weird",
+            bytes::Bytes::from_static(b"\xff\xfe junk"),
+        );
+
+        let mirror = mirror_stream(&broker);
+        let seq_archive = Arc::new(Archive::new());
+        let par_archive = Arc::new(Archive::new());
+        let mut seq = StatsConsumer::new(&mirror, "seq", Arc::clone(&seq_archive)).unwrap();
+        let mut par = StatsConsumer::new(&mirror, "par", Arc::clone(&par_archive)).unwrap();
+        seq.set_dead_letter("seq.dead");
+        par.set_dead_letter("par.dead");
+
+        let pool = WorkerPool::new(4);
+        let now = SimTime::from_secs(1201);
+        let got_seq = seq.drain(now);
+        let got_par = par.drain_parallel(now, &pool);
+
+        assert_eq!(got_par, got_seq, "same samples in the same order");
+        assert_eq!(par.received, seq.received);
+        assert_eq!(par.duplicates, seq.duplicates);
+        assert_eq!(par.parse_failures, seq.parse_failures);
+        assert_eq!(par.dead_lettered, seq.dead_lettered);
+        assert_eq!(par.gap_events, seq.gap_events);
+        assert_eq!(mirror.depth("seq"), 0);
+        assert_eq!(mirror.depth("par"), 0);
+        assert_eq!(mirror.depth("par.dead"), 2);
+        // Byte-identical archives, headers included.
+        for h in ["c401-0001", "c401-0002", "c401-0003"] {
+            let a = seq_archive.read(h, SimTime::from_secs(0)).unwrap();
+            let b = par_archive.read(h, SimTime::from_secs(0)).unwrap();
+            assert_eq!(a, b, "{h} archive must match");
+            assert_eq!(b.matches("$hostname").count(), 1, "{h} header once");
+        }
+        assert_eq!(
+            par_archive.latency_stats().count,
+            seq_archive.latency_stats().count
+        );
+    }
+
+    #[test]
+    fn drain_parallel_inline_pool_and_empty_queue() {
+        // A 1-worker pool runs the same code inline; an empty queue
+        // yields an empty vec without touching the pool.
+        let (node, mut d, broker, archive) = setup();
+        let fs = NodeFs::new(&node);
+        let mut consumer = StatsConsumer::new(&broker, "stats", Arc::clone(&archive)).unwrap();
+        let pool = WorkerPool::new(1);
+        assert!(consumer
+            .drain_parallel(SimTime::from_secs(0), &pool)
+            .is_empty());
+        d.tick(&fs, SimTime::from_secs(0));
+        let got = consumer.drain_parallel(SimTime::from_secs(1), &pool);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, "c401-0001");
+        assert_eq!(consumer.received, 1);
     }
 
     #[test]

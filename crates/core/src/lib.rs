@@ -23,11 +23,13 @@
 pub mod config;
 pub mod intern;
 pub mod online;
+pub mod pool;
 pub mod population;
 pub mod system;
 
 pub use config::{Mode, SystemConfig};
 pub use intern::{Sym, SymbolTable};
 pub use online::{Alert, AlertKind, OnlineAnalyzer};
+pub use pool::{Scratch, WorkerPool};
 pub use population::{PopulationResult, PopulationRunner};
 pub use system::{DeliveryReport, MonitoringSystem};

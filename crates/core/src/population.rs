@@ -11,13 +11,18 @@
 //! 2. **Per-job collection + metrics** then run independently per job —
 //!    each job's nodes are simulated in isolation, sampled
 //!    prolog/epilog plus interior intervals, streamed through
-//!    [`JobAccum`], and ingested. Jobs fan out across worker threads
-//!    (crossbeam), which is sound because jobs share no mutable state.
+//!    [`JobAccum`], and ingested. Jobs fan out across the shared
+//!    [`WorkerPool`], which is sound because jobs share no mutable
+//!    state; within one job, [`simulate_job_on`] fans the *ranks* out
+//!    as per-node [`JobAccum`] partials merged at the end.
 //!
 //! The isolation step is faithful for every Table I metric: counters
 //! are cumulative and per-node, and a fresh node is indistinguishable
-//! from a rebooted one.
+//! from a rebooted one — and the per-rank partials merge into exactly
+//! the accumulator a sequential feed builds, because each rank owns its
+//! host.
 
+use crate::pool::WorkerPool;
 use crossbeam::channel;
 use tacc_collect::discovery::{discover, BuildOptions};
 use tacc_collect::engine::Sampler;
@@ -107,18 +112,22 @@ impl PopulationRunner {
         let unstarted = sched.queued();
         finished.append(&mut sched.drain_finished());
 
-        // Phase 2: per-job node simulation + metrics, fanned out.
+        // Phase 2: per-job node simulation + metrics, fanned out on the
+        // scoped worker pool (with one thread the tasks run inline on
+        // the caller before the drain below — the unbounded channel
+        // makes both schedules equivalent).
+        let pool = WorkerPool::new(self.threads);
         let (tx, rx) = channel::unbounded::<(Job, JobMetrics)>();
-        let chunk = finished.len().div_ceil(self.threads.max(1)).max(1);
+        let chunk = finished.len().div_ceil(pool.workers()).max(1);
         let topo_normal = self.workload.topology.clone();
         let topo_lm = NodeTopology::stampede_largemem();
         let interior = self.interior_samples;
-        crossbeam::thread::scope(|scope| {
+        pool.scope(|scope| {
             for jobs in finished.chunks(chunk) {
                 let tx = tx.clone();
                 let topo_normal = topo_normal.clone();
                 let topo_lm = topo_lm.clone();
-                scope.spawn(move |_| {
+                scope.spawn(move |_scratch| {
                     for job in jobs {
                         let topo = if job.queue == QueueName::LargeMem {
                             &topo_lm
@@ -150,69 +159,106 @@ impl PopulationRunner {
                 unstarted,
             }
         })
-        .expect("population worker panicked")
     }
 }
 
-/// Simulate one job's nodes in isolation and compute its metrics.
+/// Simulate one rank (node) of a job in isolation and return its
+/// partial accumulation — one host's worth of [`JobAccum`] state.
+/// Ranks share nothing, so any number can run concurrently and the
+/// partials [`JobAccum::merge`] into exactly what a sequential feed of
+/// all ranks builds.
 ///
 /// Sampling plan: prolog at start, epilog at end, `interior` evenly
-/// spaced interior samples; each sampling interval advances the nodes in
+/// spaced interior samples; each sampling interval advances the node in
 /// 8 sub-steps so phase structure (output bursts, failures, compile
 /// phases) lands in the counters.
-pub fn simulate_job(job: &Job, topo: &NodeTopology, interior: usize) -> JobMetrics {
+pub fn simulate_rank(job: &Job, topo: &NodeTopology, interior: usize, rank: usize) -> JobAccum {
+    let mut acc = JobAccum::new();
     let runtime = job.run_time();
     if runtime.is_zero() {
-        return JobMetrics::new();
+        return acc;
     }
     let n_samples = interior + 2;
+    let hostname = format!("c{:03}-{rank:03}", job.id % 1000);
+    let mut node = SimNode::new(hostname.clone(), topo.clone());
+    let cfg = {
+        let fs = NodeFs::new(&node);
+        discover(&fs, BuildOptions::default()).expect("fresh node")
+    };
+    let mut sampler = Sampler::new(&hostname, &cfg);
+    let idle_rank = rank >= job.n_nodes.saturating_sub(job.idle_nodes);
+    if !idle_rank {
+        let n_procs = job.wayness.min(topo.n_cores()).max(1);
+        for _ in 0..n_procs.min(4) {
+            node.spawn_process(&job.exec, job.uid, 1, u64::MAX);
+        }
+    }
+    let jobids = [job.id.to_string()];
+    // Prolog sample.
+    {
+        let fs = NodeFs::new(&node);
+        let s = sampler.sample(&fs, job.start, &jobids, &[format!("begin {}", job.id)]);
+        acc.feed(sampler.header(), &s);
+    }
+    for k in 1..n_samples {
+        let t_prev = job.start + runtime * (k as u64 - 1) / (n_samples as u64 - 1);
+        let t_now = job.start + runtime * (k as u64) / (n_samples as u64 - 1);
+        // Advance in sub-steps so phase transitions are captured.
+        const SUB: u64 = 8;
+        let sub_dt = t_now.duration_since(t_prev) / SUB;
+        for s in 0..SUB {
+            let mid = t_prev + sub_dt * s + sub_dt / 2;
+            let demand = if idle_rank {
+                NodeDemand::idle()
+            } else {
+                job.app.demand(rank, job.t_frac(mid))
+            };
+            node.advance(sub_dt, &demand);
+        }
+        let fs = NodeFs::new(&node);
+        let marks = if k == n_samples - 1 {
+            vec![format!("end {}", job.id)]
+        } else {
+            Vec::new()
+        };
+        let s = sampler.sample(&fs, t_now, &jobids, &marks);
+        acc.feed(sampler.header(), &s);
+    }
+    acc
+}
+
+/// Simulate one job's nodes in isolation and compute its metrics,
+/// rank by rank on the caller thread.
+pub fn simulate_job(job: &Job, topo: &NodeTopology, interior: usize) -> JobMetrics {
+    if job.run_time().is_zero() {
+        return JobMetrics::new();
+    }
     let mut acc = JobAccum::new();
     for rank in 0..job.n_nodes {
-        let hostname = format!("c{:03}-{rank:03}", job.id % 1000);
-        let mut node = SimNode::new(hostname.clone(), topo.clone());
-        let cfg = {
-            let fs = NodeFs::new(&node);
-            discover(&fs, BuildOptions::default()).expect("fresh node")
-        };
-        let mut sampler = Sampler::new(&hostname, &cfg);
-        let idle_rank = rank >= job.n_nodes.saturating_sub(job.idle_nodes);
-        if !idle_rank {
-            let n_procs = job.wayness.min(topo.n_cores()).max(1);
-            for _ in 0..n_procs.min(4) {
-                node.spawn_process(&job.exec, job.uid, 1, u64::MAX);
-            }
-        }
-        let jobids = [job.id.to_string()];
-        // Prolog sample.
-        {
-            let fs = NodeFs::new(&node);
-            let s = sampler.sample(&fs, job.start, &jobids, &[format!("begin {}", job.id)]);
-            acc.feed(sampler.header(), &s);
-        }
-        for k in 1..n_samples {
-            let t_prev = job.start + runtime * (k as u64 - 1) / (n_samples as u64 - 1);
-            let t_now = job.start + runtime * (k as u64) / (n_samples as u64 - 1);
-            // Advance in sub-steps so phase transitions are captured.
-            const SUB: u64 = 8;
-            let sub_dt = t_now.duration_since(t_prev) / SUB;
-            for s in 0..SUB {
-                let mid = t_prev + sub_dt * s + sub_dt / 2;
-                let demand = if idle_rank {
-                    NodeDemand::idle()
-                } else {
-                    job.app.demand(rank, job.t_frac(mid))
-                };
-                node.advance(sub_dt, &demand);
-            }
-            let fs = NodeFs::new(&node);
-            let marks = if k == n_samples - 1 {
-                vec![format!("end {}", job.id)]
-            } else {
-                Vec::new()
-            };
-            let s = sampler.sample(&fs, t_now, &jobids, &marks);
-            acc.feed(sampler.header(), &s);
-        }
+        acc.merge(simulate_rank(job, topo, interior, rank));
+    }
+    acc.finalize()
+}
+
+/// Like [`simulate_job`], but fan the ranks out across `pool` and
+/// merge the per-node partials in rank order. Each rank feeds only its
+/// own host, so the merged accumulator — and therefore the finalized
+/// metrics — is identical to the sequential path.
+pub fn simulate_job_on(
+    job: &Job,
+    topo: &NodeTopology,
+    interior: usize,
+    pool: &WorkerPool,
+) -> JobMetrics {
+    if job.run_time().is_zero() {
+        return JobMetrics::new();
+    }
+    let partials = pool.map_parts(job.n_nodes, |rank, _scratch| {
+        simulate_rank(job, topo, interior, rank)
+    });
+    let mut acc = JobAccum::new();
+    for partial in partials {
+        acc.merge(partial);
     }
     acc.finalize()
 }
@@ -260,6 +306,40 @@ mod tests {
         let m2 = simulate_job(&job, &NodeTopology::stampede(), 3);
         assert_eq!(m1.get(MetricId::CpuUsage), m2.get(MetricId::CpuUsage));
         assert_eq!(m1.get(MetricId::Flops), m2.get(MetricId::Flops));
+    }
+
+    #[test]
+    fn pooled_job_simulation_matches_sequential() {
+        // A multi-node job simulated rank-parallel on the pool must
+        // produce exactly the sequential metrics — the partials merge
+        // per host, and each rank owns its host.
+        let runner = PopulationRunner::q4_2015(11, 50);
+        let mut generator = WorkloadGenerator::new(runner.workload.clone());
+        let submissions = generator.generate();
+        let mut sched = Scheduler::new(100, 4);
+        let mut multi = None;
+        for (t, req) in submissions {
+            if req.n_nodes >= 3 {
+                let id = sched.submit(req, t);
+                sched.step(t);
+                sched.step(t + SimDuration::from_hours(48));
+                multi = sched.drain_finished().into_iter().find(|j| j.id == id);
+                break;
+            }
+        }
+        let job = multi.expect("workload contains a multi-node job");
+        let sequential = simulate_job(&job, &NodeTopology::stampede(), 3);
+        for workers in [1usize, 4] {
+            let pool = WorkerPool::new(workers);
+            let pooled = simulate_job_on(&job, &NodeTopology::stampede(), 3, &pool);
+            for id in MetricId::ALL {
+                assert_eq!(
+                    sequential.get(id),
+                    pooled.get(id),
+                    "{id} with {workers} workers"
+                );
+            }
+        }
     }
 
     #[test]

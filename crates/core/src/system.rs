@@ -10,6 +10,7 @@
 
 use crate::config::{Mode, SystemConfig};
 use crate::online::{Alert, OnlineAnalyzer, OnlineConfig};
+use crate::pool::WorkerPool;
 use bytes::Bytes;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -171,6 +172,9 @@ pub struct MonitoringSystem {
     archive: Arc<Archive>,
     broker: Option<Broker>,
     consumer: Option<StatsConsumer>,
+    /// Worker pool for the parallel drain/query paths; `None` keeps
+    /// every stage on the caller thread.
+    pool: Option<Arc<WorkerPool>>,
     db: Database,
     tsdb: Option<TsDb>,
     mirror: TsdbMirror,
@@ -290,6 +294,7 @@ impl MonitoringSystem {
             archive,
             broker,
             consumer,
+            pool: None,
             db: Database::new(),
             tsdb,
             mirror: TsdbMirror::new(),
@@ -356,6 +361,17 @@ impl MonitoringSystem {
         );
         self.online = Some(OnlineAnalyzer::new(cfg));
         self.auto_suspend = auto_suspend;
+    }
+
+    /// Attach a worker pool: the daemon-mode consumer drain fans
+    /// per-host streams out across it, and the time-series mirror (if
+    /// enabled) runs its dense aggregate folds as parallel per-shard
+    /// scans. Results are identical to the sequential path.
+    pub fn set_pool(&mut self, pool: Arc<WorkerPool>) {
+        if let Some(tsdb) = &mut self.tsdb {
+            tsdb.set_pool(Arc::clone(&pool));
+        }
+        self.pool = Some(pool);
     }
 
     /// Queue job submissions (time-ordered or not; they are sorted).
@@ -769,7 +785,11 @@ impl MonitoringSystem {
         // Consumer drain + online analysis (daemon mode).
         let mut to_suspend: Vec<JobId> = Vec::new();
         if let Some(consumer) = &mut self.consumer {
-            for (host, sample) in consumer.drain(now2) {
+            let drained = match self.pool.as_deref() {
+                Some(pool) if pool.workers() > 1 => consumer.drain_parallel(now2, pool),
+                _ => consumer.drain(now2),
+            };
+            for (host, sample) in drained {
                 let Some(idx) = self.host_index(host.as_str()) else {
                     continue;
                 };
@@ -875,6 +895,48 @@ mod tests {
         assert!(lat.max_secs <= sys.cfg.step.as_secs_f64() + 1.0);
         // ≥2 samples per job (prolog + epilog at least).
         assert!(lat.count >= 2);
+    }
+
+    #[test]
+    fn daemon_mode_with_pool_matches_sequential() {
+        // The same workload through a pooled system and a plain one:
+        // the parallel drain and sharded-tsdb scans must not change a
+        // single ingested metric or archive byte count.
+        let run = |pool: Option<Arc<WorkerPool>>| {
+            let mut cfg = SystemConfig::small(3, crate::config::Mode::daemon());
+            cfg.enable_tsdb = true;
+            let mut sys = MonitoringSystem::new(cfg);
+            if let Some(p) = pool {
+                sys.set_pool(p);
+            }
+            sys.enqueue_jobs(vec![
+                (t0(), request(AppModel::namd(), 2, 60)),
+                (
+                    t0() + SimDuration::from_mins(10),
+                    request(AppModel::wrf(), 1, 45),
+                ),
+            ]);
+            sys.run_until(t0() + SimDuration::from_mins(120));
+            sys
+        };
+        let plain = run(None);
+        let pooled = run(Some(Arc::new(WorkerPool::new(4))));
+        assert_eq!(pooled.ingested, plain.ingested);
+        let tp = plain.db().table(JOBS_TABLE).unwrap();
+        let tq = pooled.db().table(JOBS_TABLE).unwrap();
+        assert_eq!(tq.len(), tp.len());
+        for col in ["CPU_Usage", "VecPercent", "flops", "cpi"] {
+            let a = Query::new(tp).avg(col).unwrap();
+            let b = Query::new(tq).avg(col).unwrap();
+            assert_eq!(a, b, "{col} must match the sequential pipeline");
+        }
+        assert_eq!(
+            pooled.archive().latency_stats().count,
+            plain.archive().latency_stats().count
+        );
+        let (a, b) = (plain.tsdb().unwrap(), pooled.tsdb().unwrap());
+        assert_eq!(a.n_points(), b.n_points());
+        assert_eq!(a.n_series(), b.n_series());
     }
 
     #[test]

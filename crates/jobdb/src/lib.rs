@@ -30,6 +30,6 @@ pub mod table;
 pub mod value;
 
 pub use db::Database;
-pub use query::{CmpOp, Filter, Query};
+pub use query::{CmpOp, CompiledFilter, Filter, Query};
 pub use table::{Column, Row, Table, TableSchema};
 pub use value::{Value, ValueType};

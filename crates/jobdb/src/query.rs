@@ -131,6 +131,42 @@ impl Filter {
         }
         Ok(true)
     }
+
+    /// Resolve every predicate's column against `table` once, yielding
+    /// a filter that evaluates rows without any name lookups (and
+    /// without a `Result` per row). Column resolution errors surface
+    /// here instead of on the first row, so partitioned scans can share
+    /// one compiled filter across workers.
+    pub fn compile(&self, table: &Table) -> Result<CompiledFilter, TableError> {
+        let mut conds = Vec::with_capacity(self.conds.len());
+        for c in &self.conds {
+            let idx = table
+                .schema()
+                .index_of(&c.column)
+                .ok_or_else(|| TableError::NoSuchColumn(c.column.clone()))?;
+            conds.push((idx, c.op, c.value.clone()));
+        }
+        Ok(CompiledFilter { conds })
+    }
+}
+
+/// A [`Filter`] with its column names resolved to indices for one
+/// table (see [`Filter::compile`]). Evaluation is infallible and
+/// `&self`, so one compiled filter can drive any number of concurrent
+/// partition scans.
+#[derive(Clone, Debug)]
+pub struct CompiledFilter {
+    conds: Vec<(usize, CmpOp, Value)>,
+}
+
+impl CompiledFilter {
+    /// Does `row` satisfy every predicate? Rows must come from the
+    /// table the filter was compiled against.
+    pub fn matches(&self, row: &Row) -> bool {
+        self.conds
+            .iter()
+            .all(|(idx, op, value)| op.eval(row.get(*idx), value))
+    }
 }
 
 /// A query over one table. Build with [`Query::new`], chain filters and
@@ -402,6 +438,23 @@ mod tests {
             Query::new(&t).filter_kw("user__ne", "bob").count().unwrap(),
             3
         );
+    }
+
+    #[test]
+    fn compiled_filter_matches_interpreted_filter() {
+        let t = jobs();
+        let f = Filter::new()
+            .kw("exec", "wrf.exe")
+            .kw("metadatarate__gte", 10_000.0);
+        let compiled = f.compile(&t).unwrap();
+        let via_query: Vec<&Row> = Query::new(&t).filter(f).rows().unwrap();
+        let via_compiled: Vec<&Row> = t.rows().iter().filter(|r| compiled.matches(r)).collect();
+        assert_eq!(via_query, via_compiled);
+        // Bad columns fail at compile time, not per row.
+        assert!(matches!(
+            Filter::new().kw("ghost__gte", 1.0).compile(&t),
+            Err(TableError::NoSuchColumn(_))
+        ));
     }
 
     #[test]

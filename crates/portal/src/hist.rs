@@ -3,6 +3,7 @@
 //! maximum metadata requests.
 
 use crate::render;
+use tacc_simnode::pool::WorkerPool;
 
 /// A 1-D histogram with fixed-width (linear or logarithmic) bins.
 #[derive(Clone, Debug, PartialEq)]
@@ -91,6 +92,112 @@ impl Histogram {
         }
     }
 
+    /// [`Histogram::linear`] built as a parallel partition scan.
+    pub fn linear_par(title: &str, values: &[f64], bins: usize, pool: &WorkerPool) -> Histogram {
+        Self::build_par(title, values, bins, false, pool)
+    }
+
+    /// [`Histogram::log10`] built as a parallel partition scan.
+    pub fn log10_par(title: &str, values: &[f64], bins: usize, pool: &WorkerPool) -> Histogram {
+        Self::build_par(title, values, bins, true, pool)
+    }
+
+    /// Two parallel passes over contiguous chunks of `values`: first
+    /// per-chunk `(n, min, max)` merged into the global extent, then
+    /// per-chunk integer bin counts merge-summed. Counts are exact
+    /// integers and min/max merges are order-insensitive, so the result
+    /// is bit-identical to the sequential [`Histogram::build`] for any
+    /// chunking.
+    fn build_par(
+        title: &str,
+        values: &[f64],
+        bins: usize,
+        log: bool,
+        pool: &WorkerPool,
+    ) -> Histogram {
+        assert!(bins > 0, "need at least one bin");
+        let parts = pool.workers().max(1);
+        let chunk = values.len().div_ceil(parts).max(1);
+        let part = |i: usize| -> &[f64] {
+            let start = (i * chunk).min(values.len());
+            let end = ((i + 1) * chunk).min(values.len());
+            &values[start..end]
+        };
+        let extents = pool.map_parts(parts, |i, _scratch| {
+            let mut n = 0usize;
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for v in part(i).iter().filter(|v| v.is_finite()) {
+                n += 1;
+                min = min.min(*v);
+                max = max.max(*v);
+            }
+            (n, min, max)
+        });
+        let (n, min, max) = extents
+            .into_iter()
+            .fold((0, f64::INFINITY, f64::NEG_INFINITY), |a, e| {
+                (a.0 + e.0, a.1.min(e.1), a.2.max(e.2))
+            });
+        if n == 0 {
+            return Histogram {
+                title: title.to_string(),
+                edges: vec![0.0],
+                counts: vec![0; bins],
+                min: 0.0,
+                max: 0.0,
+                n: 0,
+                log,
+            };
+        }
+        let tx = |v: f64| -> f64 {
+            if log {
+                v.max(1e-9).log10()
+            } else {
+                v
+            }
+        };
+        let (lo, hi) = (tx(min), tx(max));
+        let width = if hi > lo {
+            (hi - lo) / bins as f64
+        } else {
+            1.0
+        };
+        let partials = pool.map_parts(parts, |i, _scratch| {
+            let mut counts = vec![0usize; bins];
+            for v in part(i).iter().filter(|v| v.is_finite()) {
+                let idx = (((tx(*v) - lo) / width) as usize).min(bins - 1);
+                counts[idx] += 1;
+            }
+            counts
+        });
+        let mut counts = vec![0usize; bins];
+        for p in partials {
+            for (c, pc) in counts.iter_mut().zip(p) {
+                *c += pc;
+            }
+        }
+        let edges = (0..bins)
+            .map(|i| {
+                let e = lo + i as f64 * width;
+                if log {
+                    10f64.powf(e)
+                } else {
+                    e
+                }
+            })
+            .collect();
+        Histogram {
+            title: title.to_string(),
+            edges,
+            counts,
+            min,
+            max,
+            n,
+            log,
+        }
+    }
+
     /// Total count across bins (== number of finite values).
     pub fn total(&self) -> usize {
         self.counts.iter().sum()
@@ -147,6 +254,28 @@ impl Fig4Panels {
             nodes: Histogram::linear("Jobs vs Nodes", nodes, 12),
             queue_wait: Histogram::linear("Jobs vs Queue Wait (h)", queue_wait_hours, 12),
             metadata_reqs: Histogram::log10("Jobs vs Max Metadata Reqs (1/s)", metadata_reqs, 12),
+        }
+    }
+
+    /// [`Fig4Panels::new`] with each panel built as a parallel
+    /// partition scan on `pool`.
+    pub fn new_par(
+        runtime_hours: &[f64],
+        nodes: &[f64],
+        queue_wait_hours: &[f64],
+        metadata_reqs: &[f64],
+        pool: &WorkerPool,
+    ) -> Fig4Panels {
+        Fig4Panels {
+            runtime: Histogram::linear_par("Jobs vs Runtime (h)", runtime_hours, 12, pool),
+            nodes: Histogram::linear_par("Jobs vs Nodes", nodes, 12, pool),
+            queue_wait: Histogram::linear_par("Jobs vs Queue Wait (h)", queue_wait_hours, 12, pool),
+            metadata_reqs: Histogram::log10_par(
+                "Jobs vs Max Metadata Reqs (1/s)",
+                metadata_reqs,
+                12,
+                pool,
+            ),
         }
     }
 
@@ -221,7 +350,43 @@ mod tests {
         assert!(p.metadata_reqs.log);
     }
 
+    #[test]
+    fn parallel_build_handles_degenerate_inputs() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(
+            Histogram::linear_par("e", &[], 5, &pool),
+            Histogram::linear("e", &[], 5)
+        );
+        assert_eq!(
+            Histogram::linear_par("n", &[f64::NAN, 1.0], 5, &pool),
+            Histogram::linear("n", &[f64::NAN, 1.0], 5)
+        );
+        assert_eq!(
+            Histogram::log10_par("f", &[3.0, 3.0], 5, &pool),
+            Histogram::log10("f", &[3.0, 3.0], 5)
+        );
+    }
+
     proptest! {
+        /// Parallel build is bit-identical to sequential for any input
+        /// and any worker count.
+        #[test]
+        fn parallel_build_matches_sequential(
+            vals in proptest::collection::vec(-1e6f64..1e6, 0..300),
+            bins in 1usize..20,
+            workers in 1usize..6,
+        ) {
+            let pool = WorkerPool::new(workers);
+            prop_assert_eq!(
+                Histogram::linear_par("p", &vals, bins, &pool),
+                Histogram::linear("p", &vals, bins)
+            );
+            prop_assert_eq!(
+                Histogram::log10_par("p", &vals, bins, &pool),
+                Histogram::log10("p", &vals, bins)
+            );
+        }
+
         /// Bin conservation: every finite value lands in exactly one bin.
         #[test]
         fn counts_conserve_values(

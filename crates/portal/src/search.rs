@@ -5,7 +5,8 @@
 use crate::hist::Fig4Panels;
 use crate::render;
 use tacc_jobdb::table::{Row, Table, TableError};
-use tacc_jobdb::{Query, Value};
+use tacc_jobdb::{Filter, Query, Value};
+use tacc_simnode::pool::WorkerPool;
 
 /// Maximum number of metric search fields, matching the portal ("up to
 /// three Search fields").
@@ -46,34 +47,77 @@ impl SearchSpec {
         self
     }
 
-    /// Run the search against a jobs table.
-    pub fn run<'t>(&self, table: &'t Table) -> Result<JobList<'t>, TableError> {
-        let mut q = Query::new(table);
+    /// The conjunction of predicates this spec describes — the single
+    /// source of truth shared by [`SearchSpec::run`] and
+    /// [`SearchSpec::run_par`].
+    fn filter(&self) -> Filter {
+        let mut f = Filter::new();
         if let Some(e) = &self.exec {
-            q = q.filter_kw("exec", e.as_str());
+            f = f.kw("exec", e.as_str());
         }
         if let Some(u) = &self.user {
-            q = q.filter_kw("user", u.as_str());
+            f = f.kw("user", u.as_str());
         }
         if let Some(qu) = &self.queue {
-            q = q.filter_kw("queue", qu.as_str());
+            f = f.kw("queue", qu.as_str());
         }
         if let Some(s) = &self.status {
-            q = q.filter_kw("status", s.as_str());
+            f = f.kw("status", s.as_str());
         }
         if let Some(t) = self.start_after {
-            q = q.filter_kw("start__gte", t);
+            f = f.kw("start__gte", t);
         }
         if let Some(t) = self.start_before {
-            q = q.filter_kw("start__lt", t);
+            f = f.kw("start__lt", t);
         }
         if let Some(r) = self.min_runtime_secs {
-            q = q.filter_kw("run_time__gte", r);
+            f = f.kw("run_time__gte", r);
         }
         for (kw, v) in &self.fields {
-            q = q.filter_kw(kw, *v);
+            f = f.kw(kw, *v);
         }
-        let rows = q.order_by("jobid", false).rows()?;
+        f
+    }
+
+    /// Run the search against a jobs table.
+    pub fn run<'t>(&self, table: &'t Table) -> Result<JobList<'t>, TableError> {
+        let rows = Query::new(table)
+            .filter(self.filter())
+            .order_by("jobid", false)
+            .rows()?;
+        Ok(JobList { table, rows })
+    }
+
+    /// Run the search as a parallel partition scan: the filter is
+    /// compiled once, the table's rows are split into contiguous chunks
+    /// scanned on `pool`, and the per-chunk matches are concatenated
+    /// (chunks are contiguous, so row order is preserved) before the
+    /// same jobid ordering [`SearchSpec::run`] applies. Returns exactly
+    /// the rows `run` would.
+    pub fn run_par<'t>(
+        &self,
+        table: &'t Table,
+        pool: &WorkerPool,
+    ) -> Result<JobList<'t>, TableError> {
+        let compiled = self.filter().compile(table)?;
+        let jobid = table
+            .schema()
+            .index_of("jobid")
+            .ok_or_else(|| TableError::NoSuchColumn("jobid".to_string()))?;
+        let all = table.rows();
+        let parts = pool.workers().max(1);
+        let chunk = all.len().div_ceil(parts).max(1);
+        let picked = pool.map_parts(parts, |i, _scratch| {
+            let start = (i * chunk).min(all.len());
+            let end = ((i + 1) * chunk).min(all.len());
+            all[start..end]
+                .iter()
+                .filter(|r| compiled.matches(r))
+                .collect::<Vec<&'t Row>>()
+        });
+        let mut rows: Vec<&'t Row> = picked.into_iter().flatten().collect();
+        // Stable sort on jobid, identical to `order_by("jobid", false)`.
+        rows.sort_by(|a, b| a.get(jobid).total_cmp(b.get(jobid)));
         Ok(JobList { table, rows })
     }
 }
@@ -170,6 +214,19 @@ impl<'t> JobList<'t> {
             &self.column("nodes"),
             &hours(self.column("queue_wait")),
             &self.column("MetaDataRate"),
+        )
+    }
+
+    /// [`JobList::fig4`] with each panel built as a parallel partition
+    /// scan on `pool`. Bit-identical to the sequential panels.
+    pub fn fig4_par(&self, pool: &WorkerPool) -> Fig4Panels {
+        let hours = |secs: Vec<f64>| -> Vec<f64> { secs.iter().map(|s| s / 3600.0).collect() };
+        Fig4Panels::new_par(
+            &hours(self.column("run_time")),
+            &self.column("nodes"),
+            &hours(self.column("queue_wait")),
+            &self.column("MetaDataRate"),
+            pool,
         )
     }
 
@@ -358,6 +415,66 @@ mod tests {
             .field("b__gte", 1.0)
             .field("c__gte", 1.0)
             .field("d__gte", 1.0);
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential() {
+        let db = db_with_jobs();
+        let t = db.table(JOBS_TABLE).unwrap();
+        let specs = [
+            SearchSpec::default(),
+            SearchSpec {
+                exec: Some("wrf.exe".into()),
+                min_runtime_secs: Some(600),
+                ..SearchSpec::default()
+            }
+            .field("MetaDataRate__gte", 10_000.0),
+            SearchSpec {
+                start_after: Some(1500),
+                start_before: Some(2500),
+                ..SearchSpec::default()
+            },
+            SearchSpec {
+                user: Some("nobody".into()),
+                ..SearchSpec::default()
+            },
+        ];
+        for workers in [1usize, 4] {
+            let pool = WorkerPool::new(workers);
+            for spec in &specs {
+                let seq = spec.run(t).unwrap();
+                let par = spec.run_par(t, &pool).unwrap();
+                assert_eq!(seq.rows(), par.rows(), "workers={workers}");
+                assert_eq!(seq.flagged(), par.flagged());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_search_reports_bad_columns() {
+        let db = db_with_jobs();
+        let t = db.table(JOBS_TABLE).unwrap();
+        let pool = WorkerPool::new(2);
+        let err = SearchSpec::default()
+            .field("NoSuchMetric__gte", 1.0)
+            .run_par(t, &pool);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn parallel_fig4_matches_sequential() {
+        let db = db_with_jobs();
+        let t = db.table(JOBS_TABLE).unwrap();
+        let list = SearchSpec::default().run(t).unwrap();
+        let seq = list.fig4();
+        for workers in [1usize, 4] {
+            let pool = WorkerPool::new(workers);
+            let par = list.fig4_par(&pool);
+            assert_eq!(seq.runtime, par.runtime);
+            assert_eq!(seq.nodes, par.nodes);
+            assert_eq!(seq.queue_wait, par.queue_wait);
+            assert_eq!(seq.metadata_reqs, par.metadata_reqs);
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod faults;
 pub mod intern;
 pub mod lustre_server;
 pub mod node;
+pub mod pool;
 pub mod pseudofs;
 pub mod schema;
 pub mod topology;
@@ -46,4 +47,5 @@ pub use cluster::SimCluster;
 pub use faults::FaultPlan;
 pub use intern::{Sym, SymbolTable};
 pub use node::SimNode;
+pub use pool::{Scratch, WorkerPool};
 pub use topology::{CpuArch, NodeTopology};

@@ -41,6 +41,14 @@
 //! This module is on the `cargo xtask lint` deny list: no panicking
 //! constructs, no unchecked indexing.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global sealed-block id source. Ids are only ever compared
+/// for equality (the shard decoded-block caches key on them), so a
+/// relaxed counter is enough; `0` is reserved for never-encoded
+/// (default-constructed) blocks, which caches skip.
+static NEXT_BLOCK_ID: AtomicU64 = AtomicU64::new(1);
+
 /// Number of points the mutable head accumulates before it is
 /// compressed into a sealed block.
 ///
@@ -57,14 +65,6 @@ fn put_varint(out: &mut Vec<u8>, mut x: u64) {
         x >>= 7;
     }
     out.push(x as u8);
-}
-
-/// Encoded length of a LEB128 varint, in bytes (1–10). Lets the
-/// encoder size each column exactly before writing, so sealing a block
-/// performs one allocation per column and zero reallocs.
-fn varint_len(x: u64) -> usize {
-    let bits = 64 - (x | 1).leading_zeros() as usize;
-    bits.div_ceil(7)
 }
 
 /// Read a LEB128 varint at `*pos`, advancing it. `None` on truncation.
@@ -93,7 +93,10 @@ fn get_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
 }
 
 /// Encoded length of a value word in the byte-aligned XOR scheme:
-/// one control byte plus the meaningful middle bytes.
+/// one control byte plus the meaningful middle bytes. (Encoding now
+/// writes through reusable scratch, so sizing is only asserted in
+/// tests.)
+#[cfg(test)]
 fn xor_len(x: u64) -> usize {
     if x == 0 {
         return 1;
@@ -159,6 +162,18 @@ fn unzigzag(x: u64) -> i64 {
     ((x >> 1) as i64) ^ -((x & 1) as i64)
 }
 
+/// Reusable seal-time encode buffers. The encoder streams both columns
+/// into these (amortized: they grow once and are reused for every
+/// subsequent seal), then copies them into one exact-size allocation
+/// per block — so steady-state sealing costs a single allocation.
+#[derive(Clone, Debug, Default)]
+pub struct SealScratch {
+    /// Timestamp column staging buffer.
+    ts: Vec<u8>,
+    /// Value column staging buffer.
+    vs: Vec<u8>,
+}
+
 /// An immutable compressed run of points, sorted by timestamp.
 #[derive(Clone, Debug, Default)]
 pub struct SealedBlock {
@@ -168,55 +183,77 @@ pub struct SealedBlock {
     min_t: u64,
     /// Timestamp of the last point.
     max_t: u64,
-    /// Delta-of-delta zigzag-varint timestamp column.
-    ts: Vec<u8>,
-    /// XOR-previous byte-aligned value column.
-    vs: Vec<u8>,
+    /// Byte offset where the value column starts inside `cols`.
+    ts_len: usize,
+    /// Both columns in one exact-size buffer: the delta-of-delta
+    /// zigzag-varint timestamp column, then the XOR-previous
+    /// byte-aligned value column (with its [`XOR_PAD`] tail).
+    cols: Vec<u8>,
+    /// Process-unique id (see [`NEXT_BLOCK_ID`]); `0` only on
+    /// default-constructed, never-encoded blocks.
+    id: u64,
 }
 
 impl SealedBlock {
     /// Compress parallel timestamp/value columns (timestamps must be
     /// sorted; the encoder trusts but never *requires* this — decoding
-    /// reproduces the input order bit-exactly either way).
+    /// reproduces the input order bit-exactly either way). Allocates a
+    /// throwaway [`SealScratch`]; hot paths that seal repeatedly should
+    /// call [`SealedBlock::encode_with_scratch`] instead.
     pub fn encode(ts: &[u64], vs: &[f64]) -> SealedBlock {
+        let mut scratch = SealScratch::default();
+        Self::encode_with_scratch(ts, vs, &mut scratch)
+    }
+
+    /// Like [`SealedBlock::encode`], but staging both columns through
+    /// the caller's reusable scratch so the only allocation left in a
+    /// steady-state seal is the block's own exact-size column buffer.
+    pub fn encode_with_scratch(ts: &[u64], vs: &[f64], scratch: &mut SealScratch) -> SealedBlock {
         let count = ts.len().min(vs.len());
-        // Pass 1: exact column sizes, so each column is one
-        // right-sized allocation with no realloc during the write.
-        let mut ts_len = 0usize;
-        let mut vs_len = 0usize;
+        scratch.ts.clear();
+        scratch.vs.clear();
         let mut prev_t = 0u64;
         let mut prev_delta = 0u64;
         let mut prev_bits = 0u64;
         for (i, (&t, &v)) in ts.iter().zip(vs.iter()).enumerate() {
             let (tw, vw) = Self::column_words(i, t, v, prev_t, prev_delta, prev_bits);
-            ts_len += varint_len(tw);
-            vs_len += xor_len(vw);
+            put_varint(&mut scratch.ts, tw);
+            put_xor(&mut scratch.vs, vw);
             prev_delta = t.wrapping_sub(prev_t);
             prev_t = t;
             prev_bits = v.to_bits();
         }
-        let mut block = SealedBlock {
+        let ts_len = scratch.ts.len();
+        let mut cols = Vec::with_capacity(ts_len + scratch.vs.len() + XOR_PAD);
+        cols.extend_from_slice(&scratch.ts);
+        cols.extend_from_slice(&scratch.vs);
+        // Padding window for the decoder's unconditional 8-byte loads.
+        cols.extend_from_slice(&[0u8; XOR_PAD]);
+        SealedBlock {
             count,
             min_t: ts.first().copied().unwrap_or(0),
             max_t: ts.last().copied().unwrap_or(0),
-            ts: Vec::with_capacity(ts_len),
-            vs: Vec::with_capacity(vs_len + XOR_PAD),
-        };
-        // Pass 2: write.
-        prev_t = 0;
-        prev_delta = 0;
-        prev_bits = 0;
-        for (i, (&t, &v)) in ts.iter().zip(vs.iter()).enumerate() {
-            let (tw, vw) = Self::column_words(i, t, v, prev_t, prev_delta, prev_bits);
-            put_varint(&mut block.ts, tw);
-            put_xor(&mut block.vs, vw);
-            prev_delta = t.wrapping_sub(prev_t);
-            prev_t = t;
-            prev_bits = v.to_bits();
+            ts_len,
+            cols,
+            id: NEXT_BLOCK_ID.fetch_add(1, Ordering::Relaxed),
         }
-        // Padding window for the decoder's unconditional 8-byte loads.
-        block.vs.extend_from_slice(&[0u8; XOR_PAD]);
-        block
+    }
+
+    /// The timestamp column bytes.
+    fn ts_col(&self) -> &[u8] {
+        self.cols.get(..self.ts_len).unwrap_or(&[])
+    }
+
+    /// The value column bytes (including the pad tail).
+    fn vs_col(&self) -> &[u8] {
+        self.cols.get(self.ts_len..).unwrap_or(&[])
+    }
+
+    /// Process-unique identity of this encoded block, used as the
+    /// decoded-block cache key. Re-encoding (the out-of-order merge
+    /// path) produces a *new* id, so caches never serve stale bytes.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// The column payloads of point `i`: raw timestamp / first delta /
@@ -267,14 +304,14 @@ impl SealedBlock {
 
     /// Encoded size in bytes of both columns.
     pub fn encoded_bytes(&self) -> usize {
-        self.ts.len() + self.vs.len()
+        self.cols.len()
     }
 
     /// A streaming decoder positioned at the first point.
     pub fn cursor(&self) -> BlockCursor<'_> {
         BlockCursor {
-            ts: &self.ts,
-            vs: &self.vs,
+            ts: self.ts_col(),
+            vs: self.vs_col(),
             ts_pos: 0,
             vs_pos: 0,
             emitted: 0,
@@ -302,6 +339,8 @@ impl SealedBlock {
     /// varint state machine never interleaves with caller work.
     pub fn decode_to_slices(&self, ts: &mut [u64], vs: &mut [f64]) -> usize {
         let n = self.count.min(ts.len()).min(vs.len());
+        let ts_col = self.ts_col();
+        let vs_col = self.vs_col();
         // Timestamp column: the first two points carry the raw start
         // and first delta; handling them before the loop keeps the
         // steady-state body branch-free (one varint, two adds, one
@@ -311,7 +350,7 @@ impl SealedBlock {
         let mut prev_delta = 0u64;
         let mut decoded = 0usize;
         for (i, slot) in ts.iter_mut().take(n).enumerate().take(2) {
-            let Some(w) = get_varint(&self.ts, &mut pos) else {
+            let Some(w) = get_varint(ts_col, &mut pos) else {
                 return decoded;
             };
             if i == 1 {
@@ -324,7 +363,7 @@ impl SealedBlock {
             decoded = i + 1;
         }
         for slot in ts.iter_mut().take(n).skip(2) {
-            let Some(w) = get_varint(&self.ts, &mut pos) else {
+            let Some(w) = get_varint(ts_col, &mut pos) else {
                 return decoded;
             };
             prev_delta = prev_delta.wrapping_add(unzigzag(w) as u64);
@@ -338,7 +377,7 @@ impl SealedBlock {
         let mut prev_bits = 0u64;
         decoded = 0;
         if let Some(slot) = vs.first_mut().filter(|_| n > 0) {
-            let Some(x) = get_xor(&self.vs, &mut pos) else {
+            let Some(x) = get_xor(vs_col, &mut pos) else {
                 return 0;
             };
             prev_bits = x;
@@ -346,7 +385,7 @@ impl SealedBlock {
             decoded = 1;
         }
         for slot in vs.iter_mut().take(n).skip(1) {
-            let Some(x) = get_xor(&self.vs, &mut pos) else {
+            let Some(x) = get_xor(vs_col, &mut pos) else {
                 return decoded;
             };
             prev_bits ^= x;
@@ -488,10 +527,29 @@ impl SeriesBlocks {
     /// Insert one point, preserving timestamp order. A duplicate
     /// timestamp sorts after the existing equal points, matching the
     /// point-vec store's `partition_point(|p| p.t <= t)` semantics.
+    /// Allocates a throwaway [`SealScratch`] on the (1-in-512) push
+    /// that seals; bulk ingest paths should thread a reusable scratch
+    /// through [`SeriesBlocks::push_with_scratch`] instead.
     pub fn push(&mut self, t: u64, v: f64) {
+        let mut scratch = SealScratch::default();
+        self.push_with_scratch(t, v, &mut scratch);
+    }
+
+    /// Like [`SeriesBlocks::push`], but sealing (when the head fills)
+    /// encodes through the caller's reusable scratch, so steady-state
+    /// ingest performs one allocation per sealed block and none per
+    /// point.
+    pub fn push_with_scratch(&mut self, t: u64, v: f64, scratch: &mut SealScratch) {
         match self.sealed_max() {
             Some(smax) if t < smax => self.merge_into_sealed(t, v),
             _ => {
+                // First point of a (re)filled head: size both columns
+                // for a full block up front, so the head never
+                // reallocates on its way to the seal threshold.
+                if self.head_t.capacity() == 0 {
+                    self.head_t.reserve_exact(SEAL_THRESHOLD);
+                    self.head_v.reserve_exact(SEAL_THRESHOLD);
+                }
                 match self.head_t.last() {
                     Some(&last) if last > t => {
                         let idx = self.head_t.partition_point(|&ht| ht <= t);
@@ -504,22 +562,33 @@ impl SeriesBlocks {
                     }
                 }
                 if self.head_t.len() >= SEAL_THRESHOLD {
-                    self.seal_head();
+                    self.seal_head(scratch);
                 }
             }
         }
     }
 
     /// Compress the head into a sealed block and clear it.
-    fn seal_head(&mut self) {
+    fn seal_head(&mut self, scratch: &mut SealScratch) {
         if self.head_t.is_empty() {
             return;
         }
-        let block = SealedBlock::encode(&self.head_t, &self.head_v);
+        let block = SealedBlock::encode_with_scratch(&self.head_t, &self.head_v, scratch);
         self.sealed_points += block.len();
         self.sealed.push(block);
         self.head_t.clear();
         self.head_v.clear();
+    }
+
+    /// The sealed blocks, oldest first (shared with the shard layer's
+    /// decoded-block cache).
+    pub fn sealed(&self) -> &[SealedBlock] {
+        &self.sealed
+    }
+
+    /// The mutable head's parallel timestamp/value columns.
+    pub fn head_cols(&self) -> (&[u64], &[f64]) {
+        (&self.head_t, &self.head_v)
     }
 
     /// Out-of-order insert into the sealed range: decode the one

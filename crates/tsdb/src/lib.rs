@@ -19,9 +19,14 @@
 
 pub mod block;
 pub mod series;
+pub mod shard;
 pub mod stats;
 pub mod store;
+mod sync;
 
-pub use block::{BlockCursor, SealedBlock, SeriesBlocks, SeriesCursor, SEAL_THRESHOLD};
+pub use block::{
+    BlockCursor, SealScratch, SealedBlock, SeriesBlocks, SeriesCursor, SEAL_THRESHOLD,
+};
 pub use series::{SeriesKey, TagFilter};
+pub use shard::{shard_of, DEFAULT_SHARDS};
 pub use store::{Aggregation, DataPoint, TsDb};

@@ -8,11 +8,29 @@
 //! the [`TsDb::range_for_each`] / [`TsDb::with_cursor`] APIs let read
 //! paths (the portal's detail page) consume points without the
 //! copy-out `Vec` that [`TsDb::range`] keeps for convenience.
+//!
+//! The store is sharded ([`crate::shard`]): keys route by tag-id hash
+//! to [`crate::shard::DEFAULT_SHARDS`] independent shards, each behind
+//! its own reader-writer lock with its own decoded-block cache and
+//! seal scratch. Ingest and queries on series in different shards
+//! never contend. When a [`WorkerPool`] is attached
+//! ([`TsDb::set_pool`]), `aggregate` runs its dense fold as one
+//! partition scan per shard on the pool and merges the per-shard
+//! partial buckets; without a pool the fold visits shards
+//! sequentially. Counts, `Max` and `Min` are identical either way;
+//! `Sum`/`Avg` may differ by float-addition order across shard
+//! layouts, never by contents. Cross-shard queries lock shards one at
+//! a time, so a query concurrent with ingest sees each *shard*
+//! consistently but not a single global snapshot — the same guarantee
+//! the monitoring pipeline needs (readers of a series see a prefix of
+//! it), for much better write concurrency.
 
 use crate::block::{SeriesBlocks, SeriesCursor};
 use crate::series::{SeriesKey, TagFilter};
-use parking_lot::RwLock;
+use crate::shard::{shard_of, Shard, ShardData, DEFAULT_SHARDS};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use tacc_simnode::pool::WorkerPool;
 
 /// One timestamped value (seconds since the Unix epoch).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -37,42 +55,91 @@ pub enum Aggregation {
     Min,
 }
 
-#[derive(Default)]
-struct Inner {
-    series: BTreeMap<SeriesKey, SeriesBlocks>,
+/// Per-bucket fold state: (sum, count, max, min).
+type Acc = (f64, usize, f64, f64);
+
+const ACC_ZERO: Acc = (0.0, 0, f64::NEG_INFINITY, f64::INFINITY);
+
+/// Thread-safe tagged time-series database, sharded by key hash.
+pub struct TsDb {
+    shards: Box<[Shard]>,
+    pool: Option<Arc<WorkerPool>>,
 }
 
-/// Thread-safe tagged time-series database.
-#[derive(Default)]
-pub struct TsDb {
-    inner: RwLock<Inner>,
+impl Default for TsDb {
+    fn default() -> TsDb {
+        TsDb::new()
+    }
 }
 
 impl TsDb {
-    /// New empty database.
+    /// New empty database with [`DEFAULT_SHARDS`] shards.
     pub fn new() -> TsDb {
-        TsDb::default()
+        TsDb::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// New empty database with `n` shards (`0` is treated as `1`).
+    pub fn with_shards(n: usize) -> TsDb {
+        TsDb {
+            shards: (0..n.max(1)).map(|_| Shard::default()).collect(),
+            pool: None,
+        }
+    }
+
+    /// Attach a worker pool: `aggregate` dense folds become parallel
+    /// per-shard partition scans. Builder-style variant of
+    /// [`TsDb::set_pool`].
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> TsDb {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Attach a worker pool (see [`TsDb::with_pool`]).
+    pub fn set_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// Number of shards the key space is split into.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &SeriesKey) -> &Shard {
+        &self.shards[shard_of(key, self.shards.len())]
     }
 
     /// Insert one point. Out-of-order inserts are tolerated (kept
     /// sorted; a late point older than the sealed range merges into
-    /// the one block it overlaps).
+    /// the one block it overlaps). Only the owning shard is locked.
     pub fn insert(&self, key: SeriesKey, t: u64, v: f64) {
-        self.inner.write().series.entry(key).or_default().push(t, v);
+        let mut data = self.shard(&key).data.write();
+        let ShardData {
+            series,
+            seal_scratch,
+        } = &mut *data;
+        series
+            .entry(key)
+            .or_default()
+            .push_with_scratch(t, v, seal_scratch);
     }
 
     /// Number of series stored.
     pub fn n_series(&self) -> usize {
-        self.inner.read().series.len()
+        self.shards.iter().map(|s| s.data.read().series.len()).sum()
     }
 
     /// Total points stored.
     pub fn n_points(&self) -> usize {
-        self.inner
-            .read()
-            .series
-            .values()
-            .map(SeriesBlocks::len)
+        self.shards
+            .iter()
+            .map(|s| {
+                s.data
+                    .read()
+                    .series
+                    .values()
+                    .map(SeriesBlocks::len)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -80,33 +147,46 @@ impl TsDb {
     /// raw mutable heads. Compare against `16 * n_points()` (the
     /// point-vec representation) for the compression ratio.
     pub fn storage_bytes(&self) -> usize {
-        self.inner
-            .read()
-            .series
-            .values()
-            .map(|s| s.sealed_bytes() + (s.len() - s.sealed_len()) * 16)
+        self.shards
+            .iter()
+            .map(|s| {
+                s.data
+                    .read()
+                    .series
+                    .values()
+                    .map(|sb| sb.sealed_bytes() + (sb.len() - sb.sealed_len()) * 16)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
     /// Total sealed blocks across all series.
     pub fn n_sealed_blocks(&self) -> usize {
-        self.inner
-            .read()
-            .series
-            .values()
-            .map(SeriesBlocks::n_sealed)
+        self.shards
+            .iter()
+            .map(|s| {
+                s.data
+                    .read()
+                    .series
+                    .values()
+                    .map(SeriesBlocks::n_sealed)
+                    .sum::<usize>()
+            })
             .sum()
     }
 
-    /// Keys matching a filter.
+    /// Keys matching a filter, in key order.
     pub fn keys(&self, filter: &TagFilter) -> Vec<SeriesKey> {
-        self.inner
-            .read()
-            .series
-            .keys()
-            .filter(|k| filter.matches(k))
-            .cloned()
-            .collect()
+        let mut out: Vec<SeriesKey> = Vec::new();
+        for shard in self.shards.iter() {
+            let data = shard.data.read();
+            out.extend(data.series.keys().filter(|k| filter.matches(k)).cloned());
+        }
+        // Each shard's BTreeMap iterates sorted, but shards interleave
+        // the global order; restore it so callers see what the single
+        // map used to produce.
+        out.sort();
+        out
     }
 
     /// Raw points of one series within `[t0, t1)`.
@@ -120,8 +200,9 @@ impl TsDb {
     }
 
     /// Stream the points of one series within `[t0, t1)` to `f`, in
-    /// timestamp order, decoding blocks in place — no intermediate
-    /// allocation. Returns the number of points visited.
+    /// timestamp order, serving sealed blocks from the owning shard's
+    /// decoded-block cache — repeated reads over the same block decode
+    /// it once. Returns the number of points visited.
     pub fn range_for_each(
         &self,
         key: &SeriesKey,
@@ -129,20 +210,12 @@ impl TsDb {
         t1: u64,
         mut f: impl FnMut(u64, f64),
     ) -> usize {
-        let inner = self.inner.read();
-        let mut n = 0;
-        if let Some(series) = inner.series.get(key) {
-            series.for_each_in(t0, t1, |t, v| {
-                n += 1;
-                f(t, v);
-            });
-        }
-        n
+        self.shard(key).range_for_each(key, t0, t1, &mut f)
     }
 
     /// Run `f` with a pull-based [`SeriesCursor`] over `[t0, t1)` of
-    /// one series. The cursor borrows the store's read lock for the
-    /// duration of `f`, so points are decoded on demand and never
+    /// one series. The cursor borrows the owning shard's read lock for
+    /// the duration of `f`, so points are decoded on demand and never
     /// copied into an intermediate buffer. Returns `None` when the
     /// series does not exist.
     pub fn with_cursor<R>(
@@ -152,8 +225,8 @@ impl TsDb {
         t1: u64,
         f: impl FnOnce(&mut SeriesCursor<'_>) -> R,
     ) -> Option<R> {
-        let inner = self.inner.read();
-        inner.series.get(key).map(|series| {
+        let data = self.shard(key).data.read();
+        data.series.get(key).map(|series| {
             let mut cursor = series.cursor_in(t0, t1);
             f(&mut cursor)
         })
@@ -163,7 +236,8 @@ impl TsDb {
     /// into `bucket_secs`-wide windows aligned to `t0`. Buckets with no
     /// data are omitted. This is OpenTSDB's "aggregate along any subset
     /// of tags": the tags left `None` in the filter are the ones summed
-    /// over.
+    /// over. With a pool attached the dense fold runs as one partition
+    /// scan per shard, merged bucket-by-bucket.
     pub fn aggregate(
         &self,
         filter: &TagFilter,
@@ -173,7 +247,6 @@ impl TsDb {
         bucket_secs: u64,
     ) -> Vec<DataPoint> {
         assert!(bucket_secs > 0, "bucket width must be positive");
-        let inner = self.inner.read();
         let finish = |sum: f64, n: usize, max: f64, min: f64| match agg {
             Aggregation::Sum => sum,
             Aggregation::Avg => sum / n as f64,
@@ -189,14 +262,17 @@ impl TsDb {
         let mut data_min = u64::MAX;
         let mut data_max = 0u64;
         let mut any = false;
-        for (key, series) in &inner.series {
-            if !filter.matches(key) {
-                continue;
-            }
-            if let (Some(lo), Some(hi)) = (series.min_t(), series.max_t()) {
-                any = true;
-                data_min = data_min.min(lo);
-                data_max = data_max.max(hi);
+        for shard in self.shards.iter() {
+            let data = shard.data.read();
+            for (key, series) in &data.series {
+                if !filter.matches(key) {
+                    continue;
+                }
+                if let (Some(lo), Some(hi)) = (series.min_t(), series.max_t()) {
+                    any = true;
+                    data_min = data_min.min(lo);
+                    data_max = data_max.max(hi);
+                }
             }
         }
         let eff_lo = data_min.max(t0);
@@ -212,21 +288,39 @@ impl TsDb {
         // spans fall back to the tree.
         const DENSE_MAX: u64 = 1 << 16;
         if span <= DENSE_MAX {
-            let mut dense = vec![(0.0f64, 0usize, f64::NEG_INFINITY, f64::INFINITY); span as usize];
-            for (key, series) in &inner.series {
-                if !filter.matches(key) {
-                    continue;
-                }
-                series.for_each_in(t0, t1, |t, v| {
-                    let b = ((t - t0) / bucket_secs).saturating_sub(lo_b) as usize;
-                    if let Some(e) = dense.get_mut(b) {
-                        e.0 += v;
-                        e.1 += 1;
-                        e.2 = e.2.max(v);
-                        e.3 = e.3.min(v);
+            let dense = match self.pool.as_deref() {
+                // Parallel partition scan: one dense partial per
+                // shard, merged bucket-by-bucket in shard order (so
+                // the result is deterministic for a given layout).
+                Some(pool) if pool.workers() > 1 && self.shards.len() > 1 => {
+                    let partials = pool.map_parts(self.shards.len(), |i, _scratch| {
+                        let mut part = vec![ACC_ZERO; span as usize];
+                        let data = self.shards[i].data.read();
+                        fold_dense(&data, filter, t0, t1, bucket_secs, lo_b, &mut part);
+                        part
+                    });
+                    let mut dense = vec![ACC_ZERO; span as usize];
+                    for part in partials {
+                        for (e, p) in dense.iter_mut().zip(part) {
+                            e.0 += p.0;
+                            e.1 += p.1;
+                            e.2 = e.2.max(p.2);
+                            e.3 = e.3.min(p.3);
+                        }
                     }
-                });
-            }
+                    dense
+                }
+                // Sequential: fold every shard into one dense buffer
+                // (a single allocation per query).
+                _ => {
+                    let mut dense = vec![ACC_ZERO; span as usize];
+                    for shard in self.shards.iter() {
+                        let data = shard.data.read();
+                        fold_dense(&data, filter, t0, t1, bucket_secs, lo_b, &mut dense);
+                    }
+                    dense
+                }
+            };
             return dense
                 .into_iter()
                 .enumerate()
@@ -238,21 +332,22 @@ impl TsDb {
                 .collect();
         }
         // bucket index → (sum, count, max, min)
-        let mut buckets: BTreeMap<u64, (f64, usize, f64, f64)> = BTreeMap::new();
-        for (key, series) in &inner.series {
-            if !filter.matches(key) {
-                continue;
+        let mut buckets: BTreeMap<u64, Acc> = BTreeMap::new();
+        for shard in self.shards.iter() {
+            let data = shard.data.read();
+            for (key, series) in &data.series {
+                if !filter.matches(key) {
+                    continue;
+                }
+                series.for_each_in(t0, t1, |t, v| {
+                    let b = (t - t0) / bucket_secs;
+                    let e = buckets.entry(b).or_insert(ACC_ZERO);
+                    e.0 += v;
+                    e.1 += 1;
+                    e.2 = e.2.max(v);
+                    e.3 = e.3.min(v);
+                });
             }
-            series.for_each_in(t0, t1, |t, v| {
-                let b = (t - t0) / bucket_secs;
-                let e = buckets
-                    .entry(b)
-                    .or_insert((0.0, 0, f64::NEG_INFINITY, f64::INFINITY));
-                e.0 += v;
-                e.1 += 1;
-                e.2 = e.2.max(v);
-                e.3 = e.3.min(v);
-            });
         }
         buckets
             .into_iter()
@@ -279,6 +374,34 @@ impl TsDb {
         sa.into_iter()
             .filter_map(|p| mb.get(&p.t).map(|v| (p.v, *v)))
             .collect()
+    }
+}
+
+/// Fold one shard's matching series into dense buckets (indices
+/// relative to `lo_b`). Shared by the sequential and parallel paths so
+/// both run the identical per-point fold.
+fn fold_dense(
+    data: &ShardData,
+    filter: &TagFilter,
+    t0: u64,
+    t1: u64,
+    bucket_secs: u64,
+    lo_b: u64,
+    dense: &mut [Acc],
+) {
+    for (key, series) in &data.series {
+        if !filter.matches(key) {
+            continue;
+        }
+        series.for_each_in(t0, t1, |t, v| {
+            let b = ((t - t0) / bucket_secs).saturating_sub(lo_b) as usize;
+            if let Some(e) = dense.get_mut(b) {
+                e.0 += v;
+                e.1 += 1;
+                e.2 = e.2.max(v);
+                e.3 = e.3.min(v);
+            }
+        });
     }
 }
 
@@ -421,6 +544,75 @@ mod tests {
         assert!(db.with_cursor(&key("c9", "x"), 0, 1, |_| ()).is_none());
     }
 
+    #[test]
+    fn shard_counts_do_not_change_query_results() {
+        // The same inserts against 1..=8 shards answer every query the
+        // same way (Sum within one bucket is order-sensitive only in
+        // float rounding; these values are exact in f64).
+        let mk = |shards: usize| {
+            let db = TsDb::with_shards(shards);
+            for h in 0..16 {
+                for i in 0..600u64 {
+                    db.insert(key(&format!("c{h:02}"), "reqs"), i * 10, (i % 7) as f64);
+                }
+            }
+            db
+        };
+        let reference = mk(1);
+        let f = TagFilter::any().event("reqs");
+        let ref_keys = reference.keys(&TagFilter::any());
+        let ref_agg = reference.aggregate(&f, Aggregation::Max, 0, 6000, 600);
+        for shards in [2usize, 4, 8] {
+            let db = mk(shards);
+            assert_eq!(db.n_shards(), shards);
+            assert_eq!(db.n_series(), reference.n_series());
+            assert_eq!(db.n_points(), reference.n_points());
+            assert_eq!(db.keys(&TagFilter::any()), ref_keys, "{shards} shards");
+            assert_eq!(
+                db.aggregate(&f, Aggregation::Max, 0, 6000, 600),
+                ref_agg,
+                "{shards} shards"
+            );
+            let k = key("c03", "reqs");
+            assert_eq!(db.range(&k, 100, 2000), reference.range(&k, 100, 2000));
+        }
+    }
+
+    #[test]
+    fn pooled_aggregate_matches_sequential() {
+        let seq = TsDb::new();
+        let par = TsDb::new().with_pool(Arc::new(WorkerPool::new(4)));
+        for h in 0..12 {
+            for i in 0..700u64 {
+                let k = key(&format!("n{h:02}"), "reqs");
+                seq.insert(k.clone(), i * 60, (h * 1000 + i) as f64);
+                par.insert(k, i * 60, (h * 1000 + i) as f64);
+            }
+        }
+        let f = TagFilter::any().event("reqs");
+        for agg in [
+            Aggregation::Sum,
+            Aggregation::Avg,
+            Aggregation::Max,
+            Aggregation::Min,
+        ] {
+            let a = seq.aggregate(&f, agg, 0, 700 * 60, 3600);
+            let b = par.aggregate(&f, agg, 0, 700 * 60, 3600);
+            assert_eq!(a.len(), b.len(), "{agg:?}");
+            for (pa, pb) in a.iter().zip(b.iter()) {
+                assert_eq!(pa.t, pb.t);
+                // Shard merge may reassociate float additions; the
+                // values here are integral and exact either way.
+                assert!(
+                    (pa.v - pb.v).abs() <= 1e-9 * (1.0 + pa.v.abs()),
+                    "{agg:?}: {} vs {}",
+                    pa.v,
+                    pb.v
+                );
+            }
+        }
+    }
+
     proptest! {
         /// Sum aggregation is linear: the sum over all hosts equals the
         /// sum of per-host aggregates, bucket by bucket.
@@ -444,6 +636,52 @@ mod tests {
             for p in all {
                 let want = per_host[&p.t];
                 prop_assert!((p.v - want).abs() <= 1e-9 * (1.0 + want.abs()));
+            }
+        }
+
+        /// Sharded stores answer exactly like a single-shard reference
+        /// for arbitrary interleaved ingest: `range_for_each` (and the
+        /// cached read path under it) is bit-identical; `aggregate`
+        /// counts/extrema are identical and sums agree to rounding.
+        #[test]
+        fn sharded_queries_match_single_shard_reference(
+            pts in proptest::collection::vec(
+                (0u64..4, 0u64..4000, -1e9f64..1e9), 1..700),
+            shards in 2usize..=8
+        ) {
+            let reference = TsDb::with_shards(1);
+            let db = TsDb::with_shards(shards);
+            for (h, t, v) in &pts {
+                let k = key(&format!("w{h}"), "reqs");
+                reference.insert(k.clone(), *t, *v);
+                db.insert(k, *t, *v);
+            }
+            prop_assert_eq!(db.n_points(), reference.n_points());
+            prop_assert_eq!(db.keys(&TagFilter::any()),
+                            reference.keys(&TagFilter::any()));
+            // Per-series reads are bit-identical (same per-series
+            // storage, only the owning lock differs) — read twice so
+            // the second pass exercises the decoded-block cache.
+            for h in 0..4u64 {
+                let k = key(&format!("w{h}"), "reqs");
+                let want = reference.range(&k, 500, 3500);
+                prop_assert_eq!(&db.range(&k, 500, 3500), &want);
+                prop_assert_eq!(&db.range(&k, 500, 3500), &want);
+            }
+            // Aggregates: counts and extrema exact, sums to rounding.
+            let f = TagFilter::any().event("reqs");
+            for agg in [Aggregation::Max, Aggregation::Min] {
+                prop_assert_eq!(
+                    db.aggregate(&f, agg, 0, 4000, 600),
+                    reference.aggregate(&f, agg, 0, 4000, 600)
+                );
+            }
+            let a = db.aggregate(&f, Aggregation::Sum, 0, 4000, 600);
+            let b = reference.aggregate(&f, Aggregation::Sum, 0, 4000, 600);
+            prop_assert_eq!(a.len(), b.len());
+            for (pa, pb) in a.iter().zip(b.iter()) {
+                prop_assert_eq!(pa.t, pb.t);
+                prop_assert!((pa.v - pb.v).abs() <= 1e-9 * (1.0 + pb.v.abs()));
             }
         }
     }

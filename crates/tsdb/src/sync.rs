@@ -1,0 +1,10 @@
+//! Sync primitives for the sharded store: instrumented stand-ins under
+//! `--cfg loom` (so `tests/loom_shard.rs` can model the seal/read race
+//! across shard locks), the vendored `parking_lot` shapes otherwise.
+//! Both expose identical `read()`/`write()`/`lock()` surfaces, so the
+//! store body is cfg-free — the same idiom as `tacc-broker`'s shim.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::{Mutex, RwLock};
+#[cfg(not(loom))]
+pub(crate) use parking_lot::{Mutex, RwLock};

@@ -20,13 +20,21 @@
 //! 5. the accumulator keys its per-instance state by `(DeviceType,
 //!    Sym)` — interned symbols, not owned strings. A `(DeviceType,
 //!    String)` key would reintroduce a per-sample allocation on the
-//!    accumulate hot path.
+//!    accumulate hot path;
+//! 6. shard routing covers every metric-bearing series key: for each
+//!    event a `MetricId` consumes, the tsdb's `shard_of` must be
+//!    deterministic, in range, and — across a population of hosts —
+//!    surjective for every supported shard count, so no shard is
+//!    structurally unreachable (an unreachable shard would silently
+//!    halve effective parallelism and hide data-placement bugs).
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::Path;
 use tacc_metrics::MetricId;
 use tacc_simnode::schema::DeviceType;
 use tacc_simnode::topology::CpuArch;
+use tacc_tsdb::{shard_of, SeriesKey, DEFAULT_SHARDS};
 
 /// Architectures the conformance check validates against.
 pub const ARCHES: [CpuArch; 3] = [CpuArch::Nehalem, CpuArch::SandyBridge, CpuArch::Haswell];
@@ -85,7 +93,61 @@ pub fn check(root: &Path) -> Result<Vec<String>, String> {
     // 5. Interned accumulator keys.
     errors.extend(check_interned_keys(&source));
 
+    // 6. Shard routing over every metric-bearing series key.
+    errors.extend(check_shard_routing());
+
     Ok(errors)
+}
+
+/// Shard counts the routing check must stay surjective for (powers of
+/// two up to the default).
+pub const SHARD_COUNTS: [usize; 3] = [2, 4, DEFAULT_SHARDS];
+
+/// Hosts used to populate the routing check: enough nodes that every
+/// shard ought to see traffic on a real rack.
+const ROUTING_HOSTS: usize = 32;
+
+/// Step 6: every `(DeviceType, event)` a metric consumes must route
+/// deterministically, in range, and cover every shard across hosts.
+fn check_shard_routing() -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut keys: Vec<(String, SeriesKey)> = Vec::new();
+    for id in MetricId::ALL {
+        for &(device, event) in id.events() {
+            for h in 0..ROUTING_HOSTS {
+                let host = format!("c401-{h:04}");
+                let key = SeriesKey::new(&host, device.name(), "dev0", event);
+                keys.push((format!("{id:?} {device:?}/{event} on {host}"), key));
+            }
+        }
+    }
+    for n in SHARD_COUNTS {
+        let mut hit: BTreeSet<usize> = BTreeSet::new();
+        for (who, key) in &keys {
+            let s = shard_of(key, n);
+            if s >= n {
+                errors.push(format!(
+                    "conformance: shard_of({who}, {n}) = {s} is out of range"
+                ));
+            }
+            if shard_of(key, n) != s {
+                errors.push(format!(
+                    "conformance: shard_of({who}, {n}) is not deterministic"
+                ));
+            }
+            hit.insert(s);
+        }
+        if hit.len() != n {
+            let missing: Vec<usize> = (0..n).filter(|s| !hit.contains(s)).collect();
+            errors.push(format!(
+                "conformance: shard routing over {} metric series keys \
+                 leaves shards {missing:?} of {n} empty — the hash is not \
+                 spreading series keys",
+                keys.len()
+            ));
+        }
+    }
+    errors
 }
 
 /// Step 5: the accumulator's per-instance maps must be `Sym`-keyed.
@@ -208,6 +270,12 @@ mod tests {
         assert!(pairs.contains(&(DeviceType::Mem, "MemUsed".into())));
         assert!(!pairs.iter().any(|(d, _)| *d == DeviceType::Cpustat));
         assert!(!pairs.iter().any(|(d, _)| *d == DeviceType::Ib));
+    }
+
+    #[test]
+    fn shard_routing_covers_all_counts() {
+        let errs = check_shard_routing();
+        assert!(errs.is_empty(), "{errs:?}");
     }
 
     #[test]

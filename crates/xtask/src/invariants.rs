@@ -2,10 +2,11 @@
 //!
 //! These checks keep the verification infrastructure itself from
 //! rotting: the `cargo xtask` alias must stay wired, the loom model
-//! suite must stay loom-gated (so plain `cargo test` is unaffected)
-//! and reachable from CI, and the broker must keep rustc's
-//! `unexpected_cfgs` lint taught about `cfg(loom)` (CI runs clippy
-//! with `-D warnings`).
+//! suites (broker queue, worker pool, tsdb shard) must stay
+//! loom-gated (so plain `cargo test` is unaffected) and reachable
+//! from CI along with the parallel-path bench, and every loom-using
+//! crate must keep rustc's `unexpected_cfgs` lint taught about
+//! `cfg(loom)` (CI runs clippy with `-D warnings`).
 
 use std::fs;
 use std::path::Path;
@@ -33,10 +34,30 @@ pub fn check(root: &Path) -> Result<Vec<String>, String> {
         "crates/broker/tests/loom_queue.rs",
         &["#![cfg(loom)]", "loom::model"],
     )?;
+    expect(
+        "crates/simnode/tests/loom_pool.rs",
+        &["#![cfg(loom)]", "loom::model"],
+    )?;
+    expect(
+        "crates/tsdb/tests/loom_shard.rs",
+        &["#![cfg(loom)]", "loom::model"],
+    )?;
     expect("crates/broker/Cargo.toml", &["check-cfg = [\"cfg(loom)\"]"])?;
     expect(
+        "crates/simnode/Cargo.toml",
+        &["check-cfg = [\"cfg(loom)\"]"],
+    )?;
+    expect("crates/tsdb/Cargo.toml", &["check-cfg = [\"cfg(loom)\"]"])?;
+    expect(
         ".github/workflows/ci.yml",
-        &["cargo xtask lint", "--cfg loom"],
+        &[
+            "cargo xtask lint",
+            "--cfg loom",
+            "--test loom_pool",
+            "--test loom_shard",
+            "--bench parallel_path",
+            "BENCH_parallel_path.json",
+        ],
     )?;
     Ok(errors)
 }

@@ -23,7 +23,12 @@
 //! sample now rides: the interner (`simnode::intern` and its
 //! `core::intern` re-export), the byte codec (`collect::codec`), and
 //! the columnar block codec every stored point round-trips through
-//! (`tsdb::block`). Those may never appear in the allowlist at all.
+//! (`tsdb::block`). The parallel execution layer joins them: the
+//! scoped worker pool (`simnode::pool` and its `core::pool`
+//! re-export) runs under every fan-out site, and the shard layer
+//! (`tsdb::shard`) routes every stored sample — a panic in either
+//! poisons a lock or wedges the pipeline. Those may never appear in
+//! the allowlist at all.
 
 use crate::lexer::{scan, LintKind};
 use std::collections::BTreeMap;
@@ -40,7 +45,9 @@ pub const SCOPE: &[&str] = &[
     "crates/broker/src",
     "crates/simnode/src",
     "crates/core/src/intern.rs",
+    "crates/core/src/pool.rs",
     "crates/tsdb/src/block.rs",
+    "crates/tsdb/src/shard.rs",
 ];
 
 /// Modules whose allowance is pinned to zero: never allowlisted.
@@ -52,8 +59,11 @@ pub const DENY: &[&str] = &[
     "crates/broker/src/queue.rs",
     "crates/broker/src/tcp.rs",
     "crates/simnode/src/intern.rs",
+    "crates/simnode/src/pool.rs",
     "crates/core/src/intern.rs",
+    "crates/core/src/pool.rs",
     "crates/tsdb/src/block.rs",
+    "crates/tsdb/src/shard.rs",
 ];
 
 /// Workspace-relative path of the allowlist file.

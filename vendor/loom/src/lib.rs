@@ -178,6 +178,80 @@ pub mod sync {
         }
     }
 
+    /// Reader-writer lock with the parking_lot shape (`read()`/`write()`
+    /// return guards directly, no poisoning) and a perturbation point
+    /// before each acquisition — so writer-starvation and read/write
+    /// ordering races surface across iterations.
+    #[derive(Default)]
+    pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+    /// Shared guard for [`RwLock`].
+    pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+    /// Exclusive guard for [`RwLock`].
+    pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+    impl<T> RwLock<T> {
+        /// New lock holding `t`.
+        pub fn new(t: T) -> RwLock<T> {
+            RwLock(std::sync::RwLock::new(t))
+        }
+
+        /// Consume the lock, returning the inner value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquire a shared guard, blocking. Perturbs the schedule first.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            super::preempt();
+            RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+        }
+
+        /// Acquire an exclusive guard, blocking. Perturbs the schedule
+        /// first.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            super::preempt();
+            RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+        }
+
+        /// Mutable access without locking.
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self.0.try_read() {
+                Ok(g) => f.debug_tuple("RwLock").field(&&*g).finish(),
+                Err(_) => f.write_str("RwLock(<locked>)"),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
     /// Result of a timed condition-variable wait.
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
     pub struct WaitTimeoutResult(bool);
