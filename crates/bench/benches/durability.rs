@@ -1,0 +1,247 @@
+//! Durability bench: what WAL-backed persistence costs on the ingest
+//! path, how fast crash recovery replays a store, and proof that the
+//! sealed-block read path stays allocation-free when the blocks come
+//! off disk. Same counting-allocator methodology as `sample_path` /
+//! `storage_path`; results go to `BENCH_durability.json`.
+//!
+//! Cases:
+//! * `ingest` — a month of Table-I-shaped series inserted into the
+//!   in-memory store vs the durable store (batched fsync, default
+//!   policy) vs the durable store at `sync_every = 1` (fsync per
+//!   point, the paranoid upper bound). The durable runs go through
+//!   the full WAL frame encode + CRC + virtual-disk append per point.
+//! * `recover` — rebuild the store from the persisted image (segment
+//!   block installs + WAL tail replay), timed end to end.
+//! * `sealed_read` — a week of streamed reads (`range_for_each`) from
+//!   the in-memory store vs the crash-recovered store: both must run
+//!   at zero allocs/op, proving recovered blocks ride the same
+//!   zero-copy cursor path.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tacc_tsdb::{DurOptions, MemVfs, SeriesKey, TagFilter, TsDb};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts allocation events.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to the system allocator;
+// the counter is a relaxed atomic with no effect on allocation results.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// ns/op and allocations/op over `iters` runs of `f`, after warmup.
+fn measure<R>(iters: u64, mut f: impl FnMut() -> R) -> (f64, f64) {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let dt = t0.elapsed();
+    let da = ALLOCS.load(Ordering::Relaxed) - a0;
+    (
+        dt.as_nanos() as f64 / iters as f64,
+        da as f64 / iters as f64,
+    )
+}
+
+/// A month of Table-I-shaped series (as in `storage_path`): `n_hosts`
+/// hosts × eight job metrics at the paper's 10-minute cadence.
+const EVENTS: [&str; 8] = [
+    "gflops",
+    "mem_bw",
+    "mem_used",
+    "lustre_bw",
+    "lustre_iops",
+    "md_reqs",
+    "ib_bw",
+    "cpu_user",
+];
+const MONTH_SECS: u64 = 30 * 86_400;
+const CADENCE: u64 = 600;
+
+fn month_points(n_hosts: usize) -> Vec<(SeriesKey, u64, f64)> {
+    let mut out = Vec::new();
+    for h in 0..n_hosts {
+        let hostname = format!("c401-{h:04}");
+        for (e, ev) in EVENTS.iter().enumerate() {
+            let key = SeriesKey::new(&hostname, "job", "table1", ev);
+            for i in 0..(MONTH_SECS / CADENCE) {
+                let t = i * CADENCE;
+                let v = (h + 1) as f64 * 100.0
+                    + (e + 1) as f64 * ((t % 86_400) as f64 / 8640.0)
+                    + (i % 7) as f64 * 0.25;
+                out.push((key.clone(), t, v));
+            }
+        }
+    }
+    out
+}
+
+const SHARDS: usize = 8;
+
+fn durable_opts(sync_every: u64) -> DurOptions {
+    DurOptions {
+        sync_every,
+        ..DurOptions::default()
+    }
+}
+
+fn ingest_all(db: &TsDb, points: &[(SeriesKey, u64, f64)]) -> usize {
+    for (k, t, v) in points {
+        db.insert(k.clone(), *t, *v);
+    }
+    db.n_points()
+}
+
+fn main() {
+    println!("\n=== durability (WAL + segments vs in-memory) ===");
+    let points = month_points(4);
+    let n_points = points.len();
+    println!(
+        "  fixture: {} series, {} points (30 days @ {}s cadence), {} shards",
+        4 * EVENTS.len(),
+        n_points,
+        CADENCE,
+        SHARDS
+    );
+
+    // --- ingest: in-memory vs durable (batched) vs durable (per-point) ---
+    let (mem_ns, mem_allocs) = measure(6, || {
+        let db = TsDb::with_shards(SHARDS);
+        ingest_all(&db, &points)
+    });
+    let (dur_ns, dur_allocs) = measure(6, || {
+        let vfs = Arc::new(MemVfs::new());
+        let (db, _) = TsDb::recover(vfs, SHARDS, durable_opts(128)).expect("fresh store");
+        ingest_all(&db, &points)
+    });
+    let (par_ns, par_allocs) = measure(3, || {
+        let vfs = Arc::new(MemVfs::new());
+        let (db, _) = TsDb::recover(vfs, SHARDS, durable_opts(1)).expect("fresh store");
+        ingest_all(&db, &points)
+    });
+    let per = |total_ns: f64| total_ns / n_points as f64;
+    println!(
+        "  ingest              in-memory: {:>7.0} ns/pt   durable: {:>7.0} ns/pt ({:.2}x)   fsync-per-point: {:>7.0} ns/pt ({:.2}x)",
+        per(mem_ns),
+        per(dur_ns),
+        dur_ns / mem_ns,
+        per(par_ns),
+        par_ns / mem_ns
+    );
+
+    // --- persisted footprint + recovery ---
+    let vfs = Arc::new(MemVfs::new());
+    let (db, _) = TsDb::recover(vfs.clone(), SHARDS, durable_opts(128)).expect("fresh store");
+    ingest_all(&db, &points);
+    db.flush().expect("clean flush");
+    let stats = db.durability_stats().expect("durable store");
+    let columnar = db.storage_bytes();
+    println!(
+        "  footprint           columnar in-memory: {} KiB   wal: {} KiB   segments: {} KiB   ({} compactions, gen {})",
+        columnar / 1024,
+        stats.wal_bytes / 1024,
+        stats.segment_bytes / 1024,
+        stats.compactions,
+        stats.max_gen
+    );
+    drop(db);
+
+    let image = vfs.crash_image();
+    let mut recovered_points = 0u64;
+    let (rec_ns, rec_allocs) = measure(6, || {
+        let img = Arc::new(image.crash_image());
+        let (db, report) = TsDb::recover(img, SHARDS, durable_opts(128)).expect("recovers");
+        assert!(report.balances(), "conservation accounting must balance");
+        recovered_points = report.points_recovered;
+        db.n_points()
+    });
+    println!(
+        "  recover             {:.1} ms for {} points ({:.1} Mpoints/s, {:.0} allocs)",
+        rec_ns / 1e6,
+        recovered_points,
+        recovered_points as f64 * 1e3 / rec_ns,
+        rec_allocs
+    );
+
+    // --- sealed-block reads: in-memory vs crash-recovered store ---
+    let mem_db = TsDb::with_shards(SHARDS);
+    ingest_all(&mem_db, &points);
+    let (rec_db, _) =
+        TsDb::recover(Arc::new(image.crash_image()), SHARDS, durable_opts(128)).expect("recovers");
+    assert_eq!(rec_db.n_points(), mem_db.n_points(), "nothing was lost");
+    let keys = mem_db.keys(&TagFilter::any());
+    let (w0, w1) = (7 * 86_400u64, 14 * 86_400u64);
+    let read_week = |db: &TsDb| {
+        let mut acc = 0.0f64;
+        for k in &keys {
+            db.range_for_each(k, w0, w1, |_, v| acc += v);
+        }
+        acc
+    };
+    let (mem_read_ns, mem_read_allocs) = measure(200, || read_week(&mem_db));
+    let (rec_read_ns, rec_read_allocs) = measure(200, || read_week(&rec_db));
+    println!(
+        "  sealed-block reads  in-memory: {:>9.0} ns/op {:>6.2} allocs/op   recovered: {:>9.0} ns/op {:>6.2} allocs/op",
+        mem_read_ns, mem_read_allocs, rec_read_ns, rec_read_allocs
+    );
+    assert_eq!(
+        rec_read_allocs, 0.0,
+        "recovered sealed-block reads must stay allocation-free"
+    );
+
+    // --- JSON ---
+    let json = format!(
+        "{{\n  \"bench\": \"durability\",\n  \"fixture\": {{\"series\": {}, \"points\": {}, \"shards\": {}}},\n  \"ingest_ns_per_point\": {{\"in_memory\": {:.1}, \"durable\": {:.1}, \"durable_overhead\": {:.3}, \"fsync_per_point\": {:.1}}},\n  \"ingest_allocs_per_run\": {{\"in_memory\": {:.0}, \"durable\": {:.0}, \"fsync_per_point\": {:.0}}},\n  \"bytes\": {{\"columnar_in_memory\": {}, \"wal\": {}, \"segments\": {}, \"compactions\": {}}},\n  \"recovery\": {{\"ms\": {:.2}, \"points\": {}, \"mpoints_per_sec\": {:.2}}},\n  \"sealed_read_week\": {{\"in_memory\": {{\"ns_per_op\": {:.0}, \"allocs_per_op\": {:.2}}}, \"recovered\": {{\"ns_per_op\": {:.0}, \"allocs_per_op\": {:.2}}}}}\n}}\n",
+        4 * EVENTS.len(),
+        n_points,
+        SHARDS,
+        per(mem_ns),
+        per(dur_ns),
+        dur_ns / mem_ns,
+        per(par_ns),
+        mem_allocs,
+        dur_allocs,
+        par_allocs,
+        columnar,
+        stats.wal_bytes,
+        stats.segment_bytes,
+        stats.compactions,
+        rec_ns / 1e6,
+        recovered_points,
+        recovered_points as f64 * 1e3 / rec_ns,
+        mem_read_ns,
+        mem_read_allocs,
+        rec_read_ns,
+        rec_read_allocs
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_durability.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("  wrote {}", out.display()),
+        Err(e) => println!("  could not write {}: {e}", out.display()),
+    }
+}

@@ -65,6 +65,11 @@ pub struct SystemConfig {
     pub start: SimTime,
     /// Whether to mirror samples into the time-series database (§VI-A).
     pub enable_tsdb: bool,
+    /// Directory for the durable tsdb (per-shard WAL + segment files).
+    /// `None` keeps the mirror purely in memory; `Some(dir)` opens (or
+    /// crash-recovers) a persistent store there, so a restarted system
+    /// resumes with every fsynced point intact.
+    pub tsdb_dir: Option<std::path::PathBuf>,
     /// Whether the XALT plugin records per-job modules/libraries
     /// (§IV-B: the detail view shows them "only if the XALT plugin is
     /// enabled").
@@ -87,6 +92,7 @@ impl SystemConfig {
             step: SimDuration::from_secs(60),
             start: SimTime::from_secs(tacc_simnode::clock::Q4_2015_START_SECS),
             enable_tsdb: false,
+            tsdb_dir: None,
             enable_xalt: true,
             seed: 42,
         }

@@ -177,6 +177,12 @@ pub struct MonitoringSystem {
     pool: Option<Arc<WorkerPool>>,
     db: Database,
     tsdb: Option<TsDb>,
+    /// Recovery accounting from opening a durable tsdb
+    /// ([`SystemConfig::tsdb_dir`]); `None` for in-memory stores.
+    tsdb_recovery: Option<tacc_tsdb::RecoveryReport>,
+    /// Why a requested durable tsdb could not be opened (the system
+    /// falls back to an in-memory mirror rather than refusing to run).
+    tsdb_open_error: Option<String>,
     mirror: TsdbMirror,
     online: Option<OnlineAnalyzer>,
     /// Automatically cancel jobs the online analyzer blames.
@@ -277,8 +283,36 @@ impl MonitoringSystem {
                 NodeCollectors::Daemon(ds)
             }
         };
+        // The tsdb mirror: in-memory by default; durable (WAL +
+        // segment files, crash-recovered on open) when a directory is
+        // configured. A durable store that fails to open degrades to
+        // in-memory — the monitor must keep running (§III "always
+        // on") — with the reason kept for inspection.
+        let mut tsdb_recovery = None;
+        let mut tsdb_open_error = None;
         let tsdb = if cfg.enable_tsdb {
-            Some(TsDb::new())
+            match &cfg.tsdb_dir {
+                Some(dir) => {
+                    let opened = tacc_tsdb::FsVfs::open(dir.clone()).and_then(|vfs| {
+                        TsDb::recover(
+                            Arc::new(vfs),
+                            tacc_tsdb::DEFAULT_SHARDS,
+                            tacc_tsdb::DurOptions::default(),
+                        )
+                    });
+                    match opened {
+                        Ok((db, report)) => {
+                            tsdb_recovery = Some(report);
+                            Some(db)
+                        }
+                        Err(e) => {
+                            tsdb_open_error = Some(format!("{}: {e}", dir.display()));
+                            Some(TsDb::new())
+                        }
+                    }
+                }
+                None => Some(TsDb::new()),
+            }
         } else {
             None
         };
@@ -297,6 +331,8 @@ impl MonitoringSystem {
             pool: None,
             db: Database::new(),
             tsdb,
+            tsdb_recovery,
+            tsdb_open_error,
             mirror: TsdbMirror::new(),
             online: None,
             auto_suspend: false,
@@ -405,6 +441,26 @@ impl MonitoringSystem {
     /// The time-series database, if enabled.
     pub fn tsdb(&self) -> Option<&TsDb> {
         self.tsdb.as_ref()
+    }
+
+    /// Crash-recovery accounting from opening a durable tsdb
+    /// ([`SystemConfig::tsdb_dir`]); `None` for in-memory mirrors.
+    pub fn tsdb_recovery(&self) -> Option<&tacc_tsdb::RecoveryReport> {
+        self.tsdb_recovery.as_ref()
+    }
+
+    /// Why the configured durable tsdb fell back to memory, if it did.
+    pub fn tsdb_open_error(&self) -> Option<&str> {
+        self.tsdb_open_error.as_deref()
+    }
+
+    /// Fsync the durable tsdb's write-ahead logs, making every point
+    /// mirrored so far crash-proof. No-op (Ok) for in-memory mirrors.
+    pub fn flush_tsdb(&self) -> Result<(), tacc_tsdb::DiskError> {
+        match &self.tsdb {
+            Some(db) if db.is_durable() => db.flush(),
+            _ => Ok(()),
+        }
     }
 
     /// The scheduler (running/queued inspection).
@@ -1034,6 +1090,40 @@ mod tests {
         let f = tacc_tsdb::TagFilter::any().dev_type("mdc").event("reqs");
         assert!(!tsdb.keys(&f).is_empty());
         assert!(tsdb.n_points() > 0);
+    }
+
+    #[test]
+    fn durable_tsdb_mirror_survives_a_restart() {
+        // Two system lifetimes over the same store directory: the
+        // second must recover every point the first flushed.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target")
+            .join(format!("tacc-sys-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut cfg = SystemConfig::small(2, crate::config::Mode::daemon());
+        cfg.enable_tsdb = true;
+        cfg.tsdb_dir = Some(dir.clone());
+        let mut sys = MonitoringSystem::new(cfg.clone());
+        assert!(sys.tsdb_open_error().is_none());
+        let report = sys.tsdb_recovery().expect("durable store opened");
+        assert_eq!(report.fresh_shards, tacc_tsdb::DEFAULT_SHARDS as u64);
+        sys.enqueue_jobs(vec![(t0(), request(AppModel::io_heavy(), 2, 60))]);
+        sys.run_until(t0() + SimDuration::from_mins(90));
+        let points = sys.tsdb().unwrap().n_points();
+        let series = sys.tsdb().unwrap().n_series();
+        assert!(points > 0);
+        sys.flush_tsdb().unwrap();
+        drop(sys);
+
+        let sys = MonitoringSystem::new(cfg);
+        let report = *sys.tsdb_recovery().expect("durable store reopened");
+        assert!(report.balances(), "{report:?}");
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(sys.tsdb().unwrap().n_points(), points);
+        assert_eq!(sys.tsdb().unwrap().n_series(), series);
+        drop(sys);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -138,6 +138,82 @@ pub fn fault_path(dev_type: DeviceType, instance: &str) -> Option<String> {
     }
 }
 
+/// A deterministic schedule of disk faults, consumed by the tsdb's
+/// fault-injectable virtual disk (`tacc-tsdb`'s `MemVfs`). Ordinals
+/// count operations across the whole disk (every file), 0-based, so a
+/// plan describes one run of the durability layer end to end:
+///
+/// * **Short writes** — the named append persists only the first half
+///   of its buffer and reports failure, as when a filesystem runs out
+///   of space or an I/O error interrupts `write(2)` mid-buffer.
+/// * **fsync failures** — the named sync calls fail without advancing
+///   the durable watermark (the `fsync`-returns-`EIO` case; dirty
+///   pages may or may not reach the platter later, so the writer must
+///   treat everything since the last good sync as at-risk).
+/// * **Kill-at-offset** — after the disk has absorbed this many
+///   appended bytes (a straddling append persists exactly up to the
+///   boundary — a torn record), the process is dead: every later
+///   operation fails with `Killed`. Sweeping this offset over a run is
+///   the "kill at any byte offset" chaos schedule.
+///
+/// Like the rest of [`FaultPlan`], nothing here consults an ambient
+/// RNG: a plan is replayable from its fields alone.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DiskFaultPlan {
+    /// Disk-wide append ordinals that short-write (persist half, fail).
+    pub short_write_at: Vec<u64>,
+    /// Disk-wide sync ordinals that fail without syncing.
+    pub sync_fail_at: Vec<u64>,
+    /// Kill the process once this many bytes have been appended
+    /// disk-wide; the straddling append is torn at the boundary.
+    pub kill_at_offset: Option<u64>,
+}
+
+impl DiskFaultPlan {
+    /// The empty plan: the disk never misbehaves.
+    pub fn none() -> DiskFaultPlan {
+        DiskFaultPlan::default()
+    }
+
+    /// True when the plan injects no disk faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.short_write_at.is_empty()
+            && self.sync_fail_at.is_empty()
+            && self.kill_at_offset.is_none()
+    }
+
+    /// Kill the process after `offset` appended bytes.
+    pub fn kill_at(offset: u64) -> DiskFaultPlan {
+        DiskFaultPlan {
+            kill_at_offset: Some(offset),
+            ..DiskFaultPlan::default()
+        }
+    }
+
+    /// Does append ordinal `n` short-write?
+    pub fn short_write(&self, n: u64) -> bool {
+        self.short_write_at.contains(&n)
+    }
+
+    /// Does sync ordinal `n` fail?
+    pub fn sync_fails(&self, n: u64) -> bool {
+        self.sync_fail_at.contains(&n)
+    }
+
+    /// A deliberately hostile but deterministic disk schedule derived
+    /// from `seed`: a handful of short writes and fsync failures
+    /// scattered over the first `appends` append operations.
+    pub fn hostile(seed: u64, appends: u64) -> DiskFaultPlan {
+        let n = appends.max(1);
+        let pick = |salt: u64| fnv1a(&[seed, salt]) % n;
+        DiskFaultPlan {
+            short_write_at: vec![pick(1), pick(2), pick(3)],
+            sync_fail_at: vec![pick(4) % (n / 8).max(1), pick(5) % (n / 8).max(1)],
+            kill_at_offset: None,
+        }
+    }
+}
+
 /// A complete, seeded fault schedule for one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
@@ -153,6 +229,8 @@ pub struct FaultPlan {
     pub drop_ack_prob: f64,
     /// Scheduled device degradations.
     pub device_faults: Vec<DeviceFault>,
+    /// Disk faults for the durable storage tier.
+    pub disk: DiskFaultPlan,
 }
 
 /// FNV-1a over a few words — a cheap, stable message-level hash.
@@ -194,6 +272,7 @@ impl FaultPlan {
             && self.drop_request_prob == 0.0
             && self.drop_ack_prob == 0.0
             && self.device_faults.is_empty()
+            && self.disk.is_empty()
     }
 
     /// Is the broker down at `t`?
@@ -298,6 +377,7 @@ impl FaultPlan {
             drop_request_prob: 0.05,
             drop_ack_prob: 0.04,
             device_faults,
+            disk: DiskFaultPlan::none(),
         }
     }
 }
@@ -390,6 +470,33 @@ mod tests {
             assert!(hosts.contains(&f.host));
             assert!(!f.window.is_empty());
         }
+    }
+
+    #[test]
+    fn disk_plan_defaults_to_empty_and_queries_are_pure() {
+        let p = DiskFaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.short_write(0));
+        assert!(!p.sync_fails(0));
+        assert!(
+            FaultPlan::none().is_empty(),
+            "empty disk plan keeps FaultPlan empty"
+        );
+
+        let k = DiskFaultPlan::kill_at(4096);
+        assert!(!k.is_empty());
+        assert_eq!(k.kill_at_offset, Some(4096));
+
+        let h1 = DiskFaultPlan::hostile(9, 1000);
+        let h2 = DiskFaultPlan::hostile(9, 1000);
+        assert_eq!(h1, h2, "hostile disk plans are deterministic");
+        assert!(h1.short_write_at.iter().all(|&n| n < 1000));
+        assert!(!h1.is_empty());
+        let full = FaultPlan {
+            disk: h1,
+            ..FaultPlan::none()
+        };
+        assert!(!full.is_empty(), "disk faults alone make a plan non-empty");
     }
 
     #[test]

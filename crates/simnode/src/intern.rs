@@ -53,8 +53,26 @@ pub struct SymbolTable {
 struct TableInner {
     /// id → string, dense. Strings are leaked once at intern time.
     strings: Vec<&'static str>,
+    /// id → FNV-1a hash of the string's bytes, computed once at
+    /// intern time. Unlike the id (assigned in first-sight order),
+    /// this depends only on the text, so consumers that need a hash
+    /// stable *across process restarts* (durable-store shard routing)
+    /// read it here instead of hashing ids.
+    str_hashes: Vec<u64>,
     /// string → id, for O(1) re-interning.
     ids: HashMap<&'static str, u32>,
+}
+
+/// FNV-1a offset basis.
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 impl SymbolTable {
@@ -84,8 +102,26 @@ impl SymbolTable {
         // rather than wrap if that invariant is ever violated.
         let id = u32::try_from(inner.strings.len()).unwrap_or(u32::MAX);
         inner.strings.push(leaked);
+        inner
+            .str_hashes
+            .push(fnv1a_bytes(FNV_BASIS, leaked.as_bytes()));
         inner.ids.insert(leaked, id);
         Sym(id)
+    }
+
+    /// Combine four symbols into one routing hash that depends only on
+    /// the underlying *strings* (not on intern order), so it is stable
+    /// across process restarts — the property the durable store's
+    /// shard-slot assignment relies on. One read-lock acquisition; the
+    /// per-string hashes were precomputed at intern time.
+    pub fn route4(&self, a: Sym, b: Sym, c: Sym, d: Sym) -> u64 {
+        let inner = self.inner.read();
+        let mut h = FNV_BASIS;
+        for sym in [a, b, c, d] {
+            let sh = inner.str_hashes.get(sym.0 as usize).copied().unwrap_or(0);
+            h = fnv1a_bytes(h, &sh.to_le_bytes());
+        }
+        h
     }
 
     /// Resolve a symbol back to its string. `Sym`s can only be minted
@@ -294,6 +330,34 @@ mod tests {
         for raw in ["héllo", "名前", "x\u{200b}y", "a-b_c.d"] {
             assert_eq!(Sym::new(raw).as_str(), raw);
         }
+    }
+
+    #[test]
+    fn route4_depends_on_strings_not_intern_order() {
+        // Interning more strings (shifting ids) must not change the
+        // route hash of an existing tuple, and re-interning the same
+        // text must map to the same hash — the cross-restart stability
+        // the durable store's shard routing relies on.
+        let t = SymbolTable::global();
+        let a = [
+            Sym::new("r4-h"),
+            Sym::new("r4-dt"),
+            Sym::new("r4-d"),
+            Sym::new("r4-e"),
+        ];
+        let before = t.route4(a[0], a[1], a[2], a[3]);
+        for i in 0..32 {
+            Sym::new(&format!("r4-noise-{i}"));
+        }
+        let again = [
+            Sym::new("r4-h"),
+            Sym::new("r4-dt"),
+            Sym::new("r4-d"),
+            Sym::new("r4-e"),
+        ];
+        assert_eq!(t.route4(again[0], again[1], again[2], again[3]), before);
+        // Order of the tuple matters (host/event swapped → new route).
+        assert_ne!(t.route4(a[3], a[1], a[2], a[0]), before);
     }
 
     #[test]

@@ -58,8 +58,8 @@ static NEXT_BLOCK_ID: AtomicU64 = AtomicU64::new(1);
 /// columns amortize their two-word header.
 pub const SEAL_THRESHOLD: usize = 512;
 
-/// Append a LEB128 varint.
-fn put_varint(out: &mut Vec<u8>, mut x: u64) {
+/// Append a LEB128 varint. (Shared with the WAL/segment record codecs.)
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut x: u64) {
     while x >= 0x80 {
         out.push((x as u8) | 0x80);
         x >>= 7;
@@ -68,7 +68,7 @@ fn put_varint(out: &mut Vec<u8>, mut x: u64) {
 }
 
 /// Read a LEB128 varint at `*pos`, advancing it. `None` on truncation.
-fn get_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+pub(crate) fn get_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
     // Fast path: the steady-state timestamp byte (zero delta-of-delta
     // residual) is a single sub-0x80 byte.
     let &b0 = bytes.get(*pos)?;
@@ -126,7 +126,7 @@ fn put_xor(out: &mut Vec<u8>, x: u64) {
 /// [`get_xor`] can always load a full eight-byte window instead of a
 /// byte-at-a-time loop. (`XOR_PAD` >= 8: a zero word consumes only its
 /// control byte, leaving the window one byte short of `mid`'s maximum.)
-const XOR_PAD: usize = 8;
+pub(crate) const XOR_PAD: usize = 8;
 
 /// Read a value word at `*pos`, advancing it. The column must carry
 /// [`XOR_PAD`] trailing zero bytes (encode always pads): the decoder
@@ -239,14 +239,41 @@ impl SealedBlock {
         }
     }
 
-    /// The timestamp column bytes.
-    fn ts_col(&self) -> &[u8] {
+    /// The timestamp column bytes (shared with the segment codec).
+    pub(crate) fn ts_col(&self) -> &[u8] {
         self.cols.get(..self.ts_len).unwrap_or(&[])
     }
 
-    /// The value column bytes (including the pad tail).
-    fn vs_col(&self) -> &[u8] {
+    /// The value column bytes, including the pad tail (shared with the
+    /// segment codec).
+    pub(crate) fn vs_col(&self) -> &[u8] {
         self.cols.get(self.ts_len..).unwrap_or(&[])
+    }
+
+    /// Reassemble a block from persisted parts: the metadata words and
+    /// the two column byte runs (`vs` must include its [`XOR_PAD`]
+    /// tail, exactly as [`SealedBlock::ts_col`]/[`SealedBlock::vs_col`]
+    /// expose them). One exact-size allocation; the block gets a fresh
+    /// process-unique id, so decoded-block caches never confuse it
+    /// with a pre-crash incarnation.
+    pub(crate) fn from_parts(
+        count: usize,
+        min_t: u64,
+        max_t: u64,
+        ts: &[u8],
+        vs: &[u8],
+    ) -> SealedBlock {
+        let mut cols = Vec::with_capacity(ts.len() + vs.len());
+        cols.extend_from_slice(ts);
+        cols.extend_from_slice(vs);
+        SealedBlock {
+            count,
+            min_t,
+            max_t,
+            ts_len: ts.len(),
+            cols,
+            id: NEXT_BLOCK_ID.fetch_add(1, Ordering::Relaxed),
+        }
     }
 
     /// Process-unique identity of this encoded block, used as the
@@ -413,6 +440,26 @@ pub struct BlockCursor<'a> {
     prev_bits: u64,
 }
 
+impl<'a> BlockCursor<'a> {
+    /// A cursor directly over borrowed column bytes — the zero-copy
+    /// entry point the segment scanner uses to stream a persisted
+    /// block without first materializing a [`SealedBlock`]. `vs` must
+    /// carry its [`XOR_PAD`] tail (persisted columns always do).
+    pub fn over_columns(ts: &'a [u8], vs: &'a [u8], count: usize) -> BlockCursor<'a> {
+        BlockCursor {
+            ts,
+            vs,
+            ts_pos: 0,
+            vs_pos: 0,
+            emitted: 0,
+            count,
+            prev_t: 0,
+            prev_delta: 0,
+            prev_bits: 0,
+        }
+    }
+}
+
 impl BlockCursor<'_> {
     /// Decode the next point, or `None` at end of block. (A corrupt —
     /// truncated — column also ends iteration; sealed columns are only
@@ -538,8 +585,28 @@ impl SeriesBlocks {
     /// Like [`SeriesBlocks::push`], but sealing (when the head fills)
     /// encodes through the caller's reusable scratch, so steady-state
     /// ingest performs one allocation per sealed block and none per
-    /// point.
-    pub fn push_with_scratch(&mut self, t: u64, v: f64, scratch: &mut SealScratch) {
+    /// point. Returns `true` when this push sealed the head into a new
+    /// block (the durability layer persists exactly those pushes).
+    pub fn push_with_scratch(&mut self, t: u64, v: f64, scratch: &mut SealScratch) -> bool {
+        self.insert_point(t, v);
+        if self.head_t.len() >= SEAL_THRESHOLD {
+            self.seal_head(scratch);
+            return true;
+        }
+        false
+    }
+
+    /// Insert without ever sealing — the WAL-replay path, where seals
+    /// are dictated by the log's seal markers rather than the head
+    /// length (a replayed head may legitimately exceed the threshold
+    /// when the crash ate a seal marker; the next live push seals it).
+    pub(crate) fn push_unsealed(&mut self, t: u64, v: f64) {
+        self.insert_point(t, v);
+    }
+
+    /// The shared insert body: merge into the sealed range for a late
+    /// point, sorted head insert otherwise.
+    fn insert_point(&mut self, t: u64, v: f64) {
         match self.sealed_max() {
             Some(smax) if t < smax => self.merge_into_sealed(t, v),
             _ => {
@@ -561,11 +628,20 @@ impl SeriesBlocks {
                         self.head_v.push(v);
                     }
                 }
-                if self.head_t.len() >= SEAL_THRESHOLD {
-                    self.seal_head(scratch);
-                }
             }
         }
+    }
+
+    /// Append an already-sealed block (recovery installing a persisted
+    /// block) and drop the replayed head points it covers. Returns the
+    /// number of head points consumed.
+    pub(crate) fn install_sealed(&mut self, block: SealedBlock) -> usize {
+        let consumed = self.head_t.len();
+        self.head_t.clear();
+        self.head_v.clear();
+        self.sealed_points += block.len();
+        self.sealed.push(block);
+        consumed
     }
 
     /// Compress the head into a sealed block and clear it.

@@ -13,20 +13,35 @@
 //! the correlation query the section motivates ("a particular user's
 //! metadata requests … could be related to other users' increased Lustre
 //! operation wait times") via [`stats::pearson`] over aligned buckets.
+//!
+//! The store can also run **durable** ([`TsDb::recover`]): each shard
+//! keeps a CRC-framed write-ahead log for unsealed series tails and an
+//! append-only segment file of sealed columnar blocks, compacts them
+//! by generation, and recovers from a kill at *any* byte offset losing
+//! at most the unsynced WAL tail — with conservation accounting in
+//! [`RecoveryReport`]. See [`vfs`] (fault-injectable file layer) and
+//! [`recover`]; the WAL and segment formats live in `wal.rs` and
+//! `segment.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod recover;
+mod segment;
 pub mod series;
 pub mod shard;
 pub mod stats;
 pub mod store;
 mod sync;
+pub mod vfs;
+mod wal;
 
 pub use block::{
     BlockCursor, SealScratch, SealedBlock, SeriesBlocks, SeriesCursor, SEAL_THRESHOLD,
 };
+pub use recover::{DurOptions, RecoveryReport, SegmentCheck};
 pub use series::{SeriesKey, TagFilter};
 pub use shard::{shard_of, DEFAULT_SHARDS};
-pub use store::{Aggregation, DataPoint, TsDb};
+pub use store::{Aggregation, DataPoint, DurabilityStats, TsDb};
+pub use vfs::{DiskError, DurFile, FsVfs, MemVfs, Vfs};

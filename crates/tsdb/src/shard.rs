@@ -44,26 +44,24 @@ pub const DEFAULT_SHARDS: usize = 8;
 /// entries cap a shard's cache at ~512 KiB of decoded columns.
 const CACHE_BLOCKS: usize = 64;
 
-/// Route a series key to a shard: FNV-1a over the four interned tag
-/// ids, xor-folded. Deterministic for the process lifetime (interned
-/// ids never change), total (every key maps in-range for any
-/// `n_shards` ≥ 1), and spreading (the id space is dense, so hosts and
-/// events land on distinct shards).
+/// Route a series key to a shard: FNV-1a folded over the four tags'
+/// *string* hashes (precomputed at intern time — one interner
+/// read-lock acquisition, no text re-hashing). Depending on the text
+/// rather than intern ids makes routing stable **across process
+/// restarts**, which the durable store relies on: a series recovered
+/// from shard-slot `i`'s files must route back to shard `i` in the new
+/// process. Total (every key maps in-range for any `n_shards` ≥ 1) and
+/// spreading (distinct hosts and events land on distinct shards).
 pub fn shard_of(key: &SeriesKey, n_shards: usize) -> usize {
     if n_shards <= 1 {
         return 0;
     }
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for id in [
-        key.host.id(),
-        key.dev_type.id(),
-        key.device.id(),
-        key.event.id(),
-    ] {
-        for b in id.to_le_bytes() {
-            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
+    let h = tacc_simnode::intern::SymbolTable::global().route4(
+        key.host,
+        key.dev_type,
+        key.device,
+        key.event,
+    );
     ((h ^ (h >> 32)) % n_shards as u64) as usize
 }
 
@@ -118,6 +116,11 @@ pub(crate) struct ShardData {
     /// (ingest holds the shard write lock, so no series seals
     /// concurrently within a shard).
     pub(crate) seal_scratch: SealScratch,
+    /// Durability writers (WAL + segment + manifest) when the store
+    /// was opened with [`crate::TsDb::recover`]; `None` for a purely
+    /// in-memory store. Living behind the shard write lock keeps WAL
+    /// appends serialised with their in-memory apply.
+    pub(crate) dur: Option<crate::recover::ShardDur>,
 }
 
 /// One store shard: its series map behind a reader-writer lock, and
@@ -131,6 +134,14 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
+    /// Build a shard around recovered per-shard state.
+    pub(crate) fn with_data(data: ShardData) -> Shard {
+        Shard {
+            data: RwLock::new(data),
+            cache: Mutex::new(BlockCache::default()),
+        }
+    }
+
     /// Decoded columns for `block`, from cache or by decoding now.
     /// Decoding happens outside the cache lock; if two readers race on
     /// the same block both decode and the second insert wins — wasted
@@ -258,6 +269,7 @@ mod tests {
             let ShardData {
                 series,
                 seal_scratch,
+                ..
             } = &mut *data;
             let s = series.entry(key("c1", "reqs")).or_default();
             for i in 0..(SEAL_THRESHOLD as u64 * 2 + 10) {

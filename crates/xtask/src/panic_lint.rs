@@ -28,7 +28,12 @@
 //! re-export) runs under every fan-out site, and the shard layer
 //! (`tsdb::shard`) routes every stored sample — a panic in either
 //! poisons a lock or wedges the pipeline. Those may never appear in
-//! the allowlist at all.
+//! the allowlist at all. The durability tier joins them: the virtual
+//! disk (`tsdb::vfs`), the WAL and segment codecs (`tsdb::wal`,
+//! `tsdb::segment`), and recovery itself (`tsdb::recover`) are the
+//! code that must keep running — and keep its promises — while the
+//! disk is actively failing, so a panic there turns an injected fault
+//! into a crash loop.
 
 use crate::lexer::{scan, LintKind};
 use std::collections::BTreeMap;
@@ -48,6 +53,10 @@ pub const SCOPE: &[&str] = &[
     "crates/core/src/pool.rs",
     "crates/tsdb/src/block.rs",
     "crates/tsdb/src/shard.rs",
+    "crates/tsdb/src/vfs.rs",
+    "crates/tsdb/src/wal.rs",
+    "crates/tsdb/src/segment.rs",
+    "crates/tsdb/src/recover.rs",
 ];
 
 /// Modules whose allowance is pinned to zero: never allowlisted.
@@ -64,6 +73,10 @@ pub const DENY: &[&str] = &[
     "crates/core/src/pool.rs",
     "crates/tsdb/src/block.rs",
     "crates/tsdb/src/shard.rs",
+    "crates/tsdb/src/vfs.rs",
+    "crates/tsdb/src/wal.rs",
+    "crates/tsdb/src/segment.rs",
+    "crates/tsdb/src/recover.rs",
 ];
 
 /// Workspace-relative path of the allowlist file.
