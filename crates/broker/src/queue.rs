@@ -103,7 +103,11 @@ struct BrokerInner {
 /// ```
 #[derive(Clone, Default)]
 pub struct Broker {
-    inner: Arc<Mutex<BrokerInner>>,
+    /// Queue registry. Lock class `Broker.registry` — named distinctly
+    /// from `Queue.inner` so the lock-order analyzer can attribute
+    /// every acquisition site; ordering rule: `Broker.registry` may be
+    /// held while taking `Queue.inner`, never the reverse.
+    registry: Arc<Mutex<BrokerInner>>,
     /// Outage flag: while set, publishes fail and consumers receive
     /// nothing, but queue contents survive (an orderly broker restart).
     stopped: Arc<AtomicBool>,
@@ -117,15 +121,14 @@ impl Broker {
 
     /// Declare (create if absent) a queue. Idempotent.
     pub fn declare(&self, queue: &str) {
-        let mut inner = self.inner.lock();
-        inner
-            .queues
+        let mut reg = self.registry.lock();
+        reg.queues
             .entry(queue.to_string())
             .or_insert_with(|| Arc::new(Queue::default()));
     }
 
     fn queue(&self, queue: &str) -> Option<Arc<Queue>> {
-        self.inner.lock().queues.get(queue).cloned()
+        self.registry.lock().queues.get(queue).cloned()
     }
 
     /// Publish a payload to a queue with a routing key. Returns `false`
@@ -158,9 +161,9 @@ impl Broker {
     pub fn consume(&self, queue: &str) -> Option<Consumer> {
         let q = self.queue(queue)?;
         let id = {
-            let mut inner = self.inner.lock();
-            inner.next_consumer_id += 1;
-            inner.next_consumer_id
+            let mut reg = self.registry.lock();
+            reg.next_consumer_id += 1;
+            reg.next_consumer_id
         };
         Some(Consumer {
             id,
@@ -176,8 +179,8 @@ impl Broker {
     pub fn stop(&self) {
         self.stopped.store(true, Ordering::Release);
         // Wake blocked getters so they observe the outage promptly.
-        let inner = self.inner.lock();
-        for q in inner.queues.values() {
+        let reg = self.registry.lock();
+        for q in reg.queues.values() {
             q.nonempty.notify_all();
         }
     }
@@ -185,8 +188,8 @@ impl Broker {
     /// Bring the broker back up after [`Broker::stop`]. Idempotent.
     pub fn restart(&self) {
         self.stopped.store(false, Ordering::Release);
-        let inner = self.inner.lock();
-        for q in inner.queues.values() {
+        let reg = self.registry.lock();
+        for q in reg.queues.values() {
             q.nonempty.notify_all();
         }
     }
@@ -198,8 +201,8 @@ impl Broker {
 
     /// Snapshot of broker statistics.
     pub fn stats(&self) -> BrokerStats {
-        let inner = self.inner.lock();
-        let queues = inner
+        let reg = self.registry.lock();
+        let queues = reg
             .queues
             .iter()
             .map(|(name, q)| {

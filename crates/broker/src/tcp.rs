@@ -127,6 +127,7 @@ impl BrokerServer {
     /// the rebind can fail with `AddrInUse` while connections the *old*
     /// server closed first linger in TIME_WAIT; clients that disconnect
     /// before the old server goes away avoid that.
+    // alloc: cold-fn (server startup + per-accepted-connection setup, never per-message)
     pub fn start_on(broker: Broker, addr: SocketAddr) -> io::Result<BrokerServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -141,6 +142,7 @@ impl BrokerServer {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         if let Ok(clone) = stream.try_clone() {
+                            // lock-order: class=BrokerServer.conns
                             conns2.lock().push(clone);
                         }
                         let broker = broker2.clone();
@@ -194,6 +196,7 @@ fn serve_connection(mut stream: TcpStream, broker: Broker) -> io::Result<()> {
     // Per-connection consumers; dropped (⇒ redelivery) when the
     // connection closes. Keyed by interned queue name so GET/ACK frames
     // don't allocate a lookup key.
+    // alloc: cold (per-connection setup)
     let mut consumers: HashMap<Sym, Consumer> = HashMap::new();
     // Delivery frames are built in one reused buffer per connection;
     // `clear` keeps the high-water-mark capacity across messages.
@@ -201,7 +204,7 @@ fn serve_connection(mut stream: TcpStream, broker: Broker) -> io::Result<()> {
     // Request-frame buffers cycle through this pool: every opcode except
     // PUBLISH (whose body *becomes* the queued payload) hands its buffer
     // back once decoded.
-    let mut pool: Vec<BytesMut> = Vec::new();
+    let mut pool: Vec<BytesMut> = Vec::new(); // alloc: cold (per-connection setup)
     loop {
         let (op, mut body) = match read_frame_into(&mut stream, &mut pool) {
             Ok(f) => f,
@@ -340,7 +343,7 @@ impl BrokerClient {
             backoff: base_backoff,
             max_attempts,
             scratch: BytesMut::new(),
-            pool: Vec::new(),
+            pool: Vec::new(), // alloc: cold (client construction; buffers are recycled per request)
         };
         client.ensure_stream()?;
         Ok(client)

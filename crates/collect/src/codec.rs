@@ -194,6 +194,7 @@ pub fn render_file_into(f: &RawFile, out: &mut Vec<u8>) {
 pub fn parse_bytes(bytes: &[u8]) -> Result<RawFile, ParseError> {
     let text = std::str::from_utf8(bytes).map_err(|e| ParseError {
         line: 0,
+        // alloc: cold (invalid-UTF-8 error path; the happy path never gets here)
         message: format!(
             "payload is not UTF-8 (invalid byte at offset {})",
             e.valid_up_to()

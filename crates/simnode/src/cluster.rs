@@ -77,6 +77,7 @@ impl SimCluster {
     pub fn index_of(&self, hostname: &str) -> Option<usize> {
         self.nodes
             .iter()
+            // lock-order: class=SimCluster.nodes
             .position(|n| n.read().hostname == hostname)
     }
 
@@ -95,6 +96,7 @@ impl SimCluster {
             let idle = NodeDemand::idle();
             for (i, node) in self.nodes.iter().enumerate() {
                 let d = demand_of(i);
+                // lock-order: class=SimCluster.nodes
                 node.write().advance(dt, d.as_ref().unwrap_or(&idle));
             }
         } else {
@@ -107,6 +109,7 @@ impl SimCluster {
                         for (j, node) in nodes.iter().enumerate() {
                             let i = w * chunk + j;
                             let d = demand_of(i);
+                            // lock-order: class=SimCluster.nodes
                             node.write().advance(dt, d.as_ref().unwrap_or(&idle));
                         }
                     });

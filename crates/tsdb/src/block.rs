@@ -224,6 +224,7 @@ impl SealedBlock {
             prev_bits = v.to_bits();
         }
         let ts_len = scratch.ts.len();
+        // alloc: cold (seal builds the block's owned storage, once per ~block of points)
         let mut cols = Vec::with_capacity(ts_len + scratch.vs.len() + XOR_PAD);
         cols.extend_from_slice(&scratch.ts);
         cols.extend_from_slice(&scratch.vs);
@@ -263,6 +264,7 @@ impl SealedBlock {
         ts: &[u8],
         vs: &[u8],
     ) -> SealedBlock {
+        // alloc: cold (block reconstruction from replayed columns, recovery-time only)
         let mut cols = Vec::with_capacity(ts.len() + vs.len());
         cols.extend_from_slice(ts);
         cols.extend_from_slice(vs);
@@ -680,7 +682,9 @@ impl SeriesBlocks {
             .sealed
             .partition_point(|b| b.min_t() <= t)
             .saturating_sub(1);
+        // alloc: cold (out-of-order merge path, rare by construction; in-order appends never decode)
         let mut ts: Vec<u64> = Vec::new();
+        // alloc: cold (out-of-order merge path, see above)
         let mut vs: Vec<f64> = Vec::new();
         if let Some(block) = self.sealed.get(idx) {
             block.decode_into(&mut ts, &mut vs);

@@ -43,6 +43,8 @@
 //! This module is on the `cargo xtask lint` deny list: no panicking
 //! constructs, no unchecked indexing.
 
+// alloc: cold-module (recovery and compaction run at startup or off the sample path, never per point)
+
 use crate::block::SealedBlock;
 use crate::segment::{SegmentScan, SegmentWriter};
 use crate::series::SeriesKey;
@@ -575,6 +577,7 @@ pub(crate) fn recover_shard(
 ///
 /// The caller holds the shard write lock, so `series` is a consistent
 /// snapshot and no appends race the swap.
+// crash-order: new-generation (builds invisible next-gen files; the manifest Gen frame is the commit)
 pub(crate) fn compact_shard(
     vfs: &dyn Vfs,
     idx: usize,

@@ -48,6 +48,7 @@ pub(crate) struct SegmentWriter {
 impl SegmentWriter {
     /// Wrap an already-positioned file that holds `blocks` valid
     /// block records (recovery path; `blocks == 0` for a fresh file).
+    // alloc: cold-fn (writer construction; the frame/payload buffers are reused per block)
     pub(crate) fn open(file: Box<dyn DurFile>, blocks: u64) -> SegmentWriter {
         SegmentWriter {
             file,

@@ -153,7 +153,7 @@ impl Shard {
         }
         let mut dec = DecodedBlock::default();
         block.decode_into(&mut dec.ts, &mut dec.vs);
-        let dec = Arc::new(dec);
+        let dec = Arc::new(dec); // alloc: cold (cache-miss decode; hits are the steady state)
         self.cache.lock().insert(block.id(), Arc::clone(&dec));
         dec
     }

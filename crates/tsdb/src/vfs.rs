@@ -155,6 +155,7 @@ impl MemVfs {
     }
 
     /// A fresh disk that consults `plan` on every operation.
+    // alloc: cold-fn (disk construction, test/sim harness setup)
     pub fn with_faults(plan: DiskFaultPlan) -> MemVfs {
         MemVfs {
             state: Arc::new(Mutex::new(MemDiskState {
@@ -179,6 +180,7 @@ impl MemVfs {
     /// (the kill already stopped persistence at the fault offset).
     /// Returns a fresh fault-free disk holding the image, as a new
     /// process would see it at boot.
+    // alloc: cold-fn (fault-injection snapshot for chaos tests, never on the write path)
     pub fn crash_image(&self) -> MemVfs {
         let s = self.state.lock();
         let files = s
@@ -206,6 +208,7 @@ impl MemVfs {
     /// each file keeps its synced prefix plus at most `torn_extra`
     /// bytes of its unsynced tail (a torn in-flight write). Returns a
     /// fresh fault-free disk holding the image.
+    // alloc: cold-fn (fault-injection snapshot for chaos tests, never on the write path)
     pub fn crash_image_dropping_unsynced(&self, torn_extra: usize) -> MemVfs {
         let s = self.state.lock();
         let files = s
@@ -304,6 +307,7 @@ impl DurFile for MemFile {
                 f.bytes.extend_from_slice(buf);
                 Ok(())
             }
+            // alloc: cold (error path: the backing file was removed under us)
             None => Err(DiskError::Io(format!("{}: file removed", self.name))),
         }
     }
@@ -323,6 +327,7 @@ impl DurFile for MemFile {
                 f.synced = f.bytes.len();
                 Ok(())
             }
+            // alloc: cold (error path: the backing file was removed under us)
             None => Err(DiskError::Io(format!("{}: file removed", self.name))),
         }
     }
@@ -338,6 +343,7 @@ impl DurFile for MemFile {
                 f.synced = f.synced.min(f.bytes.len());
                 Ok(())
             }
+            // alloc: cold (error path: the backing file was removed under us)
             None => Err(DiskError::Io(format!("{}: file removed", self.name))),
         }
     }
@@ -352,6 +358,7 @@ impl DurFile for MemFile {
 }
 
 impl Vfs for MemVfs {
+    // alloc: cold-fn (file open, startup/recovery-time; appends reuse the handle)
     fn open_append(&self, name: &str, keep: u64) -> Result<Box<dyn DurFile>, DiskError> {
         {
             let mut s = self.state.lock();
@@ -373,7 +380,7 @@ impl Vfs for MemVfs {
         if s.killed {
             return Err(DiskError::Killed);
         }
-        Ok(s.files.get(name).map(|f| f.bytes.clone()))
+        Ok(s.files.get(name).map(|f| f.bytes.clone())) // alloc: cold (whole-file read, recovery-time only)
     }
 
     fn remove(&self, name: &str) -> Result<(), DiskError> {
@@ -390,7 +397,7 @@ impl Vfs for MemVfs {
         if s.killed {
             return Err(DiskError::Killed);
         }
-        Ok(s.files.keys().cloned().collect())
+        Ok(s.files.keys().cloned().collect()) // alloc: cold (directory listing, recovery-time only)
     }
 }
 
@@ -399,7 +406,7 @@ impl Vfs for MemVfs {
 // ---------------------------------------------------------------------
 
 fn io_err(e: std::io::Error) -> DiskError {
-    DiskError::Io(e.to_string())
+    DiskError::Io(e.to_string()) // alloc: cold (error path)
 }
 
 /// Real files under one directory, via `std::fs`. Appends buffer in
@@ -454,6 +461,7 @@ impl DurFile for FsFile {
 }
 
 impl Vfs for FsVfs {
+    // alloc: cold-fn (file open, startup/recovery-time; appends reuse the handle)
     fn open_append(&self, name: &str, keep: u64) -> Result<Box<dyn DurFile>, DiskError> {
         let path = self.root.join(name);
         let file = fs::OpenOptions::new()
@@ -469,6 +477,7 @@ impl Vfs for FsVfs {
         Ok(Box::new(FsFile { file, len: keep }))
     }
 
+    // alloc: cold-fn (whole-file read, recovery-time only)
     fn read(&self, name: &str) -> Result<Option<Vec<u8>>, DiskError> {
         let path = self.root.join(name);
         match fs::File::open(&path) {
@@ -490,6 +499,7 @@ impl Vfs for FsVfs {
         }
     }
 
+    // alloc: cold-fn (directory listing, recovery-time only)
     fn list(&self) -> Result<Vec<String>, DiskError> {
         let mut out = Vec::new();
         for entry in fs::read_dir(&self.root).map_err(io_err)? {

@@ -320,6 +320,7 @@ impl WalWriter {
     /// `appended_points` describe the surviving prefix so sequencing
     /// continues where the log left off; the on-disk prefix counts as
     /// synced (it survived, by definition).
+    // alloc: cold-fn (writer construction; the frame/payload buffers are reused per append)
     pub(crate) fn open(
         file: Box<dyn DurFile>,
         key_ids: HashMap<SeriesKey, u64>,
@@ -344,6 +345,7 @@ impl WalWriter {
 
     /// Start a fresh WAL file: header frame, then fsync (a generation
     /// must be durable before the manifest can commit to it).
+    // alloc: cold-fn (generation creation: header write + fsync, once per generation)
     pub(crate) fn create(
         mut file: Box<dyn DurFile>,
         gen: u64,
@@ -412,6 +414,7 @@ impl WalWriter {
                 self.frame.clear();
                 put_frame(&mut self.frame, &self.payload);
                 append_repairing(&mut *self.file, &self.frame)?;
+                // alloc: cold (first sight of a series key; every later point reuses the id)
                 self.key_ids.insert(key.clone(), id);
                 self.next_key_id = id + 1;
                 id
@@ -477,6 +480,7 @@ pub(crate) fn append_repairing(file: &mut dyn DurFile, frame: &[u8]) -> Result<(
     match file.append(frame) {
         Ok(()) => Ok(()),
         Err(DiskError::ShortWrite { .. }) => {
+            // crash-order: repair (short-write repair: rewind to the last full-frame boundary before retrying)
             file.truncate(boundary)?;
             file.append(frame)
         }

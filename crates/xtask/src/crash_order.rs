@@ -1,0 +1,236 @@
+//! Crash-consistency ordering lint (pass 3 of `cargo xtask lint`).
+//!
+//! PR 6 proved (chaos + kill-anywhere tests) that the durable shard's
+//! commit discipline survives a crash at any instruction boundary
+//! *because* of a strict syntactic order in the persist path:
+//!
+//! ```text
+//! wal.sync();            // 1. intent durable
+//! seg.append_block(…);   // 2. data written
+//! seg.sync();            // 3. data durable
+//! wal.append_seal(…);    // 4. commit point
+//! ```
+//!
+//! This pass checks that discipline statically over `crates/tsdb/src`:
+//!
+//! * **Rule A** — every `.append_block(…)` call is preceded, earlier in
+//!   the same function, by a `.sync()` on a `wal` receiver;
+//! * **Rule B** — every `.append_seal(…)` call is preceded by a
+//!   `.sync()` on a `seg` receiver (the seal may only commit data that
+//!   is already durable);
+//! * **Rule C** — `.truncate(…)` / `.set_len(…)` never appear outside
+//!   the recovery module and the vfs layer itself: shortening a live
+//!   file is how a torn write becomes silent data loss.
+//!
+//! Two annotations (with mandatory reasons) cover the legitimate
+//! exceptions:
+//!
+//! * `// crash-order: new-generation (<why>)` above a function —
+//!   the function writes a *fresh, invisible* generation of files
+//!   (compaction) that no reader can see until the manifest flips, so
+//!   the WAL-first rule does not apply;
+//! * `// crash-order: repair (<why>)` on a line — the truncate is the
+//!   WAL's own torn-tail repair.
+//!
+//! The check is per-function and order-based, not path-sensitive: a
+//! sync in a conditional branch still counts. That is deliberate — the
+//! pass exists to catch *reordering* (the exact bug class the seal
+//! discipline proof rules out), and the chaos suite remains the
+//! semantic backstop.
+
+use crate::lexer::{excluded_spans, item_fns, mask, method_call_sites, Lines};
+use crate::util::read_scope;
+use std::path::Path;
+
+/// Source tree the pass walks (workspace-relative).
+pub const SCOPE: &[&str] = &["crates/tsdb/src"];
+
+/// Files where `truncate`/`set_len` are legitimate: recovery (repairs
+/// happen before the store goes live) and the vfs layer (it *defines*
+/// the operation).
+pub const TRUNCATE_OK: &[&str] = &["crates/tsdb/src/recover.rs", "crates/tsdb/src/vfs.rs"];
+
+/// Scan in-memory sources; returns violations. `check` and the test
+/// suite share this.
+pub fn scan_sources(files: &[(String, String)]) -> Vec<String> {
+    let mut errors = Vec::new();
+    for (rel, text) in files {
+        let masked = mask(text);
+        let excluded = excluded_spans(&masked);
+        let raw_lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let lines = Lines::new(&masked);
+        let fns = item_fns(&masked);
+        let in_excluded = |pos: usize| excluded.iter().any(|(s, e)| pos >= *s && pos < *e);
+
+        // Annotations.
+        let mut newgen_fns: Vec<(usize, usize)> = Vec::new(); // body spans
+        let mut repair_lines: Vec<usize> = Vec::new();
+        for (i, line) in raw_lines.iter().enumerate() {
+            let Some(at) = line.find("// crash-order:") else {
+                continue;
+            };
+            let text = line[at + "// crash-order:".len()..].trim();
+            let (form, rest) = text
+                .split_once(' ')
+                .map(|(a, b)| (a, b.trim()))
+                .unwrap_or((text, ""));
+            if !(rest.starts_with('(') && rest.ends_with(')') && rest.len() > 2) {
+                errors.push(format!(
+                    "crash-order: {rel}:{}: annotation needs a reason: \
+                     `// crash-order: {form} (<why>)`",
+                    i + 1
+                ));
+                continue;
+            }
+            match form {
+                "new-generation" => {
+                    let mut t = i + 1;
+                    while t < raw_lines.len() && raw_lines[t].trim_start().starts_with("//") {
+                        t += 1;
+                    }
+                    let target = t + 1;
+                    match fns
+                        .iter()
+                        .filter(|f| lines.line_of(f.start) >= target)
+                        .min_by_key(|f| f.start)
+                    {
+                        Some(f) => newgen_fns.push(f.body),
+                        None => errors.push(format!(
+                            "crash-order: {rel}:{}: new-generation annotation has no \
+                             following fn",
+                            i + 1
+                        )),
+                    }
+                }
+                "repair" => {
+                    let target = if line.trim_start().starts_with("//") {
+                        let mut t = i + 1;
+                        while t < raw_lines.len() && raw_lines[t].trim_start().starts_with("//") {
+                            t += 1;
+                        }
+                        t + 1
+                    } else {
+                        i + 1
+                    };
+                    repair_lines.push(target);
+                }
+                other => errors.push(format!(
+                    "crash-order: {rel}:{}: unknown annotation form `{other}` \
+                     (expected new-generation or repair)",
+                    i + 1
+                )),
+            }
+        }
+
+        let sites = method_call_sites(
+            &masked,
+            &["append_block", "append_seal", "sync", "truncate", "set_len"],
+            false,
+        );
+        let innermost = |pos: usize| {
+            fns.iter()
+                .filter(|f| f.contains(pos))
+                .min_by_key(|f| f.body.1 - f.body.0)
+        };
+        let excerpt = |line: usize| -> String {
+            raw_lines
+                .get(line.saturating_sub(1))
+                .map(|l| l.trim().chars().take(90).collect())
+                .unwrap_or_default()
+        };
+
+        for site in &sites {
+            if in_excluded(site.pos) {
+                continue;
+            }
+            match site.method.as_str() {
+                "append_block" | "append_seal" => {
+                    let Some(f) = innermost(site.pos) else {
+                        continue;
+                    };
+                    if newgen_fns.contains(&f.body) {
+                        continue;
+                    }
+                    let want = if site.method == "append_block" {
+                        "wal"
+                    } else {
+                        "seg"
+                    };
+                    let dominated = sites.iter().any(|s| {
+                        s.method == "sync"
+                            && s.pos < site.pos
+                            && f.contains(s.pos)
+                            && s.chain
+                                .last()
+                                .is_some_and(|seg| seg.name == want || seg.name.ends_with(want))
+                    });
+                    if !dominated {
+                        let (rule, need) = if site.method == "append_block" {
+                            ("A", "a WAL `.sync()` (intent must be durable first)")
+                        } else {
+                            (
+                                "B",
+                                "a segment `.sync()` (data must be durable before the seal)",
+                            )
+                        };
+                        errors.push(format!(
+                            "crash-order: {rel}:{}: rule {rule}: `.{}()` in `{}` is not \
+                             preceded by {need} — or mark the fn \
+                             `// crash-order: new-generation (<why>)`: {}",
+                            site.line,
+                            site.method,
+                            f.name,
+                            excerpt(site.line),
+                        ));
+                    }
+                }
+                "truncate" | "set_len" => {
+                    if TRUNCATE_OK.contains(&rel.as_str()) || repair_lines.contains(&site.line) {
+                        continue;
+                    }
+                    // `OpenOptions::truncate(false)` never shortens; a
+                    // literal-false argument is configuration, not I/O.
+                    if receiver_is_openoptions_false(&masked, site.pos) {
+                        continue;
+                    }
+                    errors.push(format!(
+                        "crash-order: {rel}:{}: rule C: `.{}()` outside recovery — \
+                         shortening a live file turns a torn write into silent data \
+                         loss; move it to recovery or mark the line \
+                         `// crash-order: repair (<why>)`: {}",
+                        site.line,
+                        site.method,
+                        excerpt(site.line),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+    errors
+}
+
+/// Is this `truncate` call the `OpenOptions::truncate(false)` builder
+/// flag? (Argument is the literal `false`.)
+fn receiver_is_openoptions_false(masked: &str, pos: usize) -> bool {
+    let chars: Vec<char> = masked.chars().collect();
+    let n = chars.len();
+    let mut i = pos;
+    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+        i += 1;
+    }
+    while i < n && chars[i].is_whitespace() {
+        i += 1;
+    }
+    if i >= n || chars[i] != '(' {
+        return false;
+    }
+    let arg: String = chars[i + 1..n.min(i + 8)].iter().collect();
+    arg.trim_start().starts_with("false")
+}
+
+/// Full pass against the workspace.
+pub fn check(root: &Path) -> Result<Vec<String>, String> {
+    let files = read_scope(root, SCOPE, "crash-order")?;
+    Ok(scan_sources(&files))
+}

@@ -8,11 +8,14 @@
 //! crate must keep rustc's `unexpected_cfgs` lint taught about
 //! `cfg(loom)` (CI runs clippy with `-D warnings`).
 
+use crate::{alloc_lint, panic_lint};
 use std::fs;
 use std::path::Path;
 
-/// Run the wiring checks. Returns violations (empty = pass).
-pub fn check(root: &Path) -> Result<Vec<String>, String> {
+/// Run the wiring checks. `lock_classes` is the lock-order analyzer's
+/// discovered class set — every class must be documented in
+/// DESIGN.md's concurrency section. Returns violations (empty = pass).
+pub fn check(root: &Path, lock_classes: &[String]) -> Result<Vec<String>, String> {
     let mut errors = Vec::new();
     let mut expect = |rel: &str, needles: &[&str]| -> Result<(), String> {
         let path = root.join(rel);
@@ -57,7 +60,55 @@ pub fn check(root: &Path) -> Result<Vec<String>, String> {
             "--test loom_shard",
             "--bench parallel_path",
             "BENCH_parallel_path.json",
+            // The five-pass suite must stay a required CI job with its
+            // JSON artifact, and the TSan job is the lock-order pass's
+            // dynamic cross-check.
+            "xtask-lint",
+            "lint-report.json",
+            "-Zsanitizer=thread",
         ],
     )?;
+
+    // Every tsdb module whose panic allowance is pinned to zero is also
+    // a 0 allocs/op module: the panic DENY list marks the code that
+    // must keep running while the disk fails, and that same code is
+    // the storage hot path.
+    for deny in panic_lint::DENY {
+        if deny.starts_with("crates/tsdb/") && !alloc_lint::SCOPE.contains(deny) {
+            errors.push(format!(
+                "invariants: {deny} is panic-lint DENY but not covered by the \
+                 allocation lint — add it to alloc_lint::SCOPE"
+            ));
+        }
+    }
+
+    // Every lock class the analyzer discovers must be documented in the
+    // `### Lock classes` table of DESIGN.md's static-analysis section.
+    {
+        let rel = "DESIGN.md";
+        let path = root.join(rel);
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("invariants: read {}: {e}", path.display()))?;
+        match text.find("### Lock classes") {
+            None => errors.push(format!(
+                "invariants: {rel} must contain a `### Lock classes` section"
+            )),
+            Some(at) => {
+                let section = &text[at..];
+                let section = section
+                    .find("\n## ")
+                    .map(|end| &section[..end])
+                    .unwrap_or(section);
+                for class in lock_classes {
+                    if !section.contains(class.as_str()) {
+                        errors.push(format!(
+                            "invariants: lock class `{class}` is not documented in \
+                             {rel}'s `### Lock classes` section"
+                        ));
+                    }
+                }
+            }
+        }
+    }
     Ok(errors)
 }

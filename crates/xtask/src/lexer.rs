@@ -490,6 +490,429 @@ pub fn scan(source: &str) -> Vec<Finding> {
     findings
 }
 
+// ---------------------------------------------------------------------
+// Method-call-chain and item extraction (lock-order / crash-order passes)
+// ---------------------------------------------------------------------
+
+/// Line lookup over a (masked) char stream.
+pub struct Lines {
+    starts: Vec<usize>,
+}
+
+impl Lines {
+    /// Index `text` (char offsets, matching the scanners here).
+    pub fn new(text: &str) -> Lines {
+        let starts = std::iter::once(0)
+            .chain(
+                text.chars()
+                    .enumerate()
+                    .filter(|(_, c)| *c == '\n')
+                    .map(|(i, _)| i + 1),
+            )
+            .collect();
+        Lines { starts }
+    }
+
+    /// 1-based line containing char offset `pos`.
+    pub fn line_of(&self, pos: usize) -> usize {
+        match self.starts.binary_search(&pos) {
+            Ok(l) => l + 1,
+            Err(l) => l,
+        }
+    }
+}
+
+/// One segment of a method-call receiver chain, outermost first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainSeg {
+    /// Identifier text (`self`, a field, a called method, a static,
+    /// possibly a `Path::seg` for path calls).
+    pub name: String,
+    /// The segment is itself a call: `shard(key)` in
+    /// `self.shard(key).data.read()`.
+    pub called: bool,
+    /// The segment is indexed: `counters[i]`.
+    pub indexed: bool,
+}
+
+/// A `.method(...)` call site with its receiver chain attributed.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Char offset of the method identifier in the masked text.
+    pub pos: usize,
+    /// Char offset where the receiver chain begins (statement lookback
+    /// for `let`-binding detection starts here).
+    pub chain_start: usize,
+    /// 1-based line of the method identifier.
+    pub line: usize,
+    /// Method name.
+    pub method: String,
+    /// Receiver chain, outermost-first. May be empty or truncated when
+    /// the receiver starts at a parenthesised expression the lexer
+    /// cannot attribute.
+    pub chain: Vec<ChainSeg>,
+}
+
+/// Find `.m(...)` call sites for every `m` in `methods`, walking each
+/// receiver chain backwards into field/call/index segments. With
+/// `empty_args_only`, only zero-argument calls match (the shape of
+/// `.lock()` / `.read()` / `.write()` guard acquisitions).
+pub fn method_call_sites(masked: &str, methods: &[&str], empty_args_only: bool) -> Vec<CallSite> {
+    let chars: Vec<char> = masked.chars().collect();
+    let n = chars.len();
+    let lines = Lines::new(masked);
+    let mut sites = Vec::new();
+    let next_nonws = |from: usize| {
+        let mut k = from;
+        while k < n && chars[k].is_whitespace() {
+            k += 1;
+        }
+        (k < n).then_some(k)
+    };
+    let prev_nonws = |from: usize| {
+        let mut k = from;
+        while k > 0 {
+            k -= 1;
+            if !chars[k].is_whitespace() {
+                return Some(k);
+            }
+        }
+        None
+    };
+    // Walk back across a balanced group ending at `close` (a `)` or
+    // `]`); returns the offset of the opener, or None if unbalanced.
+    let balance_back = |close: usize| -> Option<usize> {
+        let (open_c, close_c) = match chars.get(close) {
+            Some(')') => ('(', ')'),
+            Some(']') => ('[', ']'),
+            _ => return None,
+        };
+        let mut depth = 0usize;
+        let mut k = close + 1;
+        while k > 0 {
+            k -= 1;
+            if chars[k] == close_c {
+                depth += 1;
+            } else if chars[k] == open_c {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+        None
+    };
+    // Scan back over `ident` ending at `end` (inclusive); returns start.
+    let ident_start = |end: usize| -> usize {
+        let mut s = end;
+        while s > 0 && is_ident(chars[s - 1]) {
+            s -= 1;
+        }
+        s
+    };
+
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        if !is_ident(c) || c.is_ascii_digit() || (i != 0 && is_ident(chars[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i;
+        while j < n && is_ident(chars[j]) {
+            j += 1;
+        }
+        i = j;
+        let word: String = chars[start..j].iter().collect();
+        if !methods.iter().any(|m| *m == word) {
+            continue;
+        }
+        let Some(dot) = prev_nonws(start).filter(|&p| chars[p] == '.') else {
+            continue;
+        };
+        let Some(open) = next_nonws(j).filter(|&p| chars[p] == '(') else {
+            continue;
+        };
+        if empty_args_only && next_nonws(open + 1).map(|p| chars[p]) != Some(')') {
+            continue;
+        }
+        // Walk the receiver chain backwards from the dot.
+        let mut rev: Vec<ChainSeg> = Vec::new();
+        let mut chain_start = start;
+        let mut at = dot; // offset of the `.` to the left of the next segment
+        while let Some(p) = prev_nonws(at) {
+            match chars[p] {
+                '?' => {
+                    // `foo()?.lock()` — transparent postfix.
+                    at = p;
+                }
+                ')' | ']' => {
+                    let grouped = chars[p] == ')';
+                    let Some(opener) = balance_back(p) else { break };
+                    chain_start = opener;
+                    let Some(q) = prev_nonws(opener).filter(|&q| is_ident(chars[q])) else {
+                        break; // `(expr).lock()` — unattributable start
+                    };
+                    let s = ident_start(q);
+                    let mut name: String = chars[s..=q].iter().collect();
+                    chain_start = s;
+                    // Fold a `Path::call()` prefix into the segment name.
+                    let mut before = prev_nonws(s);
+                    while grouped
+                        && before.is_some_and(|b| b > 0 && chars[b] == ':' && chars[b - 1] == ':')
+                    {
+                        let b = before.unwrap_or(0);
+                        match prev_nonws(b - 1).filter(|&q2| is_ident(chars[q2])) {
+                            Some(q2) => {
+                                let s2 = ident_start(q2);
+                                let prefix: String = chars[s2..=q2].iter().collect();
+                                name = format!("{prefix}::{name}");
+                                chain_start = s2;
+                                before = prev_nonws(s2);
+                            }
+                            None => break,
+                        }
+                    }
+                    rev.push(ChainSeg {
+                        name,
+                        called: grouped,
+                        indexed: !grouped,
+                    });
+                    match before {
+                        Some(b) if chars[b] == '.' => at = b,
+                        _ => break,
+                    }
+                }
+                ch if is_ident(ch) => {
+                    let s = ident_start(p);
+                    let name: String = chars[s..=p].iter().collect();
+                    chain_start = s;
+                    rev.push(ChainSeg {
+                        name,
+                        called: false,
+                        indexed: false,
+                    });
+                    match prev_nonws(s) {
+                        Some(b) if chars[b] == '.' => at = b,
+                        _ => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+        rev.reverse();
+        sites.push(CallSite {
+            pos: start,
+            chain_start,
+            line: lines.line_of(start),
+            method: word,
+            chain: rev,
+        });
+    }
+    sites
+}
+
+/// A `fn` item located in masked source.
+#[derive(Clone, Debug)]
+pub struct ItemFn {
+    /// Function name.
+    pub name: String,
+    /// Type of the enclosing `impl` block, if any (for trait impls,
+    /// the implementing type after `for`).
+    pub impl_type: Option<String>,
+    /// Char offset of the `fn` keyword.
+    pub start: usize,
+    /// Char span of the `{ … }` body (inclusive of both braces), or
+    /// `start..start` for bodyless trait-method declarations.
+    pub body: (usize, usize),
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+}
+
+impl ItemFn {
+    /// True if `pos` falls inside this function's body.
+    pub fn contains(&self, pos: usize) -> bool {
+        pos > self.body.0 && pos < self.body.1
+    }
+}
+
+/// Locate every `fn` item (with enclosing-impl attribution) in masked
+/// source. Nested functions are reported too; pick the innermost
+/// containing span when attributing a position.
+pub fn item_fns(masked: &str) -> Vec<ItemFn> {
+    let chars: Vec<char> = masked.chars().collect();
+    let n = chars.len();
+    let lines = Lines::new(masked);
+
+    // Pass 1: impl spans. `impl<G> Path<G> { … }` / `impl T for U { … }`.
+    let mut impls: Vec<(String, usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if !(is_ident(chars[i]) && (i == 0 || !is_ident(chars[i - 1]))) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i;
+        while j < n && is_ident(chars[j]) {
+            j += 1;
+        }
+        let word: String = chars[start..j].iter().collect();
+        i = j;
+        if word != "impl" {
+            continue;
+        }
+        // Read to the opening brace, remembering the last path ident
+        // seen outside generic args; `for` resets it (trait impls name
+        // the implementing type after `for`).
+        let mut k = j;
+        let mut angle = 0i32;
+        let mut last_ident = String::new();
+        while k < n && chars[k] != '{' && chars[k] != ';' {
+            let c = chars[k];
+            if c == '<' {
+                angle += 1;
+                k += 1;
+            } else if c == '>' {
+                if k > 0 && chars[k - 1] != '-' {
+                    angle -= 1;
+                }
+                k += 1;
+            } else if is_ident(c) && !c.is_ascii_digit() {
+                let s = k;
+                while k < n && is_ident(chars[k]) {
+                    k += 1;
+                }
+                let w: String = chars[s..k].iter().collect();
+                if angle == 0 {
+                    if w == "for" || w == "where" {
+                        last_ident.clear();
+                    } else {
+                        last_ident = w;
+                    }
+                }
+            } else {
+                k += 1;
+            }
+        }
+        if k < n && chars[k] == '{' {
+            let mut d = 0i32;
+            let mut e = k;
+            while e < n {
+                match chars[e] {
+                    '{' => d += 1,
+                    '}' => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                e += 1;
+            }
+            if !last_ident.is_empty() {
+                impls.push((last_ident, k, e.min(n)));
+            }
+            // Continue scanning *inside* the impl for nested items.
+            i = k + 1;
+        } else {
+            i = k;
+        }
+    }
+
+    // Pass 2: fn items.
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < n {
+        if !(is_ident(chars[i]) && (i == 0 || !is_ident(chars[i - 1]))) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i;
+        while j < n && is_ident(chars[j]) {
+            j += 1;
+        }
+        let word: String = chars[start..j].iter().collect();
+        i = j;
+        if word != "fn" {
+            continue;
+        }
+        // Name (absent for `fn(…)` pointer types).
+        let mut k = j;
+        while k < n && chars[k].is_whitespace() {
+            k += 1;
+        }
+        if k >= n || !is_ident(chars[k]) || chars[k].is_ascii_digit() {
+            continue;
+        }
+        let ns = k;
+        while k < n && is_ident(chars[k]) {
+            k += 1;
+        }
+        let name: String = chars[ns..k].iter().collect();
+        // Skip to the body `{` (or `;`), tracking paren/bracket/angle
+        // depth so braces in where-clauses or closures in default args
+        // don't fool us (`->` is not an angle close).
+        let (mut paren, mut brack, mut angle) = (0i32, 0i32, 0i32);
+        while k < n {
+            match chars[k] {
+                '(' => paren += 1,
+                ')' => paren -= 1,
+                '[' => brack += 1,
+                ']' => brack -= 1,
+                '<' => angle += 1,
+                '>' if k > 0 && chars[k - 1] != '-' => {
+                    angle -= 1;
+                }
+                '{' if paren == 0 && brack == 0 && angle <= 0 => break,
+                ';' if paren == 0 && brack == 0 => {
+                    k = n + 1; // bodyless declaration
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let body = if k < n {
+            let mut d = 0i32;
+            let mut e = k;
+            while e < n {
+                match chars[e] {
+                    '{' => d += 1,
+                    '}' => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                e += 1;
+            }
+            (k, e.min(n))
+        } else {
+            (start, start)
+        };
+        let impl_type = impls
+            .iter()
+            .filter(|(_, s, e)| start > *s && start < *e)
+            .min_by_key(|(_, s, e)| e - s)
+            .map(|(t, _, _)| t.clone());
+        fns.push(ItemFn {
+            name,
+            impl_type,
+            start,
+            body,
+            line: lines.line_of(start),
+        });
+        i = body.0.max(start) + 1;
+    }
+    fns
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,5 +973,89 @@ mod tests {
         let kinds: Vec<LintKind> = scan(src).iter().map(|f| f.kind).collect();
         assert_eq!(kinds.len(), 3, "{:?}", scan(src));
         assert!(kinds.iter().all(|k| *k == LintKind::Indexing));
+    }
+
+    fn chain_names(site: &CallSite) -> Vec<&str> {
+        site.chain.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    #[test]
+    fn lines_maps_offsets_to_one_based_lines() {
+        let l = Lines::new("ab\ncd\n");
+        assert_eq!(l.line_of(0), 1);
+        assert_eq!(l.line_of(2), 1);
+        assert_eq!(l.line_of(3), 2);
+        assert_eq!(l.line_of(5), 2);
+    }
+
+    #[test]
+    fn call_sites_walk_field_chains_and_chained_continuations() {
+        let src = "impl S {\n    fn f(&self, k: u64) {\n        let hit = self.cache.lock().get(k);\n        self.shard(k).data.read();\n    }\n}\n";
+        let masked = mask(src);
+        let sites = method_call_sites(&masked, &["lock", "read"], true);
+        assert_eq!(sites.len(), 2, "{sites:?}");
+        assert_eq!(sites[0].method, "lock");
+        assert_eq!(sites[0].line, 3);
+        assert_eq!(chain_names(&sites[0]), ["self", "cache"]);
+        assert_eq!(sites[1].method, "read");
+        assert_eq!(chain_names(&sites[1]), ["self", "shard", "data"]);
+        assert!(sites[1].chain[1].called, "shard(k) is a call segment");
+    }
+
+    #[test]
+    fn empty_args_only_skips_non_guard_reads() {
+        let src = "fn f(c: &Counter, st: &Mutex<u8>) {\n    c.read(\"user\");\n    st.lock();\n}\n";
+        let masked = mask(src);
+        let guards = method_call_sites(&masked, &["lock", "read"], true);
+        assert_eq!(guards.len(), 1, "{guards:?}");
+        assert_eq!(guards[0].method, "lock");
+        let all = method_call_sites(&masked, &["lock", "read"], false);
+        assert_eq!(all.len(), 2, "{all:?}");
+    }
+
+    #[test]
+    fn call_sites_found_in_closures_and_match_arms() {
+        let src = "fn f(x: Option<u8>) {\n    let g = || m.lock();\n    match x {\n        Some(_) => n.lock(),\n        None => {}\n    }\n    g();\n}\n";
+        let masked = mask(src);
+        let sites = method_call_sites(&masked, &["lock"], true);
+        assert_eq!(sites.len(), 2, "{sites:?}");
+        assert_eq!(chain_names(&sites[0]), ["m"]);
+        assert_eq!(chain_names(&sites[1]), ["n"]);
+    }
+
+    #[test]
+    fn indexed_receivers_and_parenthesised_receivers() {
+        let src = "fn f(&self) {\n    self.counters[i].read();\n    (a + b).lock();\n}\n";
+        let masked = mask(src);
+        let sites = method_call_sites(&masked, &["lock", "read"], true);
+        assert_eq!(sites.len(), 2, "{sites:?}");
+        assert_eq!(chain_names(&sites[0]), ["self", "counters"]);
+        assert!(sites[0].chain[1].indexed, "counters[i] is indexed");
+        // A parenthesised-expression receiver is unattributable: the
+        // chain is empty rather than wrong.
+        assert_eq!(sites[1].method, "lock");
+        assert!(sites[1].chain.is_empty(), "{:?}", sites[1].chain);
+    }
+
+    #[test]
+    fn item_fns_attribute_impl_types_and_spans() {
+        let src = "struct S;\nimpl S {\n    fn a(&self) -> Result<Vec<u8>, ()> {\n        body();\n    }\n}\nimpl Other for S {\n    fn b(&self) {}\n}\nfn free() {}\n";
+        let masked = mask(src);
+        let fns = item_fns(&masked);
+        assert_eq!(fns.len(), 3, "{fns:?}");
+        assert_eq!(fns[0].name, "a");
+        assert_eq!(fns[0].impl_type.as_deref(), Some("S"));
+        assert_eq!(fns[1].name, "b");
+        assert_eq!(
+            fns[1].impl_type.as_deref(),
+            Some("S"),
+            "trait impls attribute to the implementing type"
+        );
+        assert_eq!(fns[2].name, "free");
+        assert_eq!(fns[2].impl_type, None);
+        // The body span of `a` contains the `body()` call.
+        let call = masked.find("body").unwrap();
+        assert!(fns[0].contains(call));
+        assert!(!fns[1].contains(call));
     }
 }

@@ -87,20 +87,7 @@ pub const ALLOWLIST: &str = "crates/xtask/panic-allowlist.txt";
 pub fn check(root: &Path) -> Result<Vec<String>, String> {
     let allowed = parse_allowlist(root)?;
     let mut errors = Vec::new();
-
-    // Count findings per (file, kind), and keep locations for reports.
-    let mut actual: BTreeMap<(String, LintKind), Vec<(usize, String)>> = BTreeMap::new();
-    for rel in walk_scope(root)? {
-        let path = root.join(&rel);
-        let source = fs::read_to_string(&path)
-            .map_err(|e| format!("panic-lint: read {}: {e}", path.display()))?;
-        for f in scan(&source) {
-            actual
-                .entry((rel.clone(), f.kind))
-                .or_default()
-                .push((f.line, f.excerpt));
-        }
-    }
+    let actual = findings(root)?;
 
     let keys: std::collections::BTreeSet<(String, LintKind)> = actual
         .keys()
@@ -130,48 +117,39 @@ pub fn check(root: &Path) -> Result<Vec<String>, String> {
     Ok(errors)
 }
 
-/// Walk the lint scope, returning sorted workspace-relative `.rs` paths.
-fn walk_scope(root: &Path) -> Result<Vec<String>, String> {
-    let mut files = Vec::new();
-    for dir in SCOPE {
-        let top = root.join(dir);
-        // SCOPE entries may name a single source file directly.
-        if top.is_file() {
-            files.push(relative(root, &top));
-            continue;
-        }
-        let mut stack = vec![top];
-        while let Some(d) = stack.pop() {
-            let entries = fs::read_dir(&d)
-                .map_err(|e| format!("panic-lint: read_dir {}: {e}", d.display()))?;
-            for entry in entries {
-                let entry = entry.map_err(|e| format!("panic-lint: {e}"))?;
-                let p = entry.path();
-                if p.is_dir() {
-                    stack.push(p);
-                } else if p.extension().is_some_and(|x| x == "rs") {
-                    files.push(relative(root, &p));
-                }
-            }
+/// Findings per `(file, kind)`: `(line, excerpt)` locations.
+type FindingMap = BTreeMap<(String, LintKind), Vec<(usize, String)>>;
+
+/// Scan the lint scope, returning findings per `(file, kind)` with
+/// locations for reports.
+fn findings(root: &Path) -> Result<FindingMap, String> {
+    let mut actual: FindingMap = BTreeMap::new();
+    for rel in crate::util::walk_scope(root, SCOPE, "panic-lint")? {
+        let path = root.join(&rel);
+        let source = fs::read_to_string(&path)
+            .map_err(|e| format!("panic-lint: read {}: {e}", path.display()))?;
+        for f in scan(&source) {
+            actual
+                .entry((rel.clone(), f.kind))
+                .or_default()
+                .push((f.line, f.excerpt));
         }
     }
-    files.sort();
-    Ok(files)
+    Ok(actual)
 }
 
-fn relative(root: &Path, p: &Path) -> String {
-    p.strip_prefix(root)
-        .unwrap_or(p)
-        .components()
-        .map(|c| c.as_os_str().to_string_lossy())
-        .collect::<Vec<_>>()
-        .join("/")
+/// Current finding counts per `(file, kind)` — `--fix-ratchet` input.
+pub(crate) fn actual_counts(root: &Path) -> Result<BTreeMap<(String, LintKind), usize>, String> {
+    Ok(findings(root)?
+        .into_iter()
+        .map(|(k, v)| (k, v.len()))
+        .collect())
 }
 
 /// Parse the allowlist: `<path> <kind> <count>` per line, `#` comments.
 /// Deny-listed files, unknown kinds, duplicates, and paths outside the
 /// lint scope are hard errors.
-fn parse_allowlist(root: &Path) -> Result<BTreeMap<(String, LintKind), usize>, String> {
+pub(crate) fn parse_allowlist(root: &Path) -> Result<BTreeMap<(String, LintKind), usize>, String> {
     let path = root.join(ALLOWLIST);
     let text = fs::read_to_string(&path)
         .map_err(|e| format!("panic-lint: read {}: {e}", path.display()))?;
