@@ -1,0 +1,383 @@
+//! Stream-path bench: the real-time analysis engine end to end —
+//! incremental flag updates, quantile-sketch ingestion, streamed-vs-
+//! batch verdict agreement, online detection latency, and the sample
+//! savings adaptive cadence buys.
+//!
+//! ## What is measured
+//!
+//! 1. `flag_update` / `sketch_update` — the two hot-path operations the
+//!    consumer drain runs per sample. Both must be **0 allocs/op**
+//!    steady-state (the alloc lint denies heap use in those modules;
+//!    this bench proves it dynamically with a counting allocator).
+//! 2. `streamed_vs_batch` — agreement fraction between the streamed
+//!    job-end verdict ([`FlagStreams::finish`]) and the batch
+//!    [`FlagRules::evaluate`] over seeded random job populations
+//!    (must be 1.0 — the proptest proves it, this reports it).
+//! 3. `sketch_vs_exact` — max per-bin error of a sketch-built
+//!    histogram against the exact scan, reported against the
+//!    documented `2εn` bound.
+//! 4. `detection_latency` — sample→flag latency (p50/p99 seconds)
+//!    recorded by [`Alert::latency_secs`] across metadata-storm runs
+//!    of the full daemon-mode system.
+//! 5. `adaptive_sampling` — total samples collected by a fixed-cadence
+//!    system vs one with adaptive per-node cadence over the same
+//!    scenario, with the storm detection latency of each arm shown to
+//!    confirm the savings don't cost detection time.
+//!
+//! Results are printed and written to `BENCH_stream_path.json` at the
+//! workspace root.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use tacc_core::config::{Mode, SystemConfig};
+use tacc_core::system::MonitoringSystem;
+use tacc_core::{AdaptiveConfig, OnlineConfig};
+use tacc_metrics::flags::{FlagContext, FlagRules};
+use tacc_metrics::sketch::QuantileSketch;
+use tacc_metrics::stream::{FlagSet, FlagStreams};
+use tacc_metrics::table1::{JobMetrics, MetricId};
+use tacc_portal::hist::Histogram;
+use tacc_scheduler::job::{JobRequest, QueueName};
+use tacc_simnode::apps::AppModel;
+use tacc_simnode::intern::Sym;
+use tacc_simnode::topology::NodeTopology;
+use tacc_simnode::{SimDuration, SimTime};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper counting allocation events (see
+/// `parallel_path.rs`).
+struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to the system allocator;
+// the counter is a relaxed atomic with no effect on allocation results.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// One timed run of `f`: wall nanoseconds and allocation count.
+fn timed<R>(f: impl FnOnce() -> R) -> (f64, f64) {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    black_box(f());
+    let ns = t0.elapsed().as_nanos() as f64;
+    (ns, (ALLOCS.load(Ordering::Relaxed) - a0) as f64)
+}
+
+/// Deterministic value scrambler (no external RNG on the hot loops).
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn t0() -> SimTime {
+    SimTime::from_secs(tacc_simnode::clock::Q4_2015_START_SECS)
+}
+
+fn storm_request(seed: u64, n_nodes: usize, runtime_mins: u64) -> JobRequest {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = NodeTopology::stampede();
+    let app = AppModel::wrf_metadata_storm().instantiate(&mut rng, n_nodes, 16, &topo);
+    JobRequest {
+        user: "alice".into(),
+        uid: 5001,
+        account: "TG-1".into(),
+        job_name: "storm".into(),
+        queue: QueueName::Normal,
+        n_nodes,
+        wayness: 16,
+        runtime: SimDuration::from_mins(runtime_mins),
+        will_fail: false,
+        idle_nodes: 0,
+        app,
+    }
+}
+
+/// A seeded random `JobMetrics` spanning every Table-I metric with a
+/// mix of magnitudes so every flag rule trips on some jobs.
+fn random_metrics(state: &mut u64) -> JobMetrics {
+    let mut m = JobMetrics::new();
+    for id in MetricId::ALL {
+        if lcg(state) < 0.8 {
+            // Spread over orders of magnitude around each rule's scale.
+            let v = match id {
+                MetricId::MetaDataRate => lcg(state) * 60_000.0,
+                MetricId::GigEBW => lcg(state) * 80.0,
+                MetricId::MemUsage => lcg(state) * 1_200.0,
+                MetricId::Idle | MetricId::Catastrophe => lcg(state) * 0.04,
+                MetricId::Cpi => lcg(state) * 3.0,
+                MetricId::VecPercent => lcg(state) * 100.0,
+                _ => lcg(state) * 1e6,
+            };
+            m.set(id, v);
+        }
+    }
+    if lcg(state) < 0.5 {
+        m.trend = Some(if lcg(state) < 0.5 {
+            tacc_metrics::table1::TrendDirection::Rise
+        } else {
+            tacc_metrics::table1::TrendDirection::Drop
+        });
+    }
+    m
+}
+
+fn main() {
+    println!("\n=== stream-path (incremental flags, sketches, adaptive cadence) ===");
+
+    // --- 1a. flag hot-path update: ns/op, allocs/op (must be 0) ---
+    let (flag_ns, flag_allocs) = {
+        const OPS: usize = 200_000;
+        let mut reg = FlagStreams::new(FlagRules::default());
+        let job = Sym::new("bench-job");
+        // Prime: the one insert that allocates the stream slot.
+        reg.update(job, MetricId::MetaDataRate, 1.0);
+        let ids = [
+            MetricId::MetaDataRate,
+            MetricId::GigEBW,
+            MetricId::Cpi,
+            MetricId::VecPercent,
+            MetricId::Idle,
+            MetricId::CpuUsage,
+        ];
+        let mut state = 7u64;
+        let mut best = f64::INFINITY;
+        let mut allocs = 0.0;
+        for _ in 0..5 {
+            let (ns, a) = timed(|| {
+                let mut tripped = 0usize;
+                for i in 0..OPS {
+                    let id = ids[i % ids.len()];
+                    let v = lcg(&mut state) * 50_000.0;
+                    tripped += reg.update(job, id, v).len();
+                }
+                tripped
+            });
+            best = best.min(ns / OPS as f64);
+            allocs = a / OPS as f64;
+        }
+        (best, allocs)
+    };
+    println!("  flag_update:    {flag_ns:>8.1} ns/op  {flag_allocs:.4} allocs/op");
+
+    // --- 1b. sketch hot-path update: ns/op, allocs/op steady-state ---
+    let (sketch_ns, sketch_allocs) = {
+        const OPS: usize = 200_000;
+        let mut sk = QuantileSketch::new(tacc_metrics::sketch::DEFAULT_EPS);
+        let mut state = 13u64;
+        // Warm: fill past the preallocated tuple capacity's growth phase.
+        for _ in 0..50_000 {
+            sk.update(lcg(&mut state) * 1e6);
+        }
+        let mut best = f64::INFINITY;
+        let mut allocs = 0.0;
+        for _ in 0..5 {
+            let (ns, a) = timed(|| {
+                for _ in 0..OPS {
+                    sk.update(lcg(&mut state) * 1e6);
+                }
+                sk.count()
+            });
+            best = best.min(ns / OPS as f64);
+            allocs = a / OPS as f64;
+        }
+        (best, allocs)
+    };
+    println!(
+        "  sketch_update:  {sketch_ns:>8.1} ns/op  {sketch_allocs:.4} allocs/op (steady-state)"
+    );
+
+    // --- 2. streamed-vs-batch agreement over random job populations ---
+    let (agreement, jobs_checked, flagged_frac) = {
+        const JOBS: usize = 5_000;
+        let rules = FlagRules::default();
+        let mut state = 99u64;
+        let mut agree = 0usize;
+        let mut flagged = 0usize;
+        for j in 0..JOBS {
+            let m = random_metrics(&mut state);
+            let ctx = FlagContext {
+                queue_name: if j % 5 == 0 { "largemem" } else { "normal" }.into(),
+                node_memory_gb: if j % 5 == 0 { 1024.0 } else { 34.36 },
+            };
+            let mut reg = FlagStreams::new(rules);
+            let job = Sym::new("agree-job");
+            // Mid-job estimate traffic, then the batch close-out.
+            for id in MetricId::ALL {
+                reg.update(job, id, lcg(&mut state) * 1e5);
+            }
+            let streamed = reg.finish(job, &ctx, &m);
+            let batch: FlagSet = rules.evaluate(&ctx, &m).into_iter().collect();
+            if streamed == batch {
+                agree += 1;
+            }
+            if !batch.is_empty() {
+                flagged += 1;
+            }
+        }
+        (
+            agree as f64 / JOBS as f64,
+            JOBS,
+            flagged as f64 / JOBS as f64,
+        )
+    };
+    println!(
+        "  streamed_vs_batch: agreement {:.4} over {} jobs ({:.1}% flagged)",
+        agreement,
+        jobs_checked,
+        flagged_frac * 100.0
+    );
+
+    // --- 3. sketch-vs-exact histogram error ---
+    let (hist_max_err, hist_bound, hist_n) = {
+        const N: usize = 50_000;
+        const BINS: usize = 16;
+        let eps = tacc_metrics::sketch::DEFAULT_EPS;
+        let mut state = 31u64;
+        let mut sk = QuantileSketch::new(eps);
+        let vals: Vec<f64> = (0..N).map(|_| lcg(&mut state) * 40_000.0).collect();
+        for &v in &vals {
+            sk.update(v);
+        }
+        let exact = Histogram::linear("md", &vals, BINS);
+        let approx = Histogram::from_sketch("md", &sk, BINS, false);
+        let max_err = approx
+            .counts
+            .iter()
+            .zip(&exact.counts)
+            .map(|(a, e)| (*a as i64 - *e as i64).unsigned_abs())
+            .max()
+            .unwrap_or(0);
+        (max_err as f64, 2.0 * eps * N as f64, N)
+    };
+    println!(
+        "  sketch_vs_exact: max per-bin error {} of bound {:.0} (n = {}, eps = {})",
+        hist_max_err,
+        hist_bound,
+        hist_n,
+        tacc_metrics::sketch::DEFAULT_EPS
+    );
+
+    // --- 4. online detection latency across storm runs ---
+    // Two latencies: sample→flag (the analyzer's own bookkeeping —
+    // ~0 s in daemon mode since the consumer drains each publish in
+    // the same step) and onset→flag (storm start to first alert, the
+    // paper-level "how fast is the pathology flagged" number, bounded
+    // below by the sampling cadence).
+    let (lat_p50, lat_p99, onset_p50, onset_p99, n_alerts) = {
+        let mut sample_lat: Vec<f64> = Vec::new();
+        let mut onset_lat: Vec<f64> = Vec::new();
+        for seed in 0..6u64 {
+            let mut sys = MonitoringSystem::new(SystemConfig::small(2, Mode::daemon()));
+            sys.enable_online(OnlineConfig::default(), true);
+            let offset = SimDuration::from_mins(seed * 3);
+            sys.enqueue_jobs(vec![(t0() + offset, storm_request(seed, 2, 240))]);
+            sys.run_until(t0() + SimDuration::from_mins(60));
+            sample_lat.extend(sys.alerts().iter().map(|a| a.latency_secs));
+            if let Some(first) = sys.alerts().first() {
+                onset_lat.push(first.time.duration_since(t0() + offset).as_secs() as f64);
+            }
+        }
+        sample_lat.sort_by(f64::total_cmp);
+        onset_lat.sort_by(f64::total_cmp);
+        (
+            percentile(&sample_lat, 0.50),
+            percentile(&sample_lat, 0.99),
+            percentile(&onset_lat, 0.50),
+            percentile(&onset_lat, 0.99),
+            sample_lat.len(),
+        )
+    };
+    println!(
+        "  detection_latency: sample→flag p50 {lat_p50:.0} s, p99 {lat_p99:.0} s over {n_alerts} alerts; onset→flag p50 {onset_p50:.0} s, p99 {onset_p99:.0} s"
+    );
+
+    // --- 5. adaptive cadence: samples saved at equal detection time ---
+    let (fixed_collected, adaptive_collected, savings, fixed_lat, adaptive_lat, cadence_changes) = {
+        let run = |adaptive: bool| {
+            let mut cfg = SystemConfig::small(4, Mode::daemon());
+            // Start from a 5-minute fixed cadence so the adaptive arm
+            // has room in both directions (60 s .. 20 min).
+            cfg.interval = SimDuration::from_mins(5);
+            let mut sys = MonitoringSystem::new(cfg);
+            sys.enable_online(OnlineConfig::default(), true);
+            if adaptive {
+                sys.enable_adaptive(AdaptiveConfig::default());
+            }
+            // Three quiet hours, then a storm on 2 of 4 nodes.
+            sys.enqueue_jobs(vec![(
+                t0() + SimDuration::from_hours(3),
+                storm_request(17, 2, 120),
+            )]);
+            sys.run_until(t0() + SimDuration::from_hours(4));
+            let collected = sys.delivery_report().collected;
+            let first_alert = sys.alerts().first().map(|a| a.latency_secs);
+            let changes = sys.cadence_log().len();
+            (collected, first_alert, changes)
+        };
+        let (fc, fl, _) = run(false);
+        let (ac, al, changes) = run(true);
+        let savings = 1.0 - ac as f64 / fc as f64;
+        (
+            fc,
+            ac,
+            savings,
+            fl.unwrap_or(-1.0),
+            al.unwrap_or(-1.0),
+            changes,
+        )
+    };
+    println!(
+        "  adaptive_sampling: fixed {fixed_collected} samples, adaptive {adaptive_collected} ({:.1}% saved, {cadence_changes} cadence changes)",
+        savings * 100.0
+    );
+    println!(
+        "  adaptive_sampling: first-alert latency fixed {fixed_lat:.0} s vs adaptive {adaptive_lat:.0} s"
+    );
+
+    // --- report JSON ---
+    let json = format!(
+        "{{\n  \"bench\": \"stream_path\",\n  \
+         \"flag_update\": {{\"ns_per_op\": {flag_ns:.1}, \"allocs_per_op\": {flag_allocs:.4}}},\n  \
+         \"sketch_update\": {{\"ns_per_op\": {sketch_ns:.1}, \"allocs_per_op\": {sketch_allocs:.4}}},\n  \
+         \"streamed_vs_batch\": {{\"agreement\": {agreement:.4}, \"jobs\": {jobs_checked}, \"flagged_fraction\": {flagged_frac:.4}}},\n  \
+         \"sketch_vs_exact\": {{\"max_bin_error\": {hist_max_err:.1}, \"error_bound_2eps_n\": {hist_bound:.1}, \"n\": {hist_n}, \"eps\": {}}},\n  \
+         \"detection_latency\": {{\"sample_to_flag_p50_secs\": {lat_p50:.1}, \"sample_to_flag_p99_secs\": {lat_p99:.1}, \"onset_to_flag_p50_secs\": {onset_p50:.1}, \"onset_to_flag_p99_secs\": {onset_p99:.1}, \"alerts\": {n_alerts}}},\n  \
+         \"adaptive_sampling\": {{\"fixed_samples\": {fixed_collected}, \"adaptive_samples\": {adaptive_collected}, \"savings_fraction\": {savings:.4}, \"fixed_first_alert_secs\": {fixed_lat:.1}, \"adaptive_first_alert_secs\": {adaptive_lat:.1}, \"cadence_changes\": {cadence_changes}}}\n}}\n",
+        tacc_metrics::sketch::DEFAULT_EPS
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_stream_path.json");
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("  wrote {}", out.display()),
+        Err(e) => println!("  could not write {}: {e}", out.display()),
+    }
+}

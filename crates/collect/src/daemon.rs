@@ -218,6 +218,30 @@ impl TaccStatsd {
         self.jobids = jobids;
     }
 
+    /// The current sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Retune the sampling cadence from `now` on (adaptive sampling).
+    ///
+    /// Speeding up pulls the next collection forward so it lands
+    /// within one new interval of `now`; slowing down keeps an
+    /// already-scheduled collection where it is (no sample is skipped)
+    /// and applies the new spacing after it fires. Either way the
+    /// existing [`TaccStatsd::tick`] loop drives the schedule — no new
+    /// scheduling path.
+    pub fn set_interval(&mut self, now: SimTime, interval: SimDuration) {
+        if interval == self.interval {
+            return;
+        }
+        self.interval = interval;
+        let due = now + interval;
+        if self.next_sample > due {
+            self.next_sample = due;
+        }
+    }
+
     /// Node crash: the in-memory spool is wiped. Returns how many
     /// spooled messages were lost; their sequence numbers are appended
     /// to [`TaccStatsd::lost_seqs`].

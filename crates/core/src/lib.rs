@@ -29,7 +29,7 @@ pub mod system;
 
 pub use config::{Mode, SystemConfig};
 pub use intern::{Sym, SymbolTable};
-pub use online::{Alert, AlertKind, OnlineAnalyzer};
+pub use online::{AdaptiveConfig, Alert, AlertKind, OnlineAnalyzer, OnlineConfig};
 pub use pool::{Scratch, WorkerPool};
 pub use population::{PopulationResult, PopulationRunner};
 pub use system::{DeliveryReport, MonitoringSystem};

@@ -9,7 +9,7 @@
 //! suspension.
 
 use crate::config::{Mode, SystemConfig};
-use crate::online::{Alert, OnlineAnalyzer, OnlineConfig};
+use crate::online::{AdaptiveConfig, Alert, OnlineAnalyzer, OnlineConfig};
 use crate::pool::WorkerPool;
 use bytes::Bytes;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -25,8 +25,9 @@ use tacc_collect::spool::SpoolConfig;
 use tacc_collect::Archive;
 use tacc_jobdb::Database;
 use tacc_metrics::accum::JobAccum;
-use tacc_metrics::flags::FlagRules;
+use tacc_metrics::flags::{FlagContext, FlagRules};
 use tacc_metrics::ingest::ingest_job;
+use tacc_metrics::sketch::SketchRegistry;
 use tacc_scheduler::job::{JobId, JobRequest, JobStatus};
 use tacc_scheduler::sched::{SchedEvent, Scheduler};
 use tacc_scheduler::xalt::XaltDb;
@@ -36,7 +37,7 @@ use tacc_simnode::lustre_server::MdsModel;
 use tacc_simnode::pseudofs::NodeFs;
 use tacc_simnode::schema::DeviceType;
 use tacc_simnode::workload::NodeDemand;
-use tacc_simnode::{SimClock, SimCluster, SimNode, SimTime};
+use tacc_simnode::{SimClock, SimCluster, SimDuration, SimNode, SimTime};
 use tacc_tsdb::{SeriesKey, TsDb};
 
 /// Mirrors selected per-host rates into the time-series database
@@ -187,6 +188,18 @@ pub struct MonitoringSystem {
     online: Option<OnlineAnalyzer>,
     /// Automatically cancel jobs the online analyzer blames.
     pub auto_suspend: bool,
+    /// Adaptive per-node sampling policy, if enabled.
+    adaptive: Option<AdaptiveConfig>,
+    /// Current sampling cadence per node (daemon mode).
+    cadence: Vec<SimDuration>,
+    /// When each node's cadence last changed (backoff timer).
+    cadence_changed: Vec<SimTime>,
+    /// Every cadence change: (when, node index, new interval).
+    cadence_log: Vec<(SimTime, usize, SimDuration)>,
+    /// Per-metric quantile sketches fed at job ingest (portal
+    /// histogram/threshold defaults read these instead of rescanning
+    /// columns).
+    sketches: SketchRegistry,
     rules: FlagRules,
     pending: VecDeque<(SimTime, JobRequest)>,
     accums: HashMap<JobId, JobAccum>,
@@ -336,6 +349,11 @@ impl MonitoringSystem {
             mirror: TsdbMirror::new(),
             online: None,
             auto_suspend: false,
+            adaptive: None,
+            cadence: Vec::new(),
+            cadence_changed: Vec::new(),
+            cadence_log: Vec::new(),
+            sketches: SketchRegistry::default(),
             rules: FlagRules::default(),
             pending: VecDeque::new(),
             accums: HashMap::new(),
@@ -397,6 +415,46 @@ impl MonitoringSystem {
         );
         self.online = Some(OnlineAnalyzer::new(cfg));
         self.auto_suspend = auto_suspend;
+    }
+
+    /// Enable adaptive per-node sampling (§VI-B closing the loop):
+    /// after each step, every daemon's cadence is retuned from the
+    /// online analyzer's per-node anomaly score — stable nodes back
+    /// off toward `cfg.max_interval`, anomalous nodes snap to
+    /// `cfg.min_interval`. Requires daemon mode with online analysis
+    /// enabled.
+    pub fn enable_adaptive(&mut self, cfg: AdaptiveConfig) {
+        assert!(
+            matches!(self.cfg.mode, Mode::Daemon { .. }),
+            "adaptive sampling retunes the daemon schedule; use daemon mode"
+        );
+        assert!(
+            self.online.is_some(),
+            "adaptive sampling is driven by the online analyzer; call enable_online first"
+        );
+        let now = self.clock.now();
+        self.cadence = vec![self.cfg.interval; self.headers.len()];
+        self.cadence_changed = vec![now; self.headers.len()];
+        self.adaptive = Some(cfg);
+    }
+
+    /// Current sampling cadence of one node (the configured interval
+    /// until adaptive sampling changes it).
+    pub fn cadence_of(&self, node_idx: usize) -> SimDuration {
+        self.cadence
+            .get(node_idx)
+            .copied()
+            .unwrap_or(self.cfg.interval)
+    }
+
+    /// Every adaptive cadence change so far: (when, node, new interval).
+    pub fn cadence_log(&self) -> &[(SimTime, usize, SimDuration)] {
+        &self.cadence_log
+    }
+
+    /// The per-metric quantile sketches maintained at job ingest.
+    pub fn sketches(&self) -> &SketchRegistry {
+        &self.sketches
     }
 
     /// Attach a worker pool: the daemon-mode consumer drain fans
@@ -735,8 +793,79 @@ impl MonitoringSystem {
             } else {
                 self.cfg.topology.memory_bytes as f64 / 1e9
             };
+            // Close out the job's streaming flag state: the streamed
+            // verdict replays the batch metrics, so it equals what
+            // ingest_job is about to store (and the per-job state is
+            // dropped, bounding analyzer memory by live jobs).
+            if let Some(online) = &mut self.online {
+                let ctx = FlagContext {
+                    queue_name: job.queue.name().to_string(),
+                    node_memory_gb: mem_gb,
+                };
+                online.finish_job(&job.id.to_string(), &ctx, &metrics);
+            }
+            // Feed the portal's quantile sketches.
+            self.sketches.observe_job(&metrics);
             ingest_job(&mut self.db, &job, &metrics, &self.rules, mem_gb);
             self.ingested += 1;
+        }
+    }
+
+    /// Retune every daemon's sampling cadence from the analyzer's
+    /// per-node anomaly score: a hot node (score ≥ `hot_score`) snaps
+    /// to `min_interval`; a node that completed a full quiet period at
+    /// its current cadence backs off multiplicatively toward
+    /// `max_interval`.
+    fn adapt_cadence(&mut self, now: SimTime) {
+        let Some(acfg) = self.adaptive else {
+            return;
+        };
+        let Some(online) = &self.online else {
+            return;
+        };
+        let NodeCollectors::Daemon(ds) = &mut self.collectors else {
+            return;
+        };
+        for (i, d) in ds.iter_mut().enumerate() {
+            let Some(header) = self.headers.get(i) else {
+                continue;
+            };
+            let (Some(&cur), Some(&since)) = (self.cadence.get(i), self.cadence_changed.get(i))
+            else {
+                continue;
+            };
+            let score = online.anomaly_score(header.hostname);
+            let desired = if score >= acfg.hot_score {
+                acfg.min_interval
+            } else if now.duration_since(since) >= cur {
+                // One full quiet period at the current cadence: back
+                // off one multiplicative step.
+                let next =
+                    SimDuration::from_secs((cur.as_secs() as f64 * acfg.backoff).round() as u64);
+                if next > acfg.max_interval {
+                    acfg.max_interval
+                } else {
+                    next
+                }
+            } else {
+                cur
+            };
+            if desired != cur {
+                if let Some(slot) = self.cadence.get_mut(i) {
+                    *slot = desired;
+                }
+                if let Some(slot) = self.cadence_changed.get_mut(i) {
+                    *slot = now;
+                }
+                d.set_interval(now, desired);
+                self.cadence_log.push((now, i, desired));
+            } else if now.duration_since(since) >= cur {
+                // At the ceiling (or floor): restart the quiet timer so
+                // the elapsed check stays meaningful.
+                if let Some(slot) = self.cadence_changed.get_mut(i) {
+                    *slot = now;
+                }
+            }
         }
     }
 
@@ -876,6 +1005,9 @@ impl MonitoringSystem {
         for id in to_suspend {
             self.suspend_job(id, now2);
         }
+        // Adaptive sampling: retune daemon cadences from the analyzer's
+        // per-node anomaly scores.
+        self.adapt_cadence(now2);
         // Ingest whatever finished this step.
         self.ingest_finished();
     }
@@ -901,6 +1033,7 @@ impl MonitoringSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::online::AlertKind;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use tacc_jobdb::Query;
@@ -1060,6 +1193,44 @@ mod tests {
             "latency {}s",
             latency.as_secs()
         );
+    }
+
+    #[test]
+    fn adaptive_cadence_backs_off_quiet_nodes_and_speeds_up_hot_ones() {
+        let mut cfg = SystemConfig::small(3, crate::config::Mode::daemon());
+        cfg.interval = SimDuration::from_mins(5);
+        let mut sys = MonitoringSystem::new(cfg);
+        sys.enable_online(OnlineConfig::default(), false);
+        sys.enable_adaptive(AdaptiveConfig::default());
+        // Two nodes run an app whose CPU collapses mid-run; node 2
+        // stays idle throughout.
+        sys.enqueue_jobs(vec![(t0(), request(AppModel::failing(), 2, 180))]);
+        sys.run_until(t0() + SimDuration::from_hours(4));
+        // Quiet node backed off to the ceiling.
+        assert_eq!(
+            sys.cadence_of(2),
+            AdaptiveConfig::default().max_interval,
+            "idle node should be at the backoff ceiling"
+        );
+        // The collapse spiked the z-score: a job host snapped to the
+        // adaptive floor at some point.
+        let floor = AdaptiveConfig::default().min_interval;
+        assert!(
+            sys.cadence_log()
+                .iter()
+                .any(|(_, node, i)| *node < 2 && *i == floor),
+            "no job host ever reached the adaptive floor: {:?}",
+            sys.cadence_log()
+        );
+        // The drop was alerted, and adaptive cadence still collected
+        // fewer samples than the fixed 5-min cadence would have
+        // (3 nodes x 4 h x 12/h = 144).
+        assert!(sys
+            .alerts()
+            .iter()
+            .any(|a| matches!(a.kind, AlertKind::SuddenDrop)));
+        let collected = sys.delivery_report().collected;
+        assert!(collected < 144, "collected {collected} of fixed 144");
     }
 
     #[test]

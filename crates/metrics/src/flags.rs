@@ -6,7 +6,7 @@
 //! using little memory, idle nodes, sudden performance increases or
 //! drops, and a high average cycles per instruction."
 
-use crate::table1::{JobMetrics, MetricId};
+use crate::table1::JobMetrics;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -33,6 +33,40 @@ pub enum Flag {
 }
 
 impl Flag {
+    /// Every flag, in declaration order — which is also the emission
+    /// order of [`FlagRules::evaluate`] (the catastrophe rule emits
+    /// exactly one of `SuddenDrop`/`SuddenRise`).
+    pub const ALL: [Flag; 8] = [
+        Flag::HighMetadataRate,
+        Flag::HighGigE,
+        Flag::LargememWaste,
+        Flag::IdleNodes,
+        Flag::SuddenDrop,
+        Flag::SuddenRise,
+        Flag::HighCpi,
+        Flag::LowVectorization,
+    ];
+
+    /// The flag's canonical name, as stored in the jobs table's
+    /// `"flags"` column.
+    pub fn name(self) -> &'static str {
+        match self {
+            Flag::HighMetadataRate => "HighMetadataRate",
+            Flag::HighGigE => "HighGigE",
+            Flag::LargememWaste => "LargememWaste",
+            Flag::IdleNodes => "IdleNodes",
+            Flag::SuddenDrop => "SuddenDrop",
+            Flag::SuddenRise => "SuddenRise",
+            Flag::HighCpi => "HighCpi",
+            Flag::LowVectorization => "LowVectorization",
+        }
+    }
+
+    /// Parse a canonical name back into a flag.
+    pub fn from_name(s: &str) -> Option<Flag> {
+        Flag::ALL.into_iter().find(|f| f.name() == s)
+    }
+
     /// Human-readable description for reports.
     pub fn describe(self) -> &'static str {
         match self {
@@ -48,9 +82,20 @@ impl Flag {
     }
 }
 
+// `FlagSet` packs flags by discriminant and iterates via `ALL`; keep
+// both machine-checked: every variant appears once, in declaration
+// order, with discriminant == index (so they all fit in a u8 mask).
+const _: () = {
+    let mut i = 0;
+    while i < Flag::ALL.len() {
+        assert!(Flag::ALL[i] as usize == i);
+        i += 1;
+    }
+};
+
 impl fmt::Display for Flag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{self:?}")
+        f.write_str(self.name())
     }
 }
 
@@ -64,7 +109,7 @@ pub struct FlagContext {
 }
 
 /// Thresholds for each rule. Defaults follow the paper's narrative.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct FlagRules {
     /// MetaDataRate above this flags [`Flag::HighMetadataRate`] (req/s).
     pub metadata_rate: f64,
@@ -99,54 +144,26 @@ impl Default for FlagRules {
 }
 
 impl FlagRules {
-    /// Evaluate all rules against a job's metrics.
+    /// Evaluate all rules against a finished job's metrics.
+    ///
+    /// This is now a thin wrapper over the streaming evaluator
+    /// ([`crate::stream::FlagStream`]): build a fresh stream with the
+    /// job context, replay the metrics through the incremental update
+    /// path, read the verdict. The predicates themselves live in
+    /// `FlagStream::recompute`, so the batch and streamed paths cannot
+    /// drift apart — equivalence is by construction (and proptested in
+    /// `tests/stream_props.rs`).
     pub fn evaluate(&self, ctx: &FlagContext, m: &JobMetrics) -> Vec<Flag> {
-        let mut flags = Vec::new();
-        if m.get(MetricId::MetaDataRate)
-            .is_some_and(|v| v > self.metadata_rate)
-        {
-            flags.push(Flag::HighMetadataRate);
-        }
-        if m.get(MetricId::GigEBW)
-            .is_some_and(|v| v > self.gige_bw_mbs)
-        {
-            flags.push(Flag::HighGigE);
-        }
-        if ctx.queue_name == "largemem" {
-            if let Some(mem) = m.get(MetricId::MemUsage) {
-                if mem < self.largemem_min_frac * ctx.node_memory_gb {
-                    flags.push(Flag::LargememWaste);
-                }
-            }
-        }
-        if m.get(MetricId::Idle).is_some_and(|v| v < self.idle_ratio) {
-            flags.push(Flag::IdleNodes);
-        }
-        if m.get(MetricId::Catastrophe)
-            .is_some_and(|v| v < self.catastrophe_ratio)
-        {
-            // §V-A distinguishes the two signatures by where the weak
-            // window sits relative to the strong one.
-            match m.trend {
-                Some(crate::table1::TrendDirection::Rise) => flags.push(Flag::SuddenRise),
-                _ => flags.push(Flag::SuddenDrop),
-            }
-        }
-        if m.get(MetricId::Cpi).is_some_and(|v| v > self.high_cpi) {
-            flags.push(Flag::HighCpi);
-        }
-        if m.get(MetricId::VecPercent)
-            .is_some_and(|v| v < self.low_vec_percent)
-        {
-            flags.push(Flag::LowVectorization);
-        }
-        flags
+        let mut s = crate::stream::FlagStream::with_context(*self, ctx);
+        s.apply(m);
+        s.flags().iter().collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::table1::MetricId;
 
     fn ctx(queue: &str) -> FlagContext {
         FlagContext {

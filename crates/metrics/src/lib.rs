@@ -20,6 +20,11 @@
 //!   vectorization).
 //! * [`ingest`] — job metadata + metrics → database rows, the schema the
 //!   portal searches.
+//! * [`stream`] — incremental flag evaluation: per-job streaming state
+//!   updated as samples arrive, provably equal to the batch path at
+//!   job end (the batch path is a wrapper over it).
+//! * [`sketch`] — Greenwald–Khanna quantile sketches maintained at
+//!   ingest so portal histograms/thresholds stop rescanning columns.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,8 +35,12 @@ pub mod flags;
 pub mod ingest;
 pub mod memcheck;
 pub mod shared;
+pub mod sketch;
+pub mod stream;
 pub mod table1;
 
 pub use accum::{HostAccum, JobAccum};
 pub use flags::{Flag, FlagRules};
+pub use sketch::{QuantileSketch, SketchRegistry, DEFAULT_EPS};
+pub use stream::{FlagSet, FlagStream, FlagStreams};
 pub use table1::{JobMetrics, MetricId};

@@ -1,0 +1,146 @@
+//! Property tests for the streaming analysis engine (ISSUE: streamed
+//! verdict at job end must be provably identical to the batch
+//! [`FlagRules::evaluate`], and sketch quantiles must honor the
+//! documented `εn` rank bound).
+//!
+//! The vendored proptest is primitive-only (ranges, tuples, vecs), so
+//! raw draws are decoded into metric entries / contexts / trends inside
+//! the test bodies.
+
+use proptest::prelude::*;
+use tacc_metrics::flags::{FlagContext, FlagRules};
+use tacc_metrics::sketch::QuantileSketch;
+use tacc_metrics::stream::{FlagSet, FlagStream, FlagStreams};
+use tacc_metrics::table1::{JobMetrics, MetricId, TrendDirection};
+use tacc_simnode::intern::Sym;
+
+/// Raw draw for one metric entry: (metric index, selector, value). The
+/// selector occasionally swaps the value for a non-finite one, which
+/// both the batch and streaming paths must ignore.
+type RawEntry = (usize, u32, f64);
+
+fn decode_value(sel: u32, raw: f64) -> f64 {
+    match sel {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        _ => raw,
+    }
+}
+
+fn decode_trend(sel: u32) -> Option<TrendDirection> {
+    match sel {
+        0 => Some(TrendDirection::Rise),
+        1 => Some(TrendDirection::Drop),
+        _ => None,
+    }
+}
+
+fn decode_ctx(sel: u32, mem: f64) -> FlagContext {
+    let queue = match sel {
+        0 => "largemem",
+        1 => "gpu",
+        _ => "normal",
+    };
+    FlagContext {
+        queue_name: queue.to_string(),
+        node_memory_gb: mem,
+    }
+}
+
+fn metrics_from(entries: &[RawEntry], trend: Option<TrendDirection>) -> JobMetrics {
+    let mut m = JobMetrics::new();
+    for &(i, sel, raw) in entries {
+        m.set(MetricId::ALL[i], decode_value(sel, raw));
+    }
+    m.trend = trend;
+    m
+}
+
+fn raw_entries(max_len: usize) -> impl Strategy<Value = Vec<RawEntry>> {
+    proptest::collection::vec((0..MetricId::COUNT, 0u32..12, -1e9f64..1e9), 0..max_len)
+}
+
+proptest! {
+    /// Streamed verdict at job end == batch evaluate, for arbitrary
+    /// mid-job estimate traffic before the close-out.
+    #[test]
+    fn streamed_finish_matches_batch_evaluate(
+        estimates in raw_entries(60),
+        finals in raw_entries(28),
+        trend_sel in 0u32..3,
+        queue_sel in 0u32..3,
+        mem in 1.0f64..2048.0,
+    ) {
+        let rules = FlagRules::default();
+        let ctx = decode_ctx(queue_sel, mem);
+        let m = metrics_from(&finals, decode_trend(trend_sel));
+
+        let mut s = FlagStream::with_context(rules, &ctx);
+        for &(i, sel, raw) in &estimates {
+            s.update(MetricId::ALL[i], decode_value(sel, raw));
+        }
+        let streamed = s.finish(&m);
+
+        let batch: FlagSet = rules.evaluate(&ctx, &m).into_iter().collect();
+        prop_assert_eq!(streamed, batch);
+        // Iteration order matches the batch emission order exactly.
+        let streamed_vec: Vec<_> = streamed.iter().collect();
+        prop_assert_eq!(streamed_vec, rules.evaluate(&ctx, &m));
+    }
+
+    /// The registry close-out path agrees with batch evaluate too, and
+    /// drops the job's state.
+    #[test]
+    fn registry_finish_matches_batch_evaluate(
+        estimates in raw_entries(40),
+        finals in raw_entries(28),
+        trend_sel in 0u32..3,
+        queue_sel in 0u32..3,
+        mem in 1.0f64..2048.0,
+    ) {
+        let rules = FlagRules::default();
+        let ctx = decode_ctx(queue_sel, mem);
+        let m = metrics_from(&finals, decode_trend(trend_sel));
+        let job = Sym::new("prop-job");
+
+        let mut reg = FlagStreams::new(rules);
+        for &(i, sel, raw) in &estimates {
+            reg.update(job, MetricId::ALL[i], decode_value(sel, raw));
+        }
+        let streamed = reg.finish(job, &ctx, &m);
+        let batch: FlagSet = rules.evaluate(&ctx, &m).into_iter().collect();
+        prop_assert_eq!(streamed, batch);
+        prop_assert!(reg.is_empty());
+    }
+
+    /// Sketch quantiles stay within the documented `εn` rank bound of
+    /// the exact order statistic for arbitrary finite streams.
+    #[test]
+    fn sketch_quantiles_within_rank_bound(
+        vals in proptest::collection::vec(-1e6f64..1e6, 1..2000),
+        eps_m in 1u32..10,
+    ) {
+        let eps = eps_m as f64 / 100.0;
+        let mut sk = QuantileSketch::new(eps);
+        for &v in &vals {
+            sk.update(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+
+        for phi in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let q = sk.quantile(phi).expect("non-empty sketch");
+            let rank = ((phi * n as f64).ceil() as usize).max(1);
+            let err = (eps * n as f64).ceil() as usize + 1;
+            let lo = sorted[rank.saturating_sub(err + 1).min(n - 1)];
+            let hi = sorted[(rank + err - 1).min(n - 1)];
+            prop_assert!(
+                (lo..=hi).contains(&q),
+                "phi={} q={} outside [{}, {}] (n={}, eps={})",
+                phi, q, lo, hi, n, eps
+            );
+        }
+    }
+}

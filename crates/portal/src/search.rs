@@ -6,6 +6,8 @@ use crate::hist::Fig4Panels;
 use crate::render;
 use tacc_jobdb::table::{Row, Table, TableError};
 use tacc_jobdb::{Filter, Query, Value};
+use tacc_metrics::sketch::SketchRegistry;
+use tacc_metrics::{Flag, MetricId};
 use tacc_simnode::pool::WorkerPool;
 
 /// Maximum number of metric search fields, matching the portal ("up to
@@ -45,6 +47,17 @@ impl SearchSpec {
         );
         self.fields.push((keyword.to_string(), value));
         self
+    }
+
+    /// Add a `metric >= threshold` field whose threshold defaults to a
+    /// population quantile — answered by the ingest-time
+    /// [`SketchRegistry`] (rank error ≤ εn) instead of a full column
+    /// rescan. No-op if the metric has no data yet.
+    pub fn field_above_quantile(self, id: MetricId, phi: f64, sketches: &SketchRegistry) -> Self {
+        match sketches.quantile(id, phi) {
+            Some(threshold) => self.field(&format!("{}__gte", id.label()), threshold),
+            None => self,
+        }
     }
 
     /// The conjunction of predicates this spec describes — the single
@@ -176,34 +189,37 @@ impl<'t> JobList<'t> {
         }
     }
 
-    /// The sublist of jobs with at least one automatic flag ("Every
-    /// search also returns a sublist of jobs that have been flagged").
-    pub fn flagged(&self) -> Vec<&'t Row> {
+    /// Rows whose `"flags"` column passes `pred` — the shared core of
+    /// [`JobList::flagged`] and [`JobList::flagged_with`]: the column
+    /// index is resolved once per call, here and nowhere else.
+    fn rows_where_flags(&self, pred: impl Fn(&str) -> bool) -> Vec<&'t Row> {
         let Some(idx) = self.table.schema().index_of("flags") else {
             return Vec::new();
         };
         self.rows
             .iter()
             .copied()
-            .filter(|r| r.get(idx).as_str().map(|s| !s.is_empty()).unwrap_or(false))
+            .filter(|r| r.get(idx).as_str().map(&pred).unwrap_or(false))
             .collect()
     }
 
-    /// Jobs carrying a specific flag.
-    pub fn flagged_with(&self, flag: &str) -> Vec<&'t Row> {
-        let Some(idx) = self.table.schema().index_of("flags") else {
-            return Vec::new();
-        };
-        self.rows
-            .iter()
-            .copied()
-            .filter(|r| {
-                r.get(idx)
-                    .as_str()
-                    .map(|s| s.split(',').any(|f| f == flag))
-                    .unwrap_or(false)
-            })
-            .collect()
+    /// The sublist of jobs with at least one automatic flag ("Every
+    /// search also returns a sublist of jobs that have been flagged").
+    pub fn flagged(&self) -> Vec<&'t Row> {
+        self.rows_where_flags(|s| !s.is_empty())
+    }
+
+    /// Jobs carrying a specific flag. Typed: a nonexistent flag name
+    /// can no longer silently match nothing.
+    pub fn flagged_with(&self, flag: Flag) -> Vec<&'t Row> {
+        self.rows_where_flags(|s| s.split(',').any(|f| f == flag.name()))
+    }
+
+    /// Jobs carrying a specific flag, by raw name.
+    #[deprecated(note = "use the `Flag`-typed `flagged_with`; a typo'd \
+                         string silently matches nothing")]
+    pub fn flagged_with_str(&self, flag: &str) -> Vec<&'t Row> {
+        self.rows_where_flags(|s| s.split(',').any(|f| f == flag))
     }
 
     /// The automatic Fig. 4 histogram set for this result.
@@ -375,8 +391,14 @@ mod tests {
         assert_eq!(all.len(), 3);
         let flagged = all.flagged();
         assert_eq!(flagged.len(), 1);
-        assert_eq!(all.flagged_with("HighMetadataRate").len(), 1);
-        assert_eq!(all.flagged_with("HighGigE").len(), 0);
+        assert_eq!(all.flagged_with(Flag::HighMetadataRate).len(), 1);
+        assert_eq!(all.flagged_with(Flag::HighGigE).len(), 0);
+        // The deprecated string shim matches the typed API.
+        #[allow(deprecated)]
+        {
+            assert_eq!(all.flagged_with_str("HighMetadataRate").len(), 1);
+            assert_eq!(all.flagged_with_str("HighGigEE-typo").len(), 0);
+        }
     }
 
     #[test]

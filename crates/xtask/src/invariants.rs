@@ -60,6 +60,8 @@ pub fn check(root: &Path, lock_classes: &[String]) -> Result<Vec<String>, String
             "--test loom_shard",
             "--bench parallel_path",
             "BENCH_parallel_path.json",
+            "--bench stream_path",
+            "BENCH_stream_path.json",
             // The five-pass suite must stay a required CI job with its
             // JSON artifact, and the TSan job is the lock-order pass's
             // dynamic cross-check.

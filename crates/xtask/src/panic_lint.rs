@@ -33,7 +33,10 @@
 //! `tsdb::segment`), and recovery itself (`tsdb::recover`) are the
 //! code that must keep running — and keep its promises — while the
 //! disk is actively failing, so a panic there turns an injected fault
-//! into a crash loop.
+//! into a crash loop. The streaming analysis engine
+//! (`metrics::stream`, `metrics::sketch`) joins the deny tier too:
+//! both run inside the consumer drain on every sample, so a panic
+//! there takes the real-time analysis loop down with the pipeline.
 
 use crate::lexer::{scan, LintKind};
 use std::collections::BTreeMap;
@@ -57,6 +60,8 @@ pub const SCOPE: &[&str] = &[
     "crates/tsdb/src/wal.rs",
     "crates/tsdb/src/segment.rs",
     "crates/tsdb/src/recover.rs",
+    "crates/metrics/src/stream.rs",
+    "crates/metrics/src/sketch.rs",
 ];
 
 /// Modules whose allowance is pinned to zero: never allowlisted.
@@ -77,6 +82,8 @@ pub const DENY: &[&str] = &[
     "crates/tsdb/src/wal.rs",
     "crates/tsdb/src/segment.rs",
     "crates/tsdb/src/recover.rs",
+    "crates/metrics/src/stream.rs",
+    "crates/metrics/src/sketch.rs",
 ];
 
 /// Workspace-relative path of the allowlist file.

@@ -19,7 +19,7 @@ use tacc_stats::core::config::{Mode, SystemConfig};
 use tacc_stats::core::population::simulate_job;
 use tacc_stats::core::MonitoringSystem;
 use tacc_stats::jobdb::{Database, Query};
-use tacc_stats::metrics::flags::FlagRules;
+use tacc_stats::metrics::flags::{Flag, FlagRules};
 use tacc_stats::metrics::ingest::{ingest_job, JOBS_TABLE};
 use tacc_stats::portal::detail::JobTimeSeries;
 use tacc_stats::portal::search::SearchSpec;
@@ -135,7 +135,7 @@ fn main() {
     println!("{}", wrf.fig4().render());
     println!(
         "Flagged sublist: {} jobs (all from the metadata-storm user)\n",
-        wrf.flagged_with("HighMetadataRate").len()
+        wrf.flagged_with(Flag::HighMetadataRate).len()
     );
 
     // ---- §V-B: the ORM aggregation comparing user vs population. ----

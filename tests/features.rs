@@ -9,6 +9,7 @@ use tacc_stats::core::MonitoringSystem;
 use tacc_stats::jobdb::Query;
 use tacc_stats::metrics::ingest::JOBS_TABLE;
 use tacc_stats::metrics::memcheck::validate_mem_usage;
+use tacc_stats::metrics::Flag;
 use tacc_stats::portal::search::SearchSpec;
 use tacc_stats::scheduler::job::{JobRequest, QueueName};
 use tacc_stats::simnode::apps::AppModel;
@@ -101,8 +102,8 @@ fn rise_and_drop_signatures_distinguished() {
     let table = sys.db().table(JOBS_TABLE).unwrap();
     let all = SearchSpec::default().run(table).unwrap();
     assert_eq!(all.len(), 2);
-    let drops = all.flagged_with("SuddenDrop");
-    let rises = all.flagged_with("SuddenRise");
+    let drops = all.flagged_with(Flag::SuddenDrop);
+    let rises = all.flagged_with(Flag::SuddenRise);
     assert_eq!(drops.len(), 1, "failing job flags SuddenDrop");
     assert_eq!(rises.len(), 1, "compile job flags SuddenRise");
     // The drop belongs to the failed job.

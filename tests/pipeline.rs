@@ -8,6 +8,7 @@ use tacc_stats::core::config::{Mode, SystemConfig};
 use tacc_stats::core::MonitoringSystem;
 use tacc_stats::jobdb::Query;
 use tacc_stats::metrics::ingest::JOBS_TABLE;
+use tacc_stats::metrics::Flag;
 use tacc_stats::portal::detail::JobTimeSeries;
 use tacc_stats::portal::search::SearchSpec;
 use tacc_stats::scheduler::job::{JobRequest, QueueName};
@@ -141,7 +142,7 @@ fn failed_job_is_flagged_and_recorded() {
     assert_eq!(failed.len(), 1);
     let cat = failed.column("catastrophe");
     assert!(cat[0] < 0.1, "catastrophe {cat:?}");
-    assert_eq!(failed.flagged_with("SuddenDrop").len(), 1);
+    assert_eq!(failed.flagged_with(Flag::SuddenDrop).len(), 1);
 }
 
 /// Idle reserved nodes produce a near-zero `idle` metric and the
@@ -155,7 +156,7 @@ fn idle_nodes_detected_end_to_end() {
     sys.run_until(t0() + SimDuration::from_hours(2));
     let table = sys.db().table(JOBS_TABLE).unwrap();
     let all = SearchSpec::default().run(table).unwrap();
-    assert_eq!(all.flagged_with("IdleNodes").len(), 1);
+    assert_eq!(all.flagged_with(Flag::IdleNodes).len(), 1);
     let idle = all.column("idle");
     assert!(idle[0] < 0.05, "idle metric {idle:?}");
 }
@@ -189,5 +190,5 @@ fn largemem_waste_flagging() {
     let table = sys.db().table(JOBS_TABLE).unwrap();
     let all = SearchSpec::default().run(table).unwrap();
     assert_eq!(all.len(), 2);
-    assert_eq!(all.flagged_with("LargememWaste").len(), 1);
+    assert_eq!(all.flagged_with(Flag::LargememWaste).len(), 1);
 }
